@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+The figure experiments are full-length simulated runs (the Fig-4 staircase
+covers 480 simulated seconds); they execute once per session here and the
+per-figure benchmark modules both time them and verify the paper's shapes
+against the shared result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig4, fig5, fig6, table2
+
+
+@pytest.fixture(scope="session")
+def fig4_result():
+    return fig4.run(seed=0)
+
+
+@pytest.fixture(scope="session")
+def table2_result(fig4_result):
+    return table2.compute(fig4_result)
+
+
+@pytest.fixture(scope="session")
+def fig5_result():
+    return fig5.run(seed=0)
+
+
+@pytest.fixture(scope="session")
+def fig6_result():
+    return fig6.run(seed=0)

@@ -1,0 +1,67 @@
+"""Ablation: raw substrate throughput.
+
+Bounds for everything above: the event engine's dispatch rate and the
+simulator's packet-forwarding rate determine how much simulated time a
+given experiment costs in wall-clock.
+"""
+
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Network
+from repro.simnet.sockets import DISCARD_PORT
+from repro.simnet.trafficgen import StaircaseLoad, StepSchedule
+
+
+def test_bench_engine_event_dispatch(benchmark):
+    def run_events():
+        sim = Simulator()
+        counter = [0]
+
+        def bump():
+            counter[0] += 1
+
+        for i in range(50_000):
+            sim.schedule(i * 1e-6, bump)
+        sim.run_until_idle()
+        return counter[0]
+
+    assert benchmark(run_events) == 50_000
+
+
+def test_bench_switched_forwarding(benchmark):
+    """Packets/second of wall-clock through host->switch->host."""
+
+    def run_traffic():
+        net = Network()
+        a = net.add_host("A")
+        b = net.add_host("B")
+        sw = net.add_switch("sw", 4, managed=False)
+        net.connect(a, sw)
+        net.connect(b, sw)
+        net.announce_hosts()
+        StaircaseLoad(
+            a, b.primary_ip, StepSchedule([(0.0, 2_000_000.0), (5.0, 0.0)]),
+            payload_size=1472,
+        ).start()
+        net.run(6.0)
+        return b.discard.datagrams
+
+    datagrams = benchmark(run_traffic)
+    assert datagrams > 6000
+
+
+def test_bench_hub_repeating(benchmark):
+    def run_traffic():
+        net = Network()
+        hosts = [net.add_host(f"H{i}") for i in range(4)]
+        hub = net.add_hub("hub", 6, speed_bps=10e6)
+        for h in hosts:
+            net.connect(h, hub)
+        net.announce_hosts()
+        StaircaseLoad(
+            hosts[0], hosts[1].primary_ip,
+            StepSchedule([(0.0, 500_000.0), (5.0, 0.0)]),
+        ).start()
+        net.run(6.0)
+        return hosts[1].discard.datagrams
+
+    assert benchmark(run_traffic) > 1000

@@ -1,0 +1,50 @@
+"""Benchmark + regeneration of Figure 4 (dynamically varying load).
+
+Times the full 480-simulated-second staircase experiment and prints the
+generated/measured series the paper plots as Figures 4a and 4b, then
+asserts the paper's qualitative claims:
+
+- the measured series tracks the staircase pattern;
+- measured is slightly ABOVE generated (headers + monitoring traffic);
+- the load vanishes when the generator stops at t=420 s.
+"""
+
+import numpy as np
+
+from repro.experiments import fig4
+
+
+def test_bench_fig4_staircase(benchmark, fig4_result):
+    result = benchmark.pedantic(
+        lambda: fig4.run(seed=1), rounds=1, iterations=1
+    )
+    # Print the paper's series (sampled) for the session log.
+    print()
+    for line in fig4.format_series(fig4_result, stride=10):
+        print(line)
+
+    pair = fig4_result.pair
+    # Shape assertions on the shared (seed 0) run.
+    for level in (100.0, 200.0, 300.0, 400.0, 500.0):
+        window = pair.generated_kbps == level
+        assert window.sum() >= 10, f"level {level} under-sampled"
+        mean = pair.measured_kbps[window].mean()
+        assert level * 1.0 < mean < level * 1.10, (level, mean)
+    # After elimination at 420 s only background remains.
+    tail = pair.times > 430
+    assert pair.measured_kbps[tail].mean() < 10.0
+    # And the experiment produced zero SNMP losses.
+    assert fig4_result.monitor_stats["snmp_timeouts"] == 0
+
+
+def test_bench_fig4_reporting_overhead(benchmark, fig4_result):
+    """Micro-bench: one report-series extraction from a full run."""
+    scenario = fig4_result.scenario
+    label = fig4_result.pair.label
+
+    def extract():
+        series = scenario.monitor.history.series(label)
+        return series.used().sum()
+
+    total = benchmark(extract)
+    assert total > 0

@@ -1,0 +1,60 @@
+"""Ablation: polling interval vs accuracy and monitoring overhead.
+
+The paper's dominant error source is octet displacement between polling
+intervals; a shorter interval raises both the relative displacement error
+and the SNMP overhead, while a longer one slows violation detection.
+This bench sweeps the interval and prints the trade-off table the paper's
+design decision (periodic polling at a fixed rate) implies.
+"""
+
+import pytest
+
+from repro.analysis.series import stable_mask
+from repro.analysis.stats import compute_table2
+from repro.experiments.scenarios import Scenario
+from repro.simnet.trafficgen import KBPS, StepSchedule
+
+LOAD = StepSchedule([(20.0, 200 * KBPS), (140.0, 0.0)])
+RUN_UNTIL = 170.0
+
+
+def run_with_interval(interval: float, seed: int = 0):
+    scenario = Scenario(poll_interval=interval, seed=seed)
+    label = scenario.watch("S1", "N1")
+    scenario.add_load("L", "N1", LOAD)
+    scenario.run(RUN_UNTIL)
+    pair = scenario.series_pair(label, ["N1"])
+    stable = stable_mask(pair.times, LOAD, window=interval, guard=1.0)
+    stats = compute_table2(pair.measured_kbps, pair.generated_kbps, stable=stable)
+    overhead = scenario.monitor.manager.requests_sent / RUN_UNTIL
+    return stats, overhead
+
+
+@pytest.mark.parametrize("interval", [1.0, 2.0, 4.0, 8.0])
+def test_bench_polling_interval_sweep(benchmark, interval):
+    stats, overhead = benchmark.pedantic(
+        run_with_interval, args=(interval,), rounds=1, iterations=1
+    )
+    print(
+        f"\ninterval {interval:4.1f}s: mean %err {stats.mean_pct_error:5.2f}, "
+        f"max %err {stats.max_pct_error:5.1f}, "
+        f"SNMP reqs/s {overhead:5.2f}, background {stats.background:.2f} KB/s"
+    )
+    # Accuracy of the averages holds at every interval...
+    assert stats.mean_pct_error < 6.0
+    # ...and overhead scales inversely with the interval.
+    assert overhead == pytest.approx(6.0 / interval, rel=0.15)
+
+
+def test_bench_polling_displacement_shrinks_with_interval(benchmark):
+    """Relative worst-case error decreases as the interval grows."""
+
+    def compare():
+        return {
+            interval: run_with_interval(interval)[0].max_pct_error
+            for interval in (1.0, 8.0)
+        }
+
+    max_errs = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print(f"\nmax %err: 1s poll {max_errs[1.0]:.1f} vs 8s poll {max_errs[8.0]:.1f}")
+    assert max_errs[8.0] < max_errs[1.0]

@@ -1,0 +1,87 @@
+"""Benchmark of Table 1: serving the paper's MIB-II objects over SNMP.
+
+Times (a) a full GET of the six Table-1 objects end-to-end across the
+simulated LAN, and (b) the raw BER codec, which bounds every SNMP
+operation the monitor performs.
+"""
+
+from repro.simnet.network import Network
+from repro.snmp.agent import SnmpAgent
+from repro.snmp.datatypes import Counter32, Gauge32, TimeTicks
+from repro.snmp.manager import SnmpManager
+from repro.snmp.message import VERSION_2C, Message
+from repro.snmp.mib import (
+    IF_IN_OCTETS,
+    IF_IN_UCAST_PKTS,
+    IF_OUT_NUCAST_PKTS,
+    IF_OUT_OCTETS,
+    IF_SPEED,
+    SYS_UPTIME,
+    build_mib2,
+)
+from repro.snmp.pdu import Pdu
+
+TABLE1_OIDS = [
+    SYS_UPTIME,
+    IF_SPEED + "1",
+    IF_IN_OCTETS + "1",
+    IF_IN_UCAST_PKTS + "1",
+    IF_OUT_OCTETS + "1",
+    IF_OUT_NUCAST_PKTS + "1",
+]
+
+
+def build_pair():
+    net = Network()
+    mon = net.add_host("L")
+    target = net.add_host("S1")
+    sw = net.add_switch("sw", 4, managed=False)
+    net.connect(mon, sw)
+    net.connect(target, sw)
+    net.announce_hosts()
+    SnmpAgent(target, build_mib2(target, net.sim), response_delay=0.0, response_jitter=0.0)
+    manager = SnmpManager(mon)
+    return net, manager, target
+
+
+def test_bench_table1_get_roundtrip(benchmark):
+    """One poll of the paper's Table-1 objects, end-to-end in the sim."""
+    net, manager, target = build_pair()
+    box = {}
+
+    def one_get():
+        box.clear()
+        manager.get(target.primary_ip, TABLE1_OIDS, lambda vbs: box.update(v=vbs))
+        net.sim.run_until_idle()
+        return box["v"]
+
+    varbinds = benchmark(one_get)
+    assert len(varbinds) == 6
+    assert isinstance(varbinds[0].value, TimeTicks)
+    assert isinstance(varbinds[1].value, Gauge32)
+    assert all(isinstance(vb.value, Counter32) for vb in varbinds[2:])
+
+
+def test_bench_ber_encode(benchmark):
+    pdu = Pdu.get_request(42, TABLE1_OIDS)
+    message = Message(VERSION_2C, "public", pdu)
+    raw = benchmark(message.encode)
+    assert 100 < len(raw) < 250
+
+
+def test_bench_ber_decode(benchmark):
+    raw = Message(VERSION_2C, "public", Pdu.get_request(42, TABLE1_OIDS)).encode()
+    decoded = benchmark(Message.decode, raw)
+    assert decoded.pdu.request_id == 42
+
+
+def test_bench_mib_get(benchmark):
+    net = Network()
+    host = net.add_host("S1")
+    tree = build_mib2(host, net.sim)
+
+    def read_all():
+        return [tree.get(oid) for oid in TABLE1_OIDS]
+
+    values = benchmark(read_all)
+    assert all(v is not None for v in values)

@@ -1,0 +1,32 @@
+"""Benchmark + regeneration of Table 2 (measured-traffic statistics).
+
+Prints the reproduced table next to the paper's reference values and
+asserts the bands: a small positive systematic error (headers + SNMP
+overhead; paper ~4 %, here ~2 %) and large worst-case single-interval
+errors from counter displacement (paper up to ~16 %).
+"""
+
+from repro.analysis.stats import compute_table2
+from repro.experiments import table2
+
+
+def test_bench_table2_statistics(benchmark, fig4_result, table2_result):
+    stats = benchmark(table2.compute, fig4_result)
+    print()
+    print(stats.format_table())
+    print(
+        f"paper reference: background {table2.PAPER_BACKGROUND_KBPS} KB/s, "
+        f"avg ~{table2.PAPER_AVG_PCT_ERROR}%, max ~{table2.PAPER_MAX_PCT_ERROR}%"
+    )
+
+    assert [lv.generated for lv in stats.levels] == table2.PAPER_LEVELS
+    # Systematic error: positive (measured > generated) and small.
+    for level in stats.levels:
+        assert level.avg_less_background > level.generated  # headers add
+        assert level.pct_error < 6.0  # paper: ~4 %
+    # Worst-case single-interval error: an order larger than the mean,
+    # bounded by the paper's observed ceiling (~16 %) plus slack.
+    assert stats.max_pct_error > 2 * stats.mean_pct_error
+    assert stats.max_pct_error < 25.0
+    # Background magnitude comparable to the paper's 0.824 KB/s.
+    assert 0.1 < stats.background < 5.0

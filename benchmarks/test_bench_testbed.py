@@ -1,0 +1,28 @@
+"""Benchmark of Figure 3: building the LIRTSS testbed from its spec.
+
+Covers the whole declarative pipeline the paper describes -- parse the
+specification language, validate it, instantiate devices/links, start the
+SNMP agents -- and checks the resulting inventory matches Figure 3.
+"""
+
+from repro.experiments.testbed import TESTBED_SPEC_TEXT, build_testbed
+from repro.spec.parser import parse_spec
+
+
+def test_bench_fig3_build_testbed(benchmark):
+    result = benchmark(build_testbed)
+    net = result.network
+    assert set(net.hosts) == {"L", "S1", "S2", "S3", "S4", "S5", "S6", "N1", "N2"}
+    assert set(net.switches) == {"switch"}
+    assert set(net.hubs) == {"hub"}
+    assert len(net.links) == 10
+    assert set(result.agents) == {"L", "S1", "S2", "N1", "N2", "switch"}
+    # 100 Mb/s switch ports, 10 Mb/s hub.
+    assert net.switches["switch"].interfaces[0].speed_bps == 100e6
+    assert net.hubs["hub"].speed_bps == 10e6
+
+
+def test_bench_fig3_parse_spec(benchmark):
+    spec = benchmark(parse_spec, TESTBED_SPEC_TEXT)
+    assert len(spec.nodes) == 11
+    assert len(spec.connections) == 10

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Distributed network monitoring (paper §5 future work).
+
+The single monitor polls every agent from host L; at scale that
+concentrates SNMP load on L's links.  The distributed variant partitions
+the polling targets across worker hosts (each polls itself for free via
+loopback), and the workers ship derived rate samples to a coordinator as
+real UDP datagrams over the same network.
+
+This example runs both designs side by side on the Figure-3 testbed under
+the same load and compares (a) the measurements -- which must agree -- and
+(b) where the SNMP request load landed.
+
+Run:  python examples/distributed_monitoring.py
+"""
+
+from repro import NetworkMonitor, StepSchedule, build_testbed
+from repro.core.distributed import DistributedMonitor
+from repro.simnet.trafficgen import KBPS, StaircaseLoad
+
+LOAD = StepSchedule.pulse(10.0, 50.0, 300 * KBPS)
+RUN_UNTIL = 60.0
+
+
+def run_single():
+    build = build_testbed()
+    monitor = NetworkMonitor(build, "L", poll_jitter=0.0)
+    label = monitor.watch_path("S1", "N1")
+    StaircaseLoad(build.network.host("L"), build.network.ip_of("N1"), LOAD).start()
+    monitor.start()
+    build.network.run(RUN_UNTIL)
+    series = monitor.history.series(label)
+    return series.used().max(), {"L": monitor.manager.requests_sent}
+
+
+def run_distributed():
+    build = build_testbed()
+    dm = DistributedMonitor(
+        build, coordinator_host="L", worker_hosts=["L", "S1", "S2"], poll_jitter=0.0
+    )
+    label = dm.watch_path("S1", "N1")
+    StaircaseLoad(build.network.host("L"), build.network.ip_of("N1"), LOAD).start()
+    dm.start()
+    build.network.run(RUN_UNTIL)
+    series = dm.history.series(label)
+    per_worker = dm.stats()["per_worker_requests"]
+    print("worker assignments:")
+    for worker in sorted(dm.workers):
+        print(f"  {worker}: polls {', '.join(dm.targets_of(worker))}")
+    return series.used().max(), per_worker
+
+
+def main() -> None:
+    print("=== single monitor (the paper's design) ===")
+    single_peak, single_load = run_single()
+    print(f"peak measured: {single_peak / 1000:.1f} KB/s; "
+          f"SNMP requests by host: {single_load}")
+
+    print("\n=== distributed monitor (3 workers + coordinator on L) ===")
+    dist_peak, dist_load = run_distributed()
+    print(f"peak measured: {dist_peak / 1000:.1f} KB/s; "
+          f"SNMP requests by host: {dist_load}")
+
+    agreement = abs(single_peak - dist_peak) / single_peak * 100
+    print(f"\nmeasurement agreement: within {agreement:.1f}%")
+    print("the polling load spread from one host to three")
+
+
+if __name__ == "__main__":
+    main()

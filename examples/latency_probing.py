@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Path latency: model estimate vs probe ground truth (paper §5).
+
+Latency measurement is the first item of the paper's future work.  Two
+implementations are compared here on the Figure-3 testbed:
+
+- :class:`LatencyEstimator` derives one-way latency from the bandwidth
+  monitor's existing SNMP measurements (no extra traffic);
+- :class:`PathProber` measures true RTTs with timestamped UDP probes to
+  an ECHO service.
+
+Both are shown idle and under a hub-saturating load, where queueing
+dominates.
+
+Run:  python examples/latency_probing.py
+"""
+
+from repro import NetworkMonitor, StepSchedule, build_testbed
+from repro.core.latency import LatencyEstimator, PathProber
+from repro.simnet.sockets import EchoService
+from repro.simnet.trafficgen import KBPS, StaircaseLoad
+
+
+def probe_once(net, label):
+    box = {}
+    prober = PathProber(
+        net.host("S1"),
+        net.ip_of("N1"),
+        count=20,
+        payload_size=1472,  # MTU-sized, matching the estimator's model
+        on_complete=lambda stats: box.update(stats=stats),
+    )
+    prober.start()
+    net.run(net.now + 10.0)
+    stats = box["stats"]
+    print(
+        f"{label:>12}: RTT min {stats.min_s * 1e3:6.3f} ms, "
+        f"mean {stats.mean_s * 1e3:6.3f} ms, max {stats.max_s * 1e3:6.3f} ms, "
+        f"jitter {stats.jitter_s * 1e3:6.3f} ms, loss {stats.loss_rate * 100:.0f}%"
+    )
+    return stats
+
+
+def main() -> None:
+    build = build_testbed()
+    net = build.network
+    monitor = NetworkMonitor(build, "L")
+    monitor.watch_path("S1", "N1")
+    monitor.start()
+    EchoService(net.host("N1"))
+    estimator = LatencyEstimator(build.spec, monitor.calculator)
+
+    net.run(6.0)  # two poll cycles so utilisation data exists
+    print("path S1 -> switch -> hub -> N1\n")
+    idle_est = estimator.estimate_path("S1", "N1")
+    print(f"{'idle':>12}: model one-way {idle_est.total_ms:6.3f} ms "
+          f"(queueing {idle_est.queueing_s * 1e3:.3f} ms)")
+    probe_once(net, "idle probe")
+
+    # Saturate the hub to ~72% and measure again.
+    StaircaseLoad(
+        net.host("L"), net.ip_of("N1"),
+        StepSchedule([(net.now + 2.0, 900 * KBPS)]),
+    ).start()
+    net.run(net.now + 15.0)
+    loaded_est = estimator.estimate_path("S1", "N1")
+    print(f"\n{'loaded':>12}: model one-way {loaded_est.total_ms:6.3f} ms "
+          f"(queueing {loaded_est.queueing_s * 1e3:.3f} ms)")
+    probe_once(net, "loaded probe")
+
+    print("\nqueueing delay dominates under load, as the M/M/1 term predicts")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+`pip install -e . --no-build-isolation` needs wheel for PEP 660 editable
+builds; this setup.py lets legacy `setup.py develop` installs work too.
+All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

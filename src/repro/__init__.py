@@ -1,0 +1,64 @@
+"""repro -- reproduction of *Monitoring Network QoS in a Dynamic Real-Time
+System* (Chen, Tjaden, Welch, Bruggeman, Tong, Pfarr; IPPS/WPDRTS 2002).
+
+The paper adds SNMP-based network bandwidth monitoring to the DeSiDeRaTa
+resource-management middleware: topology comes from a specification
+language, MIB-II counters are polled periodically, and per-path available
+bandwidth is computed with distinct rules for switch- and hub-connected
+segments.
+
+Package layout
+--------------
+- :mod:`repro.core`        -- the monitor itself (poller, path traversal,
+  bandwidth rules, reports) plus the paper's future-work extensions
+  (latency, discovery, distributed monitoring).
+- :mod:`repro.simnet`      -- packet-level LAN simulator standing in for
+  the paper's physical testbed.
+- :mod:`repro.snmp`        -- from-scratch SNMPv1/v2c (BER codec, MIB-II,
+  agent, manager) running over the simulated network.
+- :mod:`repro.spec`        -- the specification-language extension.
+- :mod:`repro.topology`    -- shared topology model and graph.
+- :mod:`repro.rm`          -- miniature DeSiDeRaTa middleware consuming
+  monitor reports (QoS detection, diagnosis, reallocation advice).
+- :mod:`repro.analysis`    -- the paper's accuracy statistics.
+- :mod:`repro.experiments` -- drivers for Figures 4-6 and Table 2.
+
+Quick start
+-----------
+>>> from repro import Scenario, StepSchedule, KBPS
+>>> scenario = Scenario(seed=1)
+>>> label = scenario.watch("S1", "N1")
+>>> scenario.add_load("L", "N1", StepSchedule.pulse(10.0, 40.0, 200 * KBPS))
+'L==>N1'
+>>> scenario.run(60.0)
+"""
+
+from repro.core.monitor import NetworkMonitor
+from repro.core.report import PathReport
+from repro.core.traversal import find_path
+from repro.experiments.scenarios import Scenario, SeriesPair
+from repro.experiments.testbed import TESTBED_SPEC_TEXT, build_testbed
+from repro.simnet.network import Network
+from repro.simnet.trafficgen import KBPS, StaircaseLoad, StepSchedule
+from repro.spec.builder import build_network
+from repro.spec.parser import parse_file, parse_spec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KBPS",
+    "Network",
+    "NetworkMonitor",
+    "PathReport",
+    "Scenario",
+    "SeriesPair",
+    "StaircaseLoad",
+    "StepSchedule",
+    "TESTBED_SPEC_TEXT",
+    "build_network",
+    "build_testbed",
+    "find_path",
+    "parse_file",
+    "parse_spec",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Evaluation machinery: the paper's accuracy statistics and series tools."""
+
+from repro.analysis.stats import (
+    LevelStats,
+    TrafficStatistics,
+    background_estimate,
+    compute_table2,
+)
+from repro.analysis.series import stable_mask, percent_errors
+
+__all__ = [
+    "LevelStats",
+    "TrafficStatistics",
+    "background_estimate",
+    "compute_table2",
+    "percent_errors",
+    "stable_mask",
+]

@@ -1,0 +1,291 @@
+"""Command-line interface.
+
+Installed as the ``repro`` console script::
+
+    repro validate topology.net              # parse + validate a spec file
+    repro show topology.net                  # normalised spec + graph facts
+    repro experiment fig4 --seed 1           # regenerate a paper artefact
+    repro monitor topology.net --host L --watch S1:N1 \\
+          --load L:N1:200:10:40 --until 60 --chart
+    repro discover topology.net --host L     # SNMP topology discovery
+
+Every subcommand works on simulated time and returns a conventional exit
+code (0 ok, 1 failure, 2 usage), so the tool scripts cleanly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.charts import render_pair
+from repro.core.monitor import NetworkMonitor
+from repro.simnet.network import NetworkError
+from repro.simnet.trafficgen import KBPS, StaircaseLoad, StepSchedule
+from repro.spec.builder import build_network
+from repro.spec.parser import ParseError, parse_file
+from repro.spec.lexer import LexError
+from repro.spec.validate import SpecValidationError, validate_spec
+from repro.spec.writer import write_spec
+from repro.topology.graph import TopologyGraph
+from repro.topology.model import TopologyError
+
+EXPERIMENTS = ("fig4", "fig5", "fig6", "table2")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SNMP network-QoS monitor (IPPS 2002 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_validate = sub.add_parser("validate", help="validate a topology spec file")
+    p_validate.add_argument("specfile")
+
+    p_show = sub.add_parser("show", help="print the normalised spec and graph facts")
+    p_show.add_argument("specfile")
+
+    p_exp = sub.add_parser("experiment", help="run a paper experiment")
+    p_exp.add_argument("name", choices=EXPERIMENTS)
+    p_exp.add_argument("--seed", type=int, default=0)
+
+    p_mon = sub.add_parser("monitor", help="monitor paths on a specified network")
+    p_mon.add_argument("specfile")
+    p_mon.add_argument("--host", required=True, help="host running the monitor")
+    p_mon.add_argument(
+        "--watch", action="append", default=[], metavar="SRC:DST",
+        help="host pair to watch (repeatable)",
+    )
+    p_mon.add_argument(
+        "--load", action="append", default=[], metavar="SRC:DST:KBPS:T0:T1",
+        help="UDP load to generate (repeatable)",
+    )
+    p_mon.add_argument("--until", type=float, default=60.0, help="simulated seconds")
+    p_mon.add_argument("--interval", type=float, default=2.0, help="poll interval")
+    p_mon.add_argument("--chart", action="store_true", help="render ASCII charts")
+
+    p_disc = sub.add_parser("discover", help="SNMP topology discovery + verification")
+    p_disc.add_argument("specfile")
+    p_disc.add_argument("--host", required=True, help="host running discovery")
+    p_disc.add_argument("--until", type=float, default=60.0)
+
+    p_matrix = sub.add_parser("matrix", help="all-pairs bandwidth matrix")
+    p_matrix.add_argument("specfile")
+    p_matrix.add_argument("--host", required=True, help="host running the monitor")
+    p_matrix.add_argument(
+        "--load", action="append", default=[], metavar="SRC:DST:KBPS:T0:T1",
+        help="UDP load to generate (repeatable)",
+    )
+    p_matrix.add_argument("--until", type=float, default=20.0)
+    p_matrix.add_argument(
+        "--metric", choices=("available", "used", "utilization"), default="available"
+    )
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_validate(args) -> int:
+    try:
+        spec = parse_file(args.specfile)
+    except (ParseError, LexError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    issues = validate_spec(spec, strict=False)
+    for issue in issues:
+        print(issue)
+    errors = [i for i in issues if i.severity == "error"]
+    if errors:
+        print(f"{len(errors)} error(s)", file=sys.stderr)
+        return 1
+    print(f"ok: {len(spec.nodes)} nodes, {len(spec.connections)} connections, "
+          f"{len(issues)} warning(s)")
+    return 0
+
+
+def cmd_show(args) -> int:
+    try:
+        spec = parse_file(args.specfile)
+        validate_spec(spec, strict=True)
+    except (ParseError, LexError, SpecValidationError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(write_spec(spec), end="")
+    graph = TopologyGraph(spec)
+    print(f"# hosts: {', '.join(n.name for n in spec.hosts())}")
+    print(f"# devices: {', '.join(n.name for n in spec.devices()) or '(none)'}")
+    print(f"# connected: {graph.is_connected()}, loops: {graph.has_cycle()}")
+    snmp = [n.name for n in spec.nodes if n.snmp_enabled]
+    print(f"# snmp-enabled: {', '.join(snmp) or '(none)'}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro.experiments import fig4, fig5, fig6, table2
+
+    module = {"fig4": fig4, "fig5": fig5, "fig6": fig6, "table2": table2}[args.name]
+    module.main(seed=args.seed)
+    return 0
+
+
+def _parse_watch(text: str):
+    parts = text.split(":")
+    if len(parts) != 2 or not all(parts):
+        raise ValueError(f"--watch wants SRC:DST, got {text!r}")
+    return parts[0], parts[1]
+
+
+def _parse_load(text: str):
+    parts = text.split(":")
+    if len(parts) != 5:
+        raise ValueError(f"--load wants SRC:DST:KBPS:T0:T1, got {text!r}")
+    src, dst, rate, t0, t1 = parts
+    return src, dst, float(rate), float(t0), float(t1)
+
+
+def cmd_monitor(args) -> int:
+    try:
+        spec = parse_file(args.specfile)
+        build = build_network(spec)
+    except (ParseError, LexError, SpecValidationError, TopologyError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not args.watch:
+        print("error: at least one --watch SRC:DST is required", file=sys.stderr)
+        return 2
+    try:
+        monitor = NetworkMonitor(build, args.host, poll_interval=args.interval)
+        labels = [monitor.watch_path(*_parse_watch(w)) for w in args.watch]
+        for load_text in args.load:
+            src, dst, rate, t0, t1 = _parse_load(load_text)
+            StaircaseLoad(
+                build.network.host(src),
+                build.network.ip_of(dst),
+                StepSchedule.pulse(t0, t1, rate * KBPS),
+            ).start()
+    except (ValueError, TopologyError, KeyError, NetworkError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    monitor.start()
+    build.network.run(args.until)
+    for label in labels:
+        series = monitor.history.series(label)
+        used = series.used()
+        avail = series.available()
+        print(f"{label}: {len(series)} reports; used max "
+              f"{used.max() / 1000:.1f} KB/s, available min "
+              f"{avail.min() / 1000:.1f} KB/s")
+        if args.chart:
+            from repro.experiments.scenarios import SeriesPair
+            import numpy as np
+
+            pair = SeriesPair(
+                label=label,
+                times=series.times(),
+                measured_kbps=used / 1000.0,
+                generated_kbps=np.zeros(len(series)),
+            )
+            print(render_pair(pair, title=f"measured used bandwidth on {label}"))
+    stats = monitor.stats()
+    print(f"snmp: {stats['snmp_requests']:.0f} requests, "
+          f"{stats['snmp_timeouts']:.0f} timeouts")
+    return 0
+
+
+def cmd_discover(args) -> int:
+    from repro.core.discovery import TopologyDiscoverer
+    from repro.simnet.network import BROADCAST_IP
+    from repro.snmp.manager import SnmpManager
+
+    try:
+        spec = parse_file(args.specfile)
+        build = build_network(spec)
+    except (ParseError, LexError, SpecValidationError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    net = build.network
+    net.run(1.0)
+    for host in net.hosts.values():
+        host.create_socket().sendto(10, (BROADCAST_IP, 520))
+    net.run(2.0)
+    try:
+        manager = SnmpManager(net.host(args.host))
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    candidates = [
+        (node.name, net.ip_of(node.name))
+        for node in spec.nodes
+        if node.snmp_enabled and node.name in build.agents
+    ]
+    box = {}
+    TopologyDiscoverer(manager, candidates).discover(
+        lambda result: box.update(result=result)
+    )
+    net.run(net.now + args.until)
+    if "result" not in box:
+        print("error: discovery did not complete in time", file=sys.stderr)
+        return 1
+    result = box["result"]
+    for att in result.attachments:
+        stations = list(att.known_nodes) + [str(m) for m in att.unknown_macs]
+        shared = " [shared]" if att.shared_segment else ""
+        print(f"{att.switch} port {att.port}: {', '.join(stations)}{shared}")
+    findings = result.verify_against(spec)
+    for finding in findings:
+        print(finding)
+    mismatches = [f for f in findings if f.startswith(("missing", "mismatch"))]
+    return 1 if mismatches else 0
+
+
+def cmd_matrix(args) -> int:
+    from repro.core.matrix import BandwidthMatrix, MatrixError
+
+    try:
+        spec = parse_file(args.specfile)
+        build = build_network(spec)
+        monitor = NetworkMonitor(build, args.host)
+        for load_text in args.load:
+            src, dst, rate, t0, t1 = _parse_load(load_text)
+            StaircaseLoad(
+                build.network.host(src),
+                build.network.ip_of(dst),
+                StepSchedule.pulse(t0, t1, rate * KBPS),
+            ).start()
+        matrix = BandwidthMatrix(spec, monitor.calculator)
+    except (ParseError, LexError, SpecValidationError, TopologyError,
+            NetworkError, MatrixError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    monitor.start()
+    build.network.run(args.until)
+    snapshot = matrix.snapshot(time=build.network.now)
+    print(snapshot.format_table(args.metric))
+    worst = snapshot.worst_pair()
+    if worst is not None:
+        a, b, available = worst
+        print(f"\ntightest pair: {a} <-> {b} "
+              f"({available / 1000:.1f} KB/s available)")
+    return 0
+
+
+_COMMANDS = {
+    "validate": cmd_validate,
+    "show": cmd_show,
+    "experiment": cmd_experiment,
+    "monitor": cmd_monitor,
+    "discover": cmd_discover,
+    "matrix": cmd_matrix,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,157 @@
+"""Per-connection and per-path bandwidth calculation (paper §3.3).
+
+The paper's two rules:
+
+**Switch rule** -- "a switch does not forward packets for one host to other
+hosts connected to the same switch.  Hence, the amount of bandwidth used
+on a host connected to a switch is simply the amount of data transmitted
+as reported by SNMP polling from either the host or the switch.  If the
+traffic reported is t_i, then we simply have u_i = t_i."
+
+**Hub rule** -- "for hosts connected to hubs, all packets that go through
+the hub will be sent to every host connected to the hub.  Therefore, the
+amount of bandwidth used for a host connected to a hub is the sum of all
+the data sent to the hub ... u_i = t_1 + t_2 + ... + t_n.  Notice that u_i
+cannot exceed the maximum speed of the hub."
+
+A connection's traffic figure ``t`` is the bidirectional byte rate at its
+counter source (in + out octets per second).  For the hub sum, the summed
+set is the hub's *host-facing* connections: a frame entering through the
+uplink and delivered to host j is counted once, at t_j, and the shared
+medium indeed carries each frame once.  Every connection touching the hub
+(host legs and uplinks alike) shares the same u, because they share the
+same medium.
+
+Path figures: available ``A = min_i (m_i - u_i)``; used = ``max_i u_i``
+(the paper's plotted "measured traffic between hosts" -- the busiest
+segment along the path).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.counters import CounterSource, resolve_counter_source
+from repro.core.poller import InterfaceRates, RateTable
+from repro.core.report import ConnectionMeasurement, PathReport
+from repro.topology.model import ConnectionSpec, DeviceKind, TopologySpec
+
+
+class BandwidthCalculator:
+    """Turns a :class:`RateTable` into connection/path measurements."""
+
+    def __init__(self, spec: TopologySpec, rates: RateTable, link_state=None) -> None:
+        """``link_state``: optional :class:`~repro.core.linkstate.
+        LinkStateRegistry`; connections it marks down report zero
+        availability with rule "down"."""
+        self.spec = spec
+        self.rates = rates
+        self.link_state = link_state
+        self._source_cache: Dict[Tuple, Optional[CounterSource]] = {}
+        # Hub membership: hub name -> its host-facing connections.
+        self._hub_host_conns: Dict[str, List[ConnectionSpec]] = {}
+        for node in spec.nodes:
+            if node.kind is DeviceKind.HUB:
+                host_conns = [
+                    conn
+                    for conn in spec.connections_of(node.name)
+                    if spec.node(conn.other_end(node.name).node).kind is DeviceKind.HOST
+                ]
+                self._hub_host_conns[node.name] = host_conns
+
+    # ------------------------------------------------------------------
+    # Per-connection traffic
+    # ------------------------------------------------------------------
+    def counter_source(self, conn: ConnectionSpec) -> Optional[CounterSource]:
+        key = conn.endpoints()
+        if key not in self._source_cache:
+            self._source_cache[key] = resolve_counter_source(self.spec, conn)
+        return self._source_cache[key]
+
+    def raw_traffic(self, conn: ConnectionSpec) -> Optional[InterfaceRates]:
+        """Latest rate sample at the connection's counter source."""
+        source = self.counter_source(conn)
+        if source is None:
+            return None
+        return self.rates.latest(source.node, source.if_index)
+
+    def hub_of(self, conn: ConnectionSpec) -> Optional[str]:
+        """The hub this connection touches, if any."""
+        for end in conn.endpoints():
+            if self.spec.node(end.node).kind is DeviceKind.HUB:
+                return end.node
+        return None
+
+    # ------------------------------------------------------------------
+    # The two rules
+    # ------------------------------------------------------------------
+    def used_bandwidth(self, conn: ConnectionSpec) -> Tuple[Optional[float], str, Optional[InterfaceRates]]:
+        """(u_i in bytes/s, rule name, underlying sample).
+
+        Returns ``(None, "unmeasured", None)`` when no counter source (or
+        no sample yet) exists for the inputs the rule needs.
+        """
+        hub = self.hub_of(conn)
+        if hub is None:
+            sample = self.raw_traffic(conn)
+            if sample is None:
+                return None, "unmeasured", None
+            return sample.total_bytes_per_s, "switch", sample
+        # Hub rule: sum the host legs, clamp to the hub speed.
+        total = 0.0
+        newest: Optional[InterfaceRates] = None
+        any_measured = False
+        for leg in self._hub_host_conns.get(hub, []):
+            sample = self.raw_traffic(leg)
+            if sample is None:
+                continue
+            any_measured = True
+            total += sample.total_bytes_per_s
+            if newest is None or sample.time > newest.time:
+                newest = sample
+        if not any_measured:
+            return None, "unmeasured", None
+        hub_speed_bytes = self.spec.node(hub).interfaces[0].speed_bps / 8.0
+        return min(total, hub_speed_bytes), "hub", newest
+
+    def measure_connection(self, conn: ConnectionSpec) -> ConnectionMeasurement:
+        capacity_bytes = self.spec.effective_bandwidth(conn) / 8.0
+        if self.link_state is not None and self.link_state.is_down(conn):
+            source = self.counter_source(conn)
+            return ConnectionMeasurement(
+                connection=conn,
+                capacity_bps=capacity_bytes,
+                used_bps=0.0,
+                source=source.endpoint if source is not None else None,
+                rule="down",
+            )
+        used, rule, sample = self.used_bandwidth(conn)
+        source = self.counter_source(conn)
+        return ConnectionMeasurement(
+            connection=conn,
+            capacity_bps=capacity_bytes,
+            used_bps=used if used is not None else 0.0,
+            source=source.endpoint if source is not None else None,
+            rule=rule,
+            sample_time=sample.time if sample is not None else None,
+            sample_interval=sample.interval if sample is not None else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def measure_path(
+        self,
+        path: List[ConnectionSpec],
+        src: str,
+        dst: str,
+        time: float,
+        name: Optional[str] = None,
+    ) -> PathReport:
+        """A :class:`PathReport` for an already-traversed path.
+
+        NOTE: all figures are in **bytes/second** (the paper reports
+        KB/s); capacities are converted from the spec's bits/second.
+        """
+        measurements = tuple(self.measure_connection(conn) for conn in path)
+        return PathReport(src=src, dst=dst, time=time, connections=measurements, name=name)

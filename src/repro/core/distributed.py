@@ -1,0 +1,243 @@
+"""Distributed network monitoring -- paper §5 future work.
+
+One monitor polling every agent from one host (the paper's design) makes
+that host's links a hot spot and scales linearly in one manager's request
+load.  The distributed variant partitions the SNMP targets across several
+*worker* hosts; each worker polls its share locally and ships the derived
+rate samples to a *coordinator* host as compact UDP report datagrams over
+the same simulated network.  The coordinator merges them into one
+:class:`~repro.core.poller.RateTable` and computes path reports exactly
+like the single monitor.
+
+Everything -- polls, responses, report shipping -- is real simulated
+traffic, so the monitoring system's own footprint remains measurable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.bandwidth import BandwidthCalculator
+from repro.core.counters import required_poll_targets
+from repro.core.history import MeasurementHistory
+from repro.core.poller import InterfaceRates, PollTarget, RateTable, SnmpPoller
+from repro.core.report import PathReport
+from repro.core.traversal import find_path
+from repro.simnet.address import IPv4Address
+from repro.snmp.manager import SnmpManager
+from repro.spec.builder import BuildResult
+
+REPORT_PORT = 8765
+
+
+def encode_sample(sample: InterfaceRates) -> bytes:
+    """Wire form of one rate sample (JSON keeps it debuggable)."""
+    return json.dumps(
+        {
+            "n": sample.node,
+            "i": sample.if_index,
+            "t": sample.time,
+            "d": sample.interval,
+            "ib": sample.in_bytes_per_s,
+            "ob": sample.out_bytes_per_s,
+            "ip": sample.in_pkts_per_s,
+            "op": sample.out_pkts_per_s,
+        }
+    ).encode()
+
+
+def decode_sample(payload: bytes) -> InterfaceRates:
+    doc = json.loads(payload.decode())
+    return InterfaceRates(
+        node=doc["n"],
+        if_index=int(doc["i"]),
+        time=float(doc["t"]),
+        interval=float(doc["d"]),
+        in_bytes_per_s=float(doc["ib"]),
+        out_bytes_per_s=float(doc["ob"]),
+        in_pkts_per_s=float(doc["ip"]),
+        out_pkts_per_s=float(doc["op"]),
+    )
+
+
+class MonitorWorker:
+    """One polling worker: a manager + poller on its own host."""
+
+    def __init__(
+        self,
+        build: BuildResult,
+        host_name: str,
+        targets: Sequence[PollTarget],
+        coordinator_ip: IPv4Address,
+        poll_interval: float,
+        jitter: float,
+        seed: int,
+    ) -> None:
+        self.host = build.network.host(host_name)
+        self.manager = SnmpManager(self.host)
+        self.poller = SnmpPoller(
+            self.manager,
+            targets,
+            interval=poll_interval,
+            jitter=jitter,
+            seed=seed,
+            rate_table=RateTable(keep_history=False),
+        )
+        self.poller.on_sample = self._ship
+        self._socket = self.host.create_socket()
+        self.coordinator_ip = coordinator_ip
+        self.samples_shipped = 0
+
+    def _ship(self, sample: InterfaceRates) -> None:
+        self.samples_shipped += 1
+        self._socket.sendto(encode_sample(sample), (self.coordinator_ip, REPORT_PORT))
+
+    def start(self, at: Optional[float] = None) -> None:
+        self.poller.start(first_poll_at=at)
+
+    def stop(self) -> None:
+        self.poller.stop()
+        self.manager.cancel_all()  # drop in-flight polls so nothing ships late
+
+
+class DistributedMonitor:
+    """Coordinator + workers implementing the distributed design.
+
+    ``worker_hosts`` take the polling load; ``coordinator_host`` receives
+    their samples and serves path reports.  Target assignment is
+    affinity-first: a worker polling itself costs loopback only; the rest
+    round-robins deterministically.
+    """
+
+    def __init__(
+        self,
+        build: BuildResult,
+        coordinator_host: str,
+        worker_hosts: Sequence[str],
+        poll_interval: float = 2.0,
+        poll_jitter: float = 0.05,
+        report_offset: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if not worker_hosts:
+            raise ValueError("need at least one worker host")
+        self.build = build
+        self.spec = build.spec
+        self.network = build.network
+        self.sim = self.network.sim
+        self.poll_interval = poll_interval
+        self.report_offset = report_offset
+        self.coordinator = self.network.host(coordinator_host)
+        self.rates = RateTable()
+        self.calculator = BandwidthCalculator(self.spec, self.rates)
+        self.history = MeasurementHistory()
+        self._watches: Dict[str, tuple] = {}
+        self._subscribers: List[Callable[[PathReport], None]] = []
+        self._report_task = None
+        self.samples_received = 0
+        self.decode_errors = 0
+
+        self._sink = self.coordinator.create_socket(REPORT_PORT)
+        self._sink.on_receive = self._on_sample_datagram
+
+        assignments = self._partition(list(worker_hosts))
+        coordinator_ip = self.coordinator.primary_ip
+        self.workers: Dict[str, MonitorWorker] = {
+            name: MonitorWorker(
+                build, name, targets, coordinator_ip, poll_interval, poll_jitter,
+                seed=seed + i,
+            )
+            for i, (name, targets) in enumerate(sorted(assignments.items()))
+            if targets
+        }
+
+    # ------------------------------------------------------------------
+    # Partitioning
+    # ------------------------------------------------------------------
+    def _partition(self, worker_hosts: List[str]) -> Dict[str, List[PollTarget]]:
+        needed = required_poll_targets(self.spec, list(self.spec.connections))
+        assignments: Dict[str, List[PollTarget]] = {w: [] for w in worker_hosts}
+        leftovers = []
+        for node_name, if_indexes in sorted(needed.items()):
+            target = PollTarget(
+                node=node_name,
+                address=self.network.ip_of(node_name),
+                if_indexes=if_indexes,
+                community=self.spec.node(node_name).snmp_community,
+            )
+            if node_name in assignments:
+                assignments[node_name].append(target)  # affinity: poll thyself
+            else:
+                leftovers.append(target)
+        for i, target in enumerate(leftovers):
+            assignments[worker_hosts[i % len(worker_hosts)]].append(target)
+        return assignments
+
+    def targets_of(self, worker: str) -> List[str]:
+        return [t.node for t in self.workers[worker].poller.targets]
+
+    # ------------------------------------------------------------------
+    # Sample ingestion
+    # ------------------------------------------------------------------
+    def _on_sample_datagram(self, payload, size, src_ip, src_port) -> None:
+        if payload is None:
+            self.decode_errors += 1
+            return
+        try:
+            sample = decode_sample(payload)
+        except (ValueError, KeyError):
+            self.decode_errors += 1
+            return
+        self.samples_received += 1
+        self.rates.update(sample)
+
+    # ------------------------------------------------------------------
+    # Watch / report surface (mirrors NetworkMonitor)
+    # ------------------------------------------------------------------
+    def watch_path(self, src: str, dst: str, name: Optional[str] = None) -> str:
+        label = name if name else f"{src}<->{dst}"
+        if label in self._watches:
+            raise ValueError(f"watch {label!r} exists")
+        self._watches[label] = (src, dst, find_path(self.spec, src, dst))
+        return label
+
+    def subscribe(self, callback: Callable[[PathReport], None]) -> None:
+        self._subscribers.append(callback)
+
+    def start(self, at: Optional[float] = None) -> None:
+        start = self.sim.now if at is None else at
+        for worker in self.workers.values():
+            worker.start(at=start)
+        self._report_task = self.sim.call_every(
+            self.poll_interval,
+            self._emit_reports,
+            start=start + self.poll_interval + self.report_offset,
+        )
+
+    def stop(self) -> None:
+        for worker in self.workers.values():
+            worker.stop()
+        if self._report_task is not None:
+            self._report_task.cancel()
+            self._report_task = None
+
+    def _emit_reports(self) -> None:
+        for label, (src, dst, path) in self._watches.items():
+            report = self.calculator.measure_path(
+                path, src, dst, time=self.sim.now, name=label
+            )
+            self.history.append(report)
+            for callback in self._subscribers:
+                callback(report)
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "workers": len(self.workers),
+            "samples_received": self.samples_received,
+            "decode_errors": self.decode_errors,
+            "per_worker_requests": {
+                name: w.manager.requests_sent for name, w in self.workers.items()
+            },
+        }

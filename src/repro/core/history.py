@@ -1,0 +1,90 @@
+"""Time-series storage of path measurements.
+
+The monitor appends every :class:`~repro.core.report.PathReport` here;
+experiments pull NumPy arrays out to draw the paper's figures and compute
+the Table-2 statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.report import PathReport
+
+
+class PathSeries:
+    """All reports for one watched path, in time order."""
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.reports: List[PathReport] = []
+
+    def append(self, report: PathReport) -> None:
+        if self.reports and report.time < self.reports[-1].time:
+            raise ValueError(
+                f"out-of-order report for {self.label}: "
+                f"{report.time} after {self.reports[-1].time}"
+            )
+        self.reports.append(report)
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    # ------------------------------------------------------------------
+    # Array extraction
+    # ------------------------------------------------------------------
+    def times(self) -> np.ndarray:
+        return np.array([r.time for r in self.reports], dtype=float)
+
+    def used(self) -> np.ndarray:
+        """Used bandwidth in bytes/second (Figures 4b, 5c-d, 6d-e)."""
+        return np.array([r.used_bps for r in self.reports], dtype=float)
+
+    def available(self) -> np.ndarray:
+        return np.array([r.available_bps for r in self.reports], dtype=float)
+
+    def series(
+        self, extract: Callable[[PathReport], float]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        times = self.times()
+        values = np.array([extract(r) for r in self.reports], dtype=float)
+        return times, values
+
+    def between(self, t_start: float, t_end: float) -> "PathSeries":
+        """The sub-series with t_start <= time < t_end."""
+        out = PathSeries(self.label)
+        out.reports = [r for r in self.reports if t_start <= r.time < t_end]
+        return out
+
+    def latest(self) -> Optional[PathReport]:
+        return self.reports[-1] if self.reports else None
+
+
+class MeasurementHistory:
+    """Per-path series, keyed by the watch label."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, PathSeries] = {}
+
+    def append(self, report: PathReport) -> None:
+        series = self._series.get(report.label)
+        if series is None:
+            series = self._series[report.label] = PathSeries(report.label)
+        series.append(report)
+
+    def series(self, label: str) -> PathSeries:
+        try:
+            return self._series[label]
+        except KeyError:
+            raise KeyError(f"no measurements recorded for path {label!r}") from None
+
+    def labels(self) -> List[str]:
+        return sorted(self._series)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._series
+
+    def __len__(self) -> int:
+        return len(self._series)

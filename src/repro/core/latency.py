@@ -1,0 +1,208 @@
+"""Path latency measurement -- the first item of the paper's future work.
+
+"Future work includes measurement of network latency, ..." (§5).  Two
+complementary techniques are implemented:
+
+**Model-based estimation** (:class:`LatencyEstimator`) -- from the same
+SNMP measurements the bandwidth monitor already collects.  For each
+connection the one-way latency is estimated as transmission time of an
+MTU-sized frame plus propagation plus an M/M/1-style queueing term driven
+by the measured utilisation::
+
+    d_i = tx + prop + tx * rho_i / (1 - rho_i)     (rho capped < 1)
+
+and the path estimate is the sum over its connections.  Hubs contribute
+their store-and-forward repeat time as well.  This needs no new traffic,
+matching the paper's philosophy of reusing the monitoring substrate.
+
+**Probe-based measurement** (:class:`PathProber`) -- true RTTs observed by
+timestamped UDP probes to the destination's ECHO service (RFC 862), the
+network-level ground truth the estimator can be validated against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.bandwidth import BandwidthCalculator
+from repro.core.traversal import find_path
+from repro.simnet.host import Host
+from repro.simnet.packet import IPV4_HEADER_SIZE, UDP_HEADER_SIZE
+from repro.simnet.sockets import ECHO_PORT
+from repro.topology.model import DeviceKind, TopologySpec
+
+DEFAULT_PROP_DELAY = 5e-6  # matches repro.simnet.link.DEFAULT_PROP_DELAY
+SWITCH_LATENCY = 10e-6  # matches repro.simnet.switch.SWITCH_FORWARD_LATENCY
+MAX_UTILISATION = 0.97  # cap rho so the M/M/1 term stays finite
+
+
+@dataclass(frozen=True)
+class LatencyEstimate:
+    """Model-based one-way latency for a path, with its breakdown."""
+
+    src: str
+    dst: str
+    total_s: float
+    per_connection_s: tuple
+    queueing_s: float
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_s * 1e3
+
+
+class LatencyEstimator:
+    """Estimate path latency from the bandwidth monitor's measurements."""
+
+    def __init__(
+        self,
+        spec: TopologySpec,
+        calculator: BandwidthCalculator,
+        frame_bytes: int = 1500,
+        prop_delay: float = DEFAULT_PROP_DELAY,
+    ) -> None:
+        self.spec = spec
+        self.calculator = calculator
+        self.frame_bytes = frame_bytes
+        self.prop_delay = prop_delay
+
+    def estimate_path(self, src: str, dst: str) -> LatencyEstimate:
+        path = find_path(self.spec, src, dst)
+        per_conn: List[float] = []
+        queueing_total = 0.0
+        charged_hubs: set = set()
+        for conn in path:
+            capacity_bps = self.spec.effective_bandwidth(conn)  # bits/s
+            tx = self.frame_bytes * 8.0 / capacity_bps
+            hub = self.calculator.hub_of(conn)
+            if hub is not None and hub in charged_hubs:
+                # Second connection of the same shared medium: the frame
+                # crosses the hub once, so only propagation is added.
+                per_conn.append(self.prop_delay)
+                continue
+            measurement = self.calculator.measure_connection(conn)
+            rho = min(measurement.utilization, MAX_UTILISATION)
+            queueing = tx * rho / (1.0 - rho)
+            hop = tx + self.prop_delay + queueing
+            # Store-and-forward devices add their own forwarding cost once
+            # per traversed device; attribute it to the inbound connection.
+            for end in conn.endpoints():
+                kind = self.spec.node(end.node).kind
+                if kind is DeviceKind.SWITCH:
+                    hop += SWITCH_LATENCY / 2.0  # split across its two links
+                elif kind is DeviceKind.HUB:
+                    hop += tx  # store-and-forward repeat time
+                    charged_hubs.add(end.node)
+            per_conn.append(hop)
+            queueing_total += queueing
+        return LatencyEstimate(
+            src=src,
+            dst=dst,
+            total_s=float(sum(per_conn)),
+            per_connection_s=tuple(per_conn),
+            queueing_s=queueing_total,
+        )
+
+
+@dataclass
+class ProbeStats:
+    """RTT statistics from one probing session."""
+
+    sent: int
+    received: int
+    rtts_s: np.ndarray
+
+    @property
+    def loss_rate(self) -> float:
+        return 1.0 - self.received / self.sent if self.sent else 0.0
+
+    @property
+    def min_s(self) -> float:
+        return float(np.min(self.rtts_s)) if len(self.rtts_s) else float("nan")
+
+    @property
+    def mean_s(self) -> float:
+        return float(np.mean(self.rtts_s)) if len(self.rtts_s) else float("nan")
+
+    @property
+    def max_s(self) -> float:
+        return float(np.max(self.rtts_s)) if len(self.rtts_s) else float("nan")
+
+    @property
+    def jitter_s(self) -> float:
+        """Mean absolute difference of consecutive RTTs (RFC 3550 style)."""
+        if len(self.rtts_s) < 2:
+            return 0.0
+        return float(np.mean(np.abs(np.diff(self.rtts_s))))
+
+
+class PathProber:
+    """Measure true RTTs with timestamped UDP probes to an ECHO service.
+
+    The destination host must run :class:`~repro.simnet.sockets.
+    EchoService`.  Probes carry a sequence number; RTTs are recorded on
+    the echo's arrival.  ``on_complete`` fires after the last probe's
+    timeout window closes.
+    """
+
+    def __init__(
+        self,
+        src: Host,
+        dst_ip,
+        count: int = 10,
+        interval: float = 0.2,
+        payload_size: int = 64,
+        timeout: float = 1.0,
+        on_complete: Optional[Callable[[ProbeStats], None]] = None,
+    ) -> None:
+        if count < 1:
+            raise ValueError("need at least one probe")
+        self.src = src
+        self.dst_ip = dst_ip
+        self.count = count
+        self.interval = interval
+        self.payload_size = payload_size
+        self.timeout = timeout
+        self.on_complete = on_complete
+        self.sim = src.sim
+        self.socket = src.create_socket()
+        self.socket.on_receive = self._on_echo
+        self._send_times: Dict[int, float] = {}
+        self._rtts: List[float] = []
+        self._next_seq = 0
+        self.stats: Optional[ProbeStats] = None
+
+    def start(self) -> None:
+        self.sim.schedule(0.0, self._send_next)
+
+    def _send_next(self) -> None:
+        seq = self._next_seq
+        self._next_seq += 1
+        self._send_times[seq] = self.sim.now
+        payload = seq.to_bytes(4, "big") + b"\x00" * max(0, self.payload_size - 4)
+        self.socket.sendto(payload, (self.dst_ip, ECHO_PORT))
+        if self._next_seq < self.count:
+            self.sim.schedule(self.interval, self._send_next)
+        else:
+            self.sim.schedule(self.timeout, self._finish)
+
+    def _on_echo(self, payload, size, src_ip, src_port) -> None:
+        if payload is None or len(payload) < 4:
+            return
+        seq = int.from_bytes(payload[:4], "big")
+        sent_at = self._send_times.pop(seq, None)
+        if sent_at is None:
+            return  # duplicate or late echo
+        self._rtts.append(self.sim.now - sent_at)
+
+    def _finish(self) -> None:
+        self.stats = ProbeStats(
+            sent=self.count,
+            received=len(self._rtts),
+            rtts_s=np.array(self._rtts, dtype=float),
+        )
+        if self.on_complete is not None:
+            self.on_complete(self.stats)

@@ -1,0 +1,137 @@
+"""All-pairs bandwidth matrix.
+
+The paper's testbed claim: "Such a network arrangement is sufficient for
+monitoring the bandwidth between any pair of hosts in the system."  This
+module makes that operational: one traversal per host pair (cached), one
+measurement pass over the shared rate table, and a rendered matrix of
+available bandwidth / utilisation that an operator (or the RM's placement
+search) can read at a glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.bandwidth import BandwidthCalculator
+from repro.core.report import PathReport
+from repro.core.traversal import NoPathError, find_path
+from repro.topology.model import DeviceKind, TopologySpec
+
+_METRICS = ("available", "used", "utilization")
+
+
+class MatrixError(ValueError):
+    """Raised for unknown hosts or metrics."""
+
+
+@dataclass
+class MatrixSnapshot:
+    """One instant's all-pairs measurements."""
+
+    hosts: List[str]
+    time: float
+    reports: Dict[Tuple[str, str], Optional[PathReport]]  # unordered pairs
+
+    def report(self, a: str, b: str) -> Optional[PathReport]:
+        if a == b:
+            raise MatrixError("a host has no path to itself in the matrix")
+        key = (a, b) if (a, b) in self.reports else (b, a)
+        try:
+            return self.reports[key]
+        except KeyError:
+            raise MatrixError(f"pair ({a}, {b}) not in this matrix") from None
+
+    def values(self, metric: str = "available") -> np.ndarray:
+        """A symmetric matrix of the chosen metric (NaN on the diagonal
+        and for disconnected pairs).  Units: bytes/second, or a fraction
+        for "utilization"."""
+        if metric not in _METRICS:
+            raise MatrixError(f"unknown metric {metric!r}; pick from {_METRICS}")
+        n = len(self.hosts)
+        out = np.full((n, n), np.nan)
+        for i, a in enumerate(self.hosts):
+            for j, b in enumerate(self.hosts):
+                if i >= j:
+                    continue
+                report = self.report(a, b)
+                if report is None:
+                    continue
+                if metric == "available":
+                    value = report.available_bps
+                elif metric == "used":
+                    value = report.used_bps
+                else:
+                    bottleneck = report.bottleneck
+                    value = bottleneck.utilization if bottleneck else 0.0
+                out[i, j] = out[j, i] = value
+        return out
+
+    def format_table(self, metric: str = "available") -> str:
+        """Render the matrix; bandwidth cells in KB/s, utilisation in %."""
+        values = self.values(metric)
+        unit = "%" if metric == "utilization" else "KB/s"
+        width = max(8, max(len(h) for h in self.hosts) + 1)
+        header = " " * width + "".join(f"{h:>{width}}" for h in self.hosts)
+        lines = [f"path {metric} ({unit}) at t={self.time:.1f}s", header]
+        for i, row_host in enumerate(self.hosts):
+            cells = []
+            for j in range(len(self.hosts)):
+                if i == j:
+                    cells.append(f"{'-':>{width}}")
+                elif np.isnan(values[i, j]):
+                    cells.append(f"{'n/a':>{width}}")
+                elif metric == "utilization":
+                    cells.append(f"{values[i, j] * 100:>{width}.1f}")
+                else:
+                    cells.append(f"{values[i, j] / 1000:>{width}.1f}")
+            lines.append(f"{row_host:>{width}}" + "".join(cells))
+        return "\n".join(lines)
+
+    def worst_pair(self) -> Optional[Tuple[str, str, float]]:
+        """The host pair with the least available bandwidth."""
+        worst: Optional[Tuple[str, str, float]] = None
+        for (a, b), report in self.reports.items():
+            if report is None:
+                continue
+            if worst is None or report.available_bps < worst[2]:
+                worst = (a, b, report.available_bps)
+        return worst
+
+
+class BandwidthMatrix:
+    """Computes :class:`MatrixSnapshot` from a calculator's live state."""
+
+    def __init__(
+        self,
+        spec: TopologySpec,
+        calculator: BandwidthCalculator,
+        hosts: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.spec = spec
+        self.calculator = calculator
+        if hosts is None:
+            hosts = [n.name for n in spec.hosts()]
+        for host in hosts:
+            if spec.node(host).kind is not DeviceKind.HOST:
+                raise MatrixError(f"{host!r} is not a host")
+        self.hosts = list(hosts)
+        # Paths traversed once, up front (topology is static, paper §3.2).
+        self._paths: Dict[Tuple[str, str], Optional[list]] = {}
+        for i, a in enumerate(self.hosts):
+            for b in self.hosts[i + 1:]:
+                try:
+                    self._paths[(a, b)] = find_path(spec, a, b)
+                except NoPathError:
+                    self._paths[(a, b)] = None
+
+    def snapshot(self, time: float) -> MatrixSnapshot:
+        reports: Dict[Tuple[str, str], Optional[PathReport]] = {}
+        for (a, b), path in self._paths.items():
+            if path is None:
+                reports[(a, b)] = None
+            else:
+                reports[(a, b)] = self.calculator.measure_path(path, a, b, time=time)
+        return MatrixSnapshot(hosts=list(self.hosts), time=time, reports=reports)

@@ -1,0 +1,293 @@
+"""The network QoS monitor (paper §3, assembled).
+
+:class:`NetworkMonitor` runs on one host of the managed system -- the
+paper's monitor ran on the Linux machine L -- and:
+
+1. reads the topology from the specification (via a
+   :class:`~repro.spec.builder.BuildResult`),
+2. resolves which agents and interfaces must be polled so that every
+   measurable connection has a counter source,
+3. polls them every ``poll_interval`` seconds over genuine SNMP traffic,
+4. traverses the communication path of every watched host pair, and
+5. emits a :class:`~repro.core.report.PathReport` per path per interval
+   into its history and to subscribers (e.g. the RM middleware in
+   :mod:`repro.rm`).
+
+Report generation is offset from the polls by ``report_offset`` so each
+report sees that cycle's responses; the first report only fires after two
+cycles, when counter deltas exist.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.bandwidth import BandwidthCalculator
+from repro.core.counters import required_poll_targets
+from repro.core.history import MeasurementHistory
+from repro.core.linkstate import LinkStateRegistry
+from repro.core.poller import PollTarget, RateTable, SnmpPoller
+from repro.core.report import PathReport
+from repro.core.traversal import find_path
+from repro.snmp.manager import SnmpManager
+from repro.spec.builder import BuildResult
+from repro.topology.model import ConnectionSpec, TopologySpec
+
+ReportCallback = Callable[[PathReport], None]
+
+logger = logging.getLogger("repro.monitor")
+
+DEFAULT_POLL_INTERVAL = 2.0
+DEFAULT_REPORT_OFFSET = 0.5
+
+
+class _Watch:
+    __slots__ = ("name", "src", "dst", "path")
+
+    def __init__(self, name: str, src: str, dst: str, path: List[ConnectionSpec]) -> None:
+        self.name = name
+        self.src = src
+        self.dst = dst
+        self.path = path
+
+
+class MonitorError(RuntimeError):
+    """Raised for monitor misconfiguration."""
+
+
+class NetworkMonitor:
+    """SNMP-based bandwidth monitor for a specified real-time system."""
+
+    def __init__(
+        self,
+        build: BuildResult,
+        monitor_host: str,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+        poll_jitter: float = 0.05,
+        report_offset: float = DEFAULT_REPORT_OFFSET,
+        snmp_timeout: float = 1.0,
+        snmp_retries: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if not 0 < report_offset < poll_interval:
+            raise MonitorError(
+                f"report_offset must lie inside the poll interval, got "
+                f"{report_offset!r} vs {poll_interval!r}"
+            )
+        self.build = build
+        self.spec: TopologySpec = build.spec
+        self.network = build.network
+        self.monitor_host = self.network.host(monitor_host)
+        self.poll_interval = poll_interval
+        self.report_offset = report_offset
+        self.sim = self.network.sim
+        self.manager = SnmpManager(
+            self.monitor_host, timeout=snmp_timeout, retries=snmp_retries
+        )
+        self.rates = RateTable()
+        self.link_state: Optional[LinkStateRegistry] = None
+        self.trap_receiver = None
+        self.calculator = BandwidthCalculator(self.spec, self.rates)
+        self.history = MeasurementHistory()
+        self._watches: Dict[str, _Watch] = {}
+        self._subscribers: List[ReportCallback] = []
+        self._poller = SnmpPoller(
+            self.manager,
+            targets=self._build_targets(),
+            interval=poll_interval,
+            jitter=poll_jitter,
+            seed=seed,
+            rate_table=self.rates,
+        )
+        self._report_task = None
+        self.reports_emitted = 0
+
+    # ------------------------------------------------------------------
+    # Target construction
+    # ------------------------------------------------------------------
+    def _build_targets(self) -> List[PollTarget]:
+        """One target per SNMP node, covering every measurable connection."""
+        needed = required_poll_targets(self.spec, list(self.spec.connections))
+        targets: List[PollTarget] = []
+        for node_name, if_indexes in sorted(needed.items()):
+            node = self.spec.node(node_name)
+            targets.append(
+                PollTarget(
+                    node=node_name,
+                    address=self.network.ip_of(node_name),
+                    if_indexes=if_indexes,
+                    community=node.snmp_community,
+                )
+            )
+        return targets
+
+    @property
+    def poller(self) -> SnmpPoller:
+        return self._poller
+
+    # ------------------------------------------------------------------
+    # Link-state notifications (traps)
+    # ------------------------------------------------------------------
+    def enable_trap_listener(self, confirmed: bool = False) -> "LinkStateRegistry":
+        """Listen for linkDown/linkUp notifications, fold them into reports.
+
+        Starts a receiver on this host's UDP :162, registers every SNMP
+        node's agent as a notification source, and marks affected
+        connections so downed links report zero available bandwidth
+        immediately instead of at the next polling interval.
+
+        ``confirmed=True`` makes agents send acknowledged InformRequests
+        instead of fire-and-forget traps: notifications that cannot cross
+        a dead link are retransmitted and arrive once connectivity
+        returns (the registry discards ones a newer event has overtaken).
+        Returns the registry for inspection.  Idempotent.
+        """
+        if self.trap_receiver is not None:
+            return self.link_state
+        from repro.snmp.trap import TrapReceiver  # local: optional feature
+
+        if self.link_state is None:
+            addresses = {
+                node.name: self.network.ip_of(node.name)
+                for node in self.spec.nodes
+                if node.snmp_enabled and node.name in self.build.agents
+            }
+            self.link_state = LinkStateRegistry(self.spec, addresses)
+            self.calculator.link_state = self.link_state
+        self.trap_receiver = TrapReceiver(
+            self.monitor_host,
+            callback=self.link_state.apply_trap,
+        )
+        monitor_ip = self.monitor_host.primary_ip
+        for agent in self.build.agents.values():
+            if confirmed:
+                agent.enable_link_informs(monitor_ip)
+            else:
+                agent.enable_link_traps(monitor_ip)
+        return self.link_state
+
+    def enable_oper_status_tracking(self) -> "LinkStateRegistry":
+        """Poll ifOperStatus as a link-state source (trap backstop).
+
+        Works with or without the trap listener: each polling cycle also
+        reads every tracked interface's operational status and folds it
+        into the link-state registry.  Detection latency is one polling
+        interval -- slower than traps, but immune to trap loss.  A trap
+        and a poll can disagree transiently around a transition; the next
+        cycle converges them.  Idempotent.
+        """
+        if self.link_state is None:
+            addresses = {
+                node.name: self.network.ip_of(node.name)
+                for node in self.spec.nodes
+                if node.snmp_enabled and node.name in self.build.agents
+            }
+            self.link_state = LinkStateRegistry(self.spec, addresses)
+            self.calculator.link_state = self.link_state
+        for target in self._poller.targets:
+            target.include_oper_status = True
+        self._poller.on_status = self.link_state.apply_oper_status
+        return self.link_state
+
+    # ------------------------------------------------------------------
+    # Watches
+    # ------------------------------------------------------------------
+    def watch_path(self, src: str, dst: str, name: Optional[str] = None) -> str:
+        """Monitor the communication path between two hosts.
+
+        Returns the watch label used in :attr:`history`.  The path is
+        traversed once, up front, from the specification -- the paper's
+        design (topology is static between spec updates).
+        """
+        label = name if name else f"{src}<->{dst}"
+        if label in self._watches:
+            raise MonitorError(f"path watch {label!r} already exists")
+        path = find_path(self.spec, src, dst)
+        self._watches[label] = _Watch(label, src, dst, path)
+        logger.info(
+            "watching path %s: %d connection(s) %s -> %s", label, len(path), src, dst
+        )
+        return label
+
+    def unwatch_path(self, label: str) -> None:
+        if label not in self._watches:
+            raise MonitorError(f"no path watch {label!r}")
+        del self._watches[label]
+
+    def watched_paths(self) -> List[str]:
+        return sorted(self._watches)
+
+    def path_of(self, label: str) -> List[ConnectionSpec]:
+        return list(self._watches[label].path)
+
+    def subscribe(self, callback: ReportCallback) -> None:
+        """Receive every future :class:`PathReport` (the RM hook)."""
+        self._subscribers.append(callback)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, at: Optional[float] = None) -> None:
+        """Begin polling (and reporting one offset later each cycle)."""
+        if self._report_task is not None:
+            raise MonitorError("monitor already started")
+        first_poll = self.sim.now if at is None else at
+        logger.info(
+            "monitor on %s starting at t=%.3f: %d poll target(s), interval %.2fs",
+            self.monitor_host.name, first_poll, len(self._poller.targets),
+            self.poll_interval,
+        )
+        self._poller.start(first_poll_at=first_poll)
+        # First report after the second poll's responses have landed.
+        first_report = first_poll + self.poll_interval + self.report_offset
+        self._report_task = self.sim.call_every(
+            self.poll_interval, self._emit_reports, start=first_report
+        )
+
+    def stop(self) -> None:
+        self._poller.stop()
+        if self._report_task is not None:
+            self._report_task.cancel()
+            self._report_task = None
+        self.manager.cancel_all()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _emit_reports(self) -> None:
+        # Subscribers may add/remove watches in reaction to a report (the
+        # application runtime rebinds paths on reallocation); iterate a copy.
+        for watch in list(self._watches.values()):
+            report = self.calculator.measure_path(
+                watch.path, watch.src, watch.dst, time=self.sim.now, name=watch.name
+            )
+            self.history.append(report)
+            self.reports_emitted += 1
+            for callback in self._subscribers:
+                callback(report)
+
+    def current_report(self, label: str) -> PathReport:
+        """Compute a report right now (outside the periodic schedule)."""
+        try:
+            watch = self._watches[label]
+        except KeyError:
+            raise MonitorError(f"no path watch {label!r}") from None
+        return self.calculator.measure_path(
+            watch.path, watch.src, watch.dst, time=self.sim.now, name=watch.name
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        return {
+            "poll_cycles": self._poller.cycles,
+            "poll_errors": self._poller.poll_errors,
+            "samples": self._poller.samples_produced,
+            "reports": self.reports_emitted,
+            "snmp_requests": self.manager.requests_sent,
+            "snmp_responses": self.manager.responses_received,
+            "snmp_timeouts": self.manager.timeouts,
+            "snmp_retransmissions": self.manager.retransmissions,
+        }

@@ -1,0 +1,109 @@
+"""Measurement records handed from the monitor to its consumers.
+
+These are the "network metrics regarding data communication information"
+the paper's monitor provides to the DeSiDeRaTa middleware: per-connection
+used/available bandwidth along a watched path, the path's end-to-end
+available bandwidth (the minimum), and the bottleneck connection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.topology.model import ConnectionSpec, InterfaceRef
+
+
+@dataclass(frozen=True)
+class ConnectionMeasurement:
+    """One connection's bandwidth figures at one instant."""
+
+    connection: ConnectionSpec
+    capacity_bps: float  # m_i: static bandwidth (ifSpeed / spec)
+    used_bps: float  # u_i: measured traffic, after the hub/switch rule
+    source: Optional[InterfaceRef]  # polled endpoint (None: unmeasured)
+    rule: str  # "switch" | "hub" | "down" | "unmeasured"
+    sample_time: Optional[float] = None  # when the underlying sample landed
+    sample_interval: Optional[float] = None  # seconds the sample covers
+
+    @property
+    def available_bps(self) -> float:
+        """a_i = m_i - u_i, floored at zero; a downed link offers nothing."""
+        if self.rule == "down":
+            return 0.0
+        return max(0.0, self.capacity_bps - self.used_bps)
+
+    @property
+    def utilization(self) -> float:
+        return min(1.0, self.used_bps / self.capacity_bps) if self.capacity_bps else 0.0
+
+    @property
+    def measured(self) -> bool:
+        return self.rule != "unmeasured"
+
+
+@dataclass(frozen=True)
+class PathReport:
+    """End-to-end bandwidth for one watched host pair at one instant.
+
+    ``available_bps`` is the paper's ``A = min(a_1, ..., a_n)``;
+    ``used_bps`` is the largest per-connection traffic along the path,
+    which is the "measured traffic between hosts" the paper plots in
+    Figures 4-6.
+    """
+
+    src: str
+    dst: str
+    time: float
+    connections: Tuple[ConnectionMeasurement, ...]
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.connections and self.src != self.dst:
+            raise ValueError(f"empty path report between distinct hosts {self.src}->{self.dst}")
+
+    @property
+    def complete(self) -> bool:
+        """True when every connection on the path was measurable."""
+        return all(m.measured for m in self.connections)
+
+    @property
+    def available_bps(self) -> float:
+        if not self.connections:
+            return float("inf")
+        return min(m.available_bps for m in self.connections)
+
+    @property
+    def used_bps(self) -> float:
+        measured = [m.used_bps for m in self.connections if m.measured]
+        return max(measured) if measured else 0.0
+
+    @property
+    def capacity_bps(self) -> float:
+        """The path's static bandwidth: the smallest connection capacity."""
+        if not self.connections:
+            return float("inf")
+        return min(m.capacity_bps for m in self.connections)
+
+    @property
+    def bottleneck(self) -> Optional[ConnectionMeasurement]:
+        """The connection with the least available bandwidth."""
+        if not self.connections:
+            return None
+        return min(self.connections, key=lambda m: m.available_bps)
+
+    @property
+    def label(self) -> str:
+        return self.name if self.name else f"{self.src}<->{self.dst}"
+
+    def summary(self) -> str:
+        """One-line human-readable rendering for logs and examples."""
+        parts = [
+            f"[{self.time:9.3f}s] {self.label}:",
+            f"used {self.used_bps / 1000:8.1f} KB/s,",
+            f"available {self.available_bps / 1000:8.1f} KB/s",
+        ]
+        bottleneck = self.bottleneck
+        if bottleneck is not None:
+            parts.append(f"(bottleneck {bottleneck.connection})")
+        return " ".join(parts)

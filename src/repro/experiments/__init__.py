@@ -1,0 +1,25 @@
+"""Scenario drivers reproducing the paper's evaluation (§4).
+
+One module per artefact:
+
+- :mod:`repro.experiments.testbed`  -- the Figure 3 LIRTSS LAN testbed.
+- :mod:`repro.experiments.fig4`     -- §4.3.1 dynamically varying load.
+- :mod:`repro.experiments.table2`   -- Table 2 statistics over that run.
+- :mod:`repro.experiments.fig5`     -- §4.3.2 hosts connected by a hub.
+- :mod:`repro.experiments.fig6`     -- §4.3.3 hosts connected by a switch.
+
+Each module exposes ``run(...)`` returning a result object with the
+generated-load series, the measured series, and (where the paper reports
+them) the accuracy statistics, plus a ``main()`` that prints the same
+rows/series the paper shows.
+"""
+
+from repro.experiments.testbed import TESTBED_SPEC_TEXT, build_testbed
+from repro.experiments.scenarios import Scenario, SeriesPair
+
+__all__ = [
+    "Scenario",
+    "SeriesPair",
+    "TESTBED_SPEC_TEXT",
+    "build_testbed",
+]

@@ -1,0 +1,73 @@
+"""The LIRTSS LAN testbed (paper Figure 3), as a specification.
+
+"The network is a LAN system with one 100 Mbps switch and one 10 Mbps
+hub.  One Linux machine (L), two Solaris 7 machines (S1, S2), and four
+machines (S3-S6) are connected to the switch.  Two other Windows NT
+machines (N1 and N2) are connected to the hub, which is connected to the
+switch.  Our network monitoring program was running on the Linux machine
+L.  SNMP demons were available on L, N1, N2, S1, S2, and the switch."
+
+The spec below encodes exactly that, including which nodes run agents.
+S3-S6 deliberately have none: the monitor must measure them through the
+switch's port counters, as the paper demonstrates for the S4-S5 pair.
+
+``snmp_cache`` models the era's agent behaviour of serving counters from
+a timer-refreshed snapshot (the source of the paper's polling-delay
+spikes); the Windows NT agents get a coarser timer than the Unix ones.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.simnet.engine import Simulator
+from repro.spec.builder import BuildResult, build_network
+from repro.spec.parser import parse_spec
+
+MONITOR_HOST = "L"
+SWITCH = "switch"
+HUB = "hub"
+
+TESTBED_SPEC_TEXT = """
+# LIRTSS laboratory testbed, Figure 3 of the paper.
+network topology lirtss {
+    host L  { os "Linux";     snmp community "public"; snmp_cache "0.25";
+              interface eth0 { speed 100 Mbps; } }
+    host S1 { os "Solaris 7"; snmp community "public"; snmp_cache "0.25";
+              interface hme0 { speed 100 Mbps; } }
+    host S2 { os "Solaris 7"; snmp community "public"; snmp_cache "0.25";
+              interface hme0 { speed 100 Mbps; } }
+    host S3 { os "Solaris";   interface hme0 { speed 100 Mbps; } }
+    host S4 { os "Solaris";   interface hme0 { speed 100 Mbps; } }
+    host S5 { os "Solaris";   interface hme0 { speed 100 Mbps; } }
+    host S6 { os "Solaris";   interface hme0 { speed 100 Mbps; } }
+    host N1 { os "Win NT";    snmp community "public"; snmp_cache "0.5";
+              interface el0  { speed 10 Mbps; } }
+    host N2 { os "Win NT";    snmp community "public"; snmp_cache "0.5";
+              interface el0  { speed 10 Mbps; } }
+
+    switch switch { snmp community "public"; snmp_cache "0.25";
+                    ports 10 speed 100 Mbps; }
+    hub hub { ports 4 speed 10 Mbps; }
+
+    connect L.eth0  <-> switch.port1;
+    connect S1.hme0 <-> switch.port2;
+    connect S2.hme0 <-> switch.port3;
+    connect S3.hme0 <-> switch.port4;
+    connect S4.hme0 <-> switch.port5;
+    connect S5.hme0 <-> switch.port6;
+    connect S6.hme0 <-> switch.port7;
+    connect switch.port8 <-> hub.port1;
+    connect N1.el0  <-> hub.port2;
+    connect N2.el0  <-> hub.port3;
+}
+"""
+
+
+def build_testbed(
+    sim: Optional[Simulator] = None,
+    agent_seed: int = 0,
+) -> BuildResult:
+    """Parse, validate and instantiate the Figure 3 testbed."""
+    spec = parse_spec(TESTBED_SPEC_TEXT)
+    return build_network(spec, sim=sim, agent_seed=agent_seed)

@@ -1,0 +1,35 @@
+"""Miniature DeSiDeRaTa resource-management middleware (the consumer).
+
+The paper positions its monitor as a feed for DeSiDeRaTa, which "performs
+QoS monitoring and failure detection, QoS diagnosis, and reallocation of
+resources".  This package implements that consuming side, scoped to
+network QoS:
+
+- :mod:`repro.rm.qos`       -- per-path QoS requirements (from ``qospath``
+  blocks in the spec language).
+- :mod:`repro.rm.detector`  -- violation detection with hysteresis over
+  the monitor's :class:`~repro.core.report.PathReport` stream.
+- :mod:`repro.rm.diagnosis` -- bottleneck identification and
+  classification (which connection, hub saturation vs port congestion).
+- :mod:`repro.rm.allocator` -- reallocation advice: alternative host
+  placements whose communication paths avoid the bottleneck.
+- :mod:`repro.rm.middleware`-- event-loop integration tying it together.
+"""
+
+from repro.rm.allocator import PlacementAdvice, ReallocationAdvisor
+from repro.rm.detector import QosEvent, QosState, ViolationDetector
+from repro.rm.diagnosis import BottleneckDiagnosis, diagnose
+from repro.rm.middleware import RmMiddleware
+from repro.rm.qos import QosRequirement
+
+__all__ = [
+    "BottleneckDiagnosis",
+    "PlacementAdvice",
+    "QosEvent",
+    "QosRequirement",
+    "QosState",
+    "ReallocationAdvisor",
+    "RmMiddleware",
+    "ViolationDetector",
+    "diagnose",
+]

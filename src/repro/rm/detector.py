@@ -1,0 +1,123 @@
+"""QoS violation detection with hysteresis.
+
+Single-interval bandwidth samples spike (the paper's max errors reach
+16 %), so declaring a violation on one bad report would flap.  The
+detector requires ``breach_count`` consecutive breaching reports to enter
+VIOLATED and ``clear_count`` consecutive healthy ones to leave it --
+standard debouncing, and the "QoS violation detection" the paper lists as
+future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, List, Optional
+
+from repro.core.report import PathReport
+from repro.rm.qos import QosRequirement
+
+
+class QosState(Enum):
+    UNKNOWN = "unknown"  # no reports yet
+    OK = "ok"
+    VIOLATED = "violated"
+
+
+@dataclass(frozen=True)
+class QosEvent:
+    """Emitted on every state transition."""
+
+    requirement: QosRequirement
+    state: QosState
+    time: float
+    report: PathReport
+    reason: Optional[str]  # breach reason on entry to VIOLATED
+
+    def __str__(self) -> str:
+        tail = f" ({self.reason})" if self.reason else ""
+        return f"[{self.time:.1f}s] {self.requirement.name}: {self.state.value}{tail}"
+
+
+EventCallback = Callable[[QosEvent], None]
+
+
+class ViolationDetector:
+    """Debounced threshold detector for one requirement."""
+
+    def __init__(
+        self,
+        requirement: QosRequirement,
+        breach_count: int = 2,
+        clear_count: int = 2,
+    ) -> None:
+        if breach_count < 1 or clear_count < 1:
+            raise ValueError("hysteresis counts must be >= 1")
+        self.requirement = requirement
+        self.breach_count = breach_count
+        self.clear_count = clear_count
+        self.state = QosState.UNKNOWN
+        self._consecutive_breaches = 0
+        self._consecutive_ok = 0
+        self.events: List[QosEvent] = []
+        self._callbacks: List[EventCallback] = []
+        self.reports_seen = 0
+
+    def subscribe(self, callback: EventCallback) -> None:
+        self._callbacks.append(callback)
+
+    def offer(self, report: PathReport) -> Optional[QosEvent]:
+        """Feed one report; returns the event if the state changed."""
+        if report.label != self.requirement.watch_label and report.name != self.requirement.name:
+            return None  # not ours
+        self.reports_seen += 1
+        reason = self.requirement.violation_reason(report)
+        if reason is not None:
+            self._consecutive_breaches += 1
+            self._consecutive_ok = 0
+        else:
+            self._consecutive_ok += 1
+            self._consecutive_breaches = 0
+
+        new_state = self.state
+        if self.state in (QosState.UNKNOWN, QosState.OK):
+            if self._consecutive_breaches >= self.breach_count:
+                new_state = QosState.VIOLATED
+            elif self.state is QosState.UNKNOWN and self._consecutive_ok >= 1:
+                new_state = QosState.OK
+        elif self.state is QosState.VIOLATED:
+            if self._consecutive_ok >= self.clear_count:
+                new_state = QosState.OK
+
+        if new_state is self.state:
+            return None
+        self.state = new_state
+        event = QosEvent(
+            requirement=self.requirement,
+            state=new_state,
+            time=report.time,
+            report=report,
+            reason=reason if new_state is QosState.VIOLATED else None,
+        )
+        self.events.append(event)
+        for callback in self._callbacks:
+            callback(event)
+        return event
+
+    @property
+    def violated(self) -> bool:
+        return self.state is QosState.VIOLATED
+
+    def violation_spans(self) -> List[tuple]:
+        """(start, end) times of completed violations; end=None if open."""
+        spans: List[tuple] = []
+        start: Optional[float] = None
+        for event in self.events:
+            if event.state is QosState.VIOLATED and start is None:
+                start = event.time
+            elif event.state is QosState.OK and start is not None:
+                spans.append((start, event.time))
+                start = None
+        if start is not None:
+            spans.append((start, None))
+        return spans

@@ -1,0 +1,93 @@
+"""QoS diagnosis: which connection is starving a path, and why.
+
+DeSiDeRaTa's control loop is monitor -> *diagnose* -> reallocate; this
+module is the middle step for network resources.  Given a violating
+:class:`~repro.core.report.PathReport` it names the bottleneck connection
+and classifies the congestion, so the allocator can search for placements
+that avoid it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.report import ConnectionMeasurement, PathReport
+from repro.topology.model import DeviceKind, TopologySpec
+
+
+@dataclass(frozen=True)
+class BottleneckDiagnosis:
+    """The outcome of diagnosing one path report."""
+
+    report: PathReport
+    bottleneck: ConnectionMeasurement
+    kind: str  # "link-down" | "hub-saturation" | "port-congestion" | "endpoint-link"
+    shared_with: List[str]  # hosts competing for the congested resource
+    explanation: str
+
+    def __str__(self) -> str:
+        return f"{self.report.label}: {self.explanation}"
+
+
+def diagnose(spec: TopologySpec, report: PathReport) -> Optional[BottleneckDiagnosis]:
+    """Diagnose the path's bottleneck (None for an empty/unmeasured path)."""
+    bottleneck = report.bottleneck
+    if bottleneck is None or not bottleneck.measured:
+        return None
+    conn = bottleneck.connection
+
+    if bottleneck.rule == "down":
+        return BottleneckDiagnosis(
+            report=report,
+            bottleneck=bottleneck,
+            kind="link-down",
+            shared_with=sorted(end.node for end in conn.endpoints()),
+            explanation=(
+                f"connection {conn} is operationally down (linkDown "
+                "notification); no placement of the far end can restore this "
+                "path until the link recovers"
+            ),
+        )
+
+    hub_name: Optional[str] = None
+    for end in conn.endpoints():
+        if spec.node(end.node).kind is DeviceKind.HUB:
+            hub_name = end.node
+    if hub_name is not None:
+        # Everyone on the hub shares the medium; list the co-inhabitants.
+        sharers = sorted(
+            other.node
+            for leg in spec.connections_of(hub_name)
+            for other in [leg.other_end(hub_name)]
+            if spec.node(other.node).kind is DeviceKind.HOST
+        )
+        return BottleneckDiagnosis(
+            report=report,
+            bottleneck=bottleneck,
+            kind="hub-saturation",
+            shared_with=sharers,
+            explanation=(
+                f"shared hub {hub_name!r} carries "
+                f"{bottleneck.used_bps / 1000:.0f} KB/s "
+                f"({bottleneck.utilization * 100:.0f}% of its medium); "
+                f"hosts sharing it: {', '.join(sharers)}"
+            ),
+        )
+
+    # Switch-side congestion: is the congested interface one of the path
+    # endpoints' own links, or an inter-device trunk?
+    endpoint_hosts = {report.src, report.dst}
+    touches_endpoint = any(end.node in endpoint_hosts for end in conn.endpoints())
+    kind = "endpoint-link" if touches_endpoint else "port-congestion"
+    return BottleneckDiagnosis(
+        report=report,
+        bottleneck=bottleneck,
+        kind=kind,
+        shared_with=sorted(end.node for end in conn.endpoints()),
+        explanation=(
+            f"connection {conn} carries {bottleneck.used_bps / 1000:.0f} KB/s "
+            f"({bottleneck.utilization * 100:.0f}% of "
+            f"{bottleneck.capacity_bps / 1000:.0f} KB/s)"
+        ),
+    )

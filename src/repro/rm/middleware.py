@@ -1,0 +1,120 @@
+"""Resource-management middleware loop: monitor -> detect -> diagnose -> advise.
+
+:class:`RmMiddleware` is the integration object a scenario instantiates
+next to a :class:`~repro.core.monitor.NetworkMonitor`.  It subscribes to
+the monitor's report stream; each report is routed to the matching
+requirement's detector; violation transitions trigger diagnosis and (if an
+advisor is configured) reallocation advice, all recorded in the action
+log the experiments and examples print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.monitor import NetworkMonitor
+from repro.core.report import PathReport
+from repro.rm.allocator import PlacementAdvice, ReallocationAdvisor
+from repro.rm.detector import QosEvent, QosState, ViolationDetector
+from repro.rm.diagnosis import BottleneckDiagnosis, diagnose
+from repro.rm.qos import QosRequirement
+
+
+@dataclass
+class RmAction:
+    """One entry in the middleware's action log."""
+
+    time: float
+    event: QosEvent
+    diagnosis: Optional[BottleneckDiagnosis] = None
+    advice: List[PlacementAdvice] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        lines = [str(self.event)]
+        if self.diagnosis is not None:
+            lines.append(f"  diagnosis: {self.diagnosis.explanation}")
+        for placement in self.advice[:3]:
+            marker = "+" if placement.avoids_bottleneck else "-"
+            lines.append(
+                f"  {marker} move to {placement.host}: "
+                f"{placement.available_bps / 1000:.0f} KB/s available"
+            )
+        return "\n".join(lines)
+
+
+class RmMiddleware:
+    """Network-QoS slice of the DeSiDeRaTa adaptation loop."""
+
+    def __init__(
+        self,
+        monitor: NetworkMonitor,
+        requirements: Sequence[QosRequirement],
+        breach_count: int = 2,
+        clear_count: int = 2,
+        advise_reallocation: bool = True,
+    ) -> None:
+        self.monitor = monitor
+        self.spec = monitor.spec
+        self.detectors: Dict[str, ViolationDetector] = {}
+        self.actions: List[RmAction] = []
+        self._advisor = (
+            ReallocationAdvisor(self.spec, monitor.calculator)
+            if advise_reallocation
+            else None
+        )
+        for requirement in requirements:
+            if requirement.watch_label in self.detectors:
+                raise ValueError(
+                    f"duplicate requirement for path {requirement.watch_label}"
+                )
+            # Ensure the monitor is actually watching this path.
+            if requirement.watch_label not in self.monitor.watched_paths():
+                self.monitor.watch_path(requirement.src, requirement.dst)
+            self.detectors[requirement.watch_label] = ViolationDetector(
+                requirement, breach_count=breach_count, clear_count=clear_count
+            )
+        monitor.subscribe(self._on_report)
+
+    # ------------------------------------------------------------------
+    # Report handling
+    # ------------------------------------------------------------------
+    def _on_report(self, report: PathReport) -> None:
+        detector = self.detectors.get(report.label)
+        if detector is None:
+            return
+        event = detector.offer(report)
+        if event is None:
+            return
+        action = RmAction(time=event.time, event=event)
+        if event.state is QosState.VIOLATED:
+            action.diagnosis = diagnose(self.spec, report)
+            if self._advisor is not None:
+                requirement = detector.requirement
+                action.advice = self._advisor.advise(
+                    requirement.src,
+                    requirement.dst,
+                    diagnosis=action.diagnosis,
+                    min_available_bps=requirement.min_available_bps or 0.0,
+                    time=event.time,
+                )
+        self.actions.append(action)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def state_of(self, watch_label: str) -> QosState:
+        return self.detectors[watch_label].state
+
+    def violations(self) -> List[RmAction]:
+        return [a for a in self.actions if a.event.state is QosState.VIOLATED]
+
+    def recoveries(self) -> List[RmAction]:
+        return [
+            a
+            for a in self.actions
+            if a.event.state is QosState.OK and a is not self.actions[0]
+        ]
+
+    def format_log(self) -> str:
+        return "\n".join(str(action) for action in self.actions) or "(no QoS events)"

@@ -1,0 +1,86 @@
+"""Network QoS requirements for real-time communication paths.
+
+A requirement binds a monitored host pair to thresholds the middleware
+enforces: a minimum available bandwidth (bytes/second) and/or a maximum
+utilisation of the path's bottleneck connection.  Requirements are
+normally declared in the spec language (``qospath`` blocks) and converted
+with :meth:`QosRequirement.from_spec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.report import PathReport
+from repro.topology.model import QosPathSpec, TopologyError
+
+
+@dataclass(frozen=True)
+class QosRequirement:
+    """Thresholds for one watched path."""
+
+    name: str
+    src: str
+    dst: str
+    min_available_bps: Optional[float] = None  # bytes/second
+    max_utilization: Optional[float] = None  # fraction of bottleneck capacity
+
+    def __post_init__(self) -> None:
+        if self.min_available_bps is None and self.max_utilization is None:
+            raise TopologyError(
+                f"QoS requirement {self.name!r} needs at least one threshold"
+            )
+        if self.min_available_bps is not None and self.min_available_bps < 0:
+            raise TopologyError(f"negative min_available for {self.name!r}")
+        if self.max_utilization is not None and not 0 < self.max_utilization <= 1:
+            raise TopologyError(f"max_utilization for {self.name!r} must be in (0, 1]")
+
+    @classmethod
+    def from_spec(cls, spec: QosPathSpec) -> "QosRequirement":
+        """Convert a spec-language ``qospath`` block.
+
+        Spec rates are bits/second (the language's unit system); monitor
+        reports are bytes/second, so the threshold converts here, once.
+        """
+        return cls(
+            name=spec.name,
+            src=spec.src,
+            dst=spec.dst,
+            min_available_bps=(
+                spec.min_available_bps / 8.0 if spec.min_available_bps is not None else None
+            ),
+            max_utilization=spec.max_utilization,
+        )
+
+    @property
+    def watch_label(self) -> str:
+        """The monitor watch label this requirement evaluates against."""
+        return f"{self.src}<->{self.dst}"
+
+    def satisfied_by(self, report: PathReport) -> bool:
+        """Does ``report`` meet every threshold?"""
+        if self.min_available_bps is not None and report.available_bps < self.min_available_bps:
+            return False
+        if self.max_utilization is not None:
+            bottleneck = report.bottleneck
+            if bottleneck is not None and bottleneck.utilization > self.max_utilization:
+                return False
+        return True
+
+    def violation_reason(self, report: PathReport) -> Optional[str]:
+        """Human-readable reason, or None when satisfied."""
+        if self.min_available_bps is not None and report.available_bps < self.min_available_bps:
+            return (
+                f"available {report.available_bps / 1000:.1f} KB/s below required "
+                f"{self.min_available_bps / 1000:.1f} KB/s"
+            )
+        if self.max_utilization is not None:
+            bottleneck = report.bottleneck
+            if bottleneck is not None and bottleneck.utilization > self.max_utilization:
+                return (
+                    f"bottleneck {bottleneck.connection} at "
+                    f"{bottleneck.utilization * 100:.0f}% > "
+                    f"{self.max_utilization * 100:.0f}% allowed"
+                )
+        return None

@@ -1,0 +1,131 @@
+"""Fault injection for the simulated LAN.
+
+DeSiDeRaTa "performs QoS monitoring and failure detection"; a monitor
+that is only ever shown a healthy network is untestable on half its job.
+This module injects the failures a real LAN suffers:
+
+- :class:`LinkFailure`      -- take a link down (both directions drop
+  everything) and optionally restore it later.  Interface operational
+  state follows, so SNMP ``ifOperStatus`` and link-state traps react.
+- :class:`PacketLoss`       -- random, seeded per-direction frame loss on
+  a link (a flaky cable).
+- :class:`AgentOutage`      -- an SNMP daemon stops answering for a while
+  (the process crashed); the manager sees timeouts, exactly what the
+  paper's monitor would have experienced.
+
+All injections are plain objects driven by the simulation clock and are
+fully deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.simnet.engine import Simulator
+from repro.simnet.link import Link, _Channel
+from repro.simnet.packet import EthernetFrame
+
+
+class FaultError(RuntimeError):
+    """Raised for invalid fault configuration."""
+
+
+class LinkFailure:
+    """Severs a link at ``at`` and optionally restores it at ``until``.
+
+    Implementation: both endpoint interfaces are administratively downed,
+    which makes transmission fail (out_discards) and reception drop
+    (in_discards) -- indistinguishable, from above, from a yanked cable.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        at: float,
+        until: Optional[float] = None,
+    ) -> None:
+        if until is not None and until <= at:
+            raise FaultError(f"restore time {until!r} must follow failure time {at!r}")
+        self.sim = sim
+        self.link = link
+        self.at = at
+        self.until = until
+        self.failed = False
+        sim.schedule_at(max(at, sim.now), self._fail)
+        if until is not None:
+            sim.schedule_at(max(until, sim.now), self._restore)
+
+    def _fail(self) -> None:
+        self.failed = True
+        for iface in self.link.endpoints:
+            iface.set_admin_up(False)
+
+    def _restore(self) -> None:
+        self.failed = False
+        for iface in self.link.endpoints:
+            iface.set_admin_up(True)
+
+
+class PacketLoss:
+    """Seeded random frame loss on a link (both directions).
+
+    Installs a drop filter on both directional channels: each offered
+    frame is dropped with probability ``loss_rate`` before it enqueues,
+    counted in the channel's drop statistics.
+    """
+
+    def __init__(self, link: Link, loss_rate: float, seed: int = 0) -> None:
+        if not 0.0 <= loss_rate <= 1.0:
+            raise FaultError(f"loss rate {loss_rate!r} outside [0, 1]")
+        self.link = link
+        self.loss_rate = loss_rate
+        self.rng = random.Random(seed)
+        self.frames_lost = 0
+        self._wrap(link._a_to_b)
+        self._wrap(link._b_to_a)
+
+    def _wrap(self, channel: _Channel) -> None:
+        def should_drop(frame: EthernetFrame) -> bool:
+            if self.rng.random() < self.loss_rate:
+                self.frames_lost += 1
+                return True
+            return False
+
+        channel.drop_filter = should_drop
+
+
+class AgentOutage:
+    """An SNMP agent stops responding during [at, until).
+
+    Models a crashed/hung daemon: requests are still *received* (and
+    counted) but produce no response, so the manager runs into its
+    timeout/retry machinery.
+    """
+
+    def __init__(self, sim: Simulator, agent, at: float, until: float) -> None:
+        if until <= at:
+            raise FaultError(f"outage end {until!r} must follow start {at!r}")
+        self.sim = sim
+        self.agent = agent
+        self.at = at
+        self.until = until
+        self.down = False
+        self.requests_ignored = 0
+        self._original = agent.socket.on_receive
+        sim.schedule_at(max(at, sim.now), self._begin)
+        sim.schedule_at(max(until, sim.now), self._end)
+
+    def _begin(self) -> None:
+        self.down = True
+
+        def black_hole(payload, size, src_ip, src_port):
+            self.agent.in_packets += 1
+            self.requests_ignored += 1
+
+        self.agent.socket.on_receive = black_hole
+
+    def _end(self) -> None:
+        self.down = False
+        self.agent.socket.on_receive = self._original

@@ -1,0 +1,184 @@
+"""Point-to-point duplex links.
+
+A :class:`Link` joins exactly two interfaces -- the paper's connection
+model is strictly 1-to-1 ("one interface may only be connected to one
+interface on another host/device").  Each direction is an independent
+:class:`_Channel` that serialises frames at the link bandwidth through a
+bounded FIFO queue and delivers them after a propagation delay.
+
+Bandwidth defaults to the *minimum* of the two endpoint interface speeds,
+which is how a real auto-negotiated Ethernet segment behaves (a 100 Mb/s
+NIC plugged into a 10 Mb/s hub runs at 10 Mb/s).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Optional, Tuple
+
+from repro.simnet.engine import Simulator
+from repro.simnet.packet import EthernetFrame
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simnet.nic import Interface
+
+DEFAULT_QUEUE_BYTES = 262_144  # 256 KiB of buffering per direction
+DEFAULT_PROP_DELAY = 5e-6  # ~1 km of copper; negligible vs transmission time
+
+
+class LinkError(RuntimeError):
+    """Raised for wiring mistakes (re-attaching a connected interface...)."""
+
+
+class _Channel:
+    """One direction of a link: FIFO queue + serialiser + propagation."""
+
+    __slots__ = (
+        "sim",
+        "bandwidth_bps",
+        "prop_delay",
+        "queue",
+        "queue_bytes",
+        "max_queue_bytes",
+        "busy",
+        "dst",
+        "frames_delivered",
+        "octets_delivered",
+        "frames_dropped",
+        "octets_dropped",
+        "drop_filter",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float,
+        prop_delay: float,
+        max_queue_bytes: int,
+        dst: "Interface",
+    ) -> None:
+        self.sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self.prop_delay = prop_delay
+        self.queue: Deque[EthernetFrame] = deque()
+        self.queue_bytes = 0
+        self.max_queue_bytes = max_queue_bytes
+        self.busy = False
+        self.dst = dst
+        self.frames_delivered = 0
+        self.octets_delivered = 0
+        self.frames_dropped = 0
+        self.octets_dropped = 0
+        # Optional fault hook (see repro.simnet.faults.PacketLoss): called
+        # per frame; returning True drops it before it enqueues.
+        self.drop_filter = None
+
+    def send(self, frame: EthernetFrame) -> bool:
+        """Accept a frame for transmission; False means tail-drop."""
+        if self.drop_filter is not None and self.drop_filter(frame):
+            self.frames_dropped += 1
+            self.octets_dropped += frame.size
+            return False
+        if self.queue_bytes + frame.size > self.max_queue_bytes:
+            self.frames_dropped += 1
+            self.octets_dropped += frame.size
+            return False
+        self.queue.append(frame)
+        self.queue_bytes += frame.size
+        if not self.busy:
+            self._start_next()
+        return True
+
+    def _start_next(self) -> None:
+        if not self.queue:
+            self.busy = False
+            return
+        self.busy = True
+        frame = self.queue.popleft()
+        self.queue_bytes -= frame.size
+        tx_time = frame.size * 8.0 / self.bandwidth_bps
+        self.sim.schedule(tx_time, self._tx_done, frame)
+
+    def _tx_done(self, frame: EthernetFrame) -> None:
+        self.sim.schedule(self.prop_delay, self._deliver, frame)
+        self._start_next()
+
+    def _deliver(self, frame: EthernetFrame) -> None:
+        self.frames_delivered += 1
+        self.octets_delivered += frame.size
+        self.dst.deliver(frame)
+
+    @property
+    def utilization_estimate(self) -> float:
+        """Instantaneous queue occupancy as a fraction of buffer space."""
+        return self.queue_bytes / self.max_queue_bytes if self.max_queue_bytes else 0.0
+
+
+class Link:
+    """A duplex physical connection between two interfaces."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        end_a: "Interface",
+        end_b: "Interface",
+        bandwidth_bps: Optional[float] = None,
+        prop_delay: float = DEFAULT_PROP_DELAY,
+        max_queue_bytes: int = DEFAULT_QUEUE_BYTES,
+    ) -> None:
+        if end_a is end_b:
+            raise LinkError("cannot connect an interface to itself")
+        if end_a.link is not None:
+            raise LinkError(f"interface {end_a.full_name} is already connected")
+        if end_b.link is not None:
+            raise LinkError(f"interface {end_b.full_name} is already connected")
+        if bandwidth_bps is None:
+            bandwidth_bps = min(end_a.speed_bps, end_b.speed_bps)
+        if bandwidth_bps <= 0:
+            raise LinkError(f"non-positive bandwidth {bandwidth_bps!r}")
+        self.sim = sim
+        self.end_a = end_a
+        self.end_b = end_b
+        self.bandwidth_bps = float(bandwidth_bps)
+        self._a_to_b = _Channel(sim, self.bandwidth_bps, prop_delay, max_queue_bytes, end_b)
+        self._b_to_a = _Channel(sim, self.bandwidth_bps, prop_delay, max_queue_bytes, end_a)
+        end_a.attach(self)
+        end_b.attach(self)
+
+    def send_from(self, src: "Interface", frame: EthernetFrame) -> bool:
+        """Transmit ``frame`` out of endpoint ``src``; False on tail-drop."""
+        if src is self.end_a:
+            return self._a_to_b.send(frame)
+        if src is self.end_b:
+            return self._b_to_a.send(frame)
+        raise LinkError(f"{src.full_name} is not an endpoint of this link")
+
+    def peer_of(self, iface: "Interface") -> "Interface":
+        """The interface on the other end of the link."""
+        if iface is self.end_a:
+            return self.end_b
+        if iface is self.end_b:
+            return self.end_a
+        raise LinkError(f"{iface.full_name} is not an endpoint of this link")
+
+    def channel_from(self, src: "Interface") -> _Channel:
+        """Expose the directional channel for tests and diagnostics."""
+        if src is self.end_a:
+            return self._a_to_b
+        if src is self.end_b:
+            return self._b_to_a
+        raise LinkError(f"{src.full_name} is not an endpoint of this link")
+
+    @property
+    def endpoints(self) -> Tuple["Interface", "Interface"]:
+        return (self.end_a, self.end_b)
+
+    @property
+    def total_drops(self) -> int:
+        return self._a_to_b.frames_dropped + self._b_to_a.frames_dropped
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Link {self.end_a.full_name} <-> {self.end_b.full_name} "
+            f"{self.bandwidth_bps / 1e6:.0f} Mb/s>"
+        )

@@ -1,0 +1,202 @@
+"""Network interfaces with MIB-II counters.
+
+Every interface maintains exactly the statistics the paper's monitor polls
+(Table 1): ``ifSpeed`` (static bandwidth), ``ifInOctets``/``ifOutOctets``
+and the unicast/non-unicast packet counters.  Counters are free-running
+Python integers; the SNMP layer truncates them to Counter32 on the wire, so
+the poller's 2^32 wrap handling is exercised for real.
+
+Counting semantics (a deliberate modelling decision, see DESIGN.md §6):
+
+- Host NICs run non-promiscuous: they count and deliver only frames
+  addressed to their own MAC, plus broadcast/multicast.  A frame that a hub
+  repeats past an uninterested host is *not* counted.  This matches the
+  paper's hub arithmetic ``u = Σ t_j`` where the per-host t_j are disjoint
+  and the *monitor* performs the summation.
+- Switch and hub ports run promiscuous: a port counts every octet it
+  carries, which is what lets the paper monitor hosts S3-S6 that have no
+  SNMP daemon "by polling the interfaces on the switch that are connected
+  to S4 and S5".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.simnet.address import IPv4Address, MacAddress
+from repro.simnet.link import Link
+from repro.simnet.packet import DEFAULT_MTU, EthernetFrame
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simnet.engine import Simulator
+
+# ifType values from RFC 1213 we care about.
+IFTYPE_ETHERNET_CSMACD = 6
+
+
+class InterfaceError(RuntimeError):
+    """Raised for misuse of an interface (transmit while detached...)."""
+
+
+class InterfaceCounters:
+    """The mutable MIB-II statistics block of one interface."""
+
+    __slots__ = (
+        "in_octets",
+        "out_octets",
+        "in_ucast_pkts",
+        "out_ucast_pkts",
+        "in_nucast_pkts",
+        "out_nucast_pkts",
+        "in_discards",
+        "out_discards",
+        "in_filtered_pkts",
+    )
+
+    def __init__(self) -> None:
+        self.in_octets = 0
+        self.out_octets = 0
+        self.in_ucast_pkts = 0
+        self.out_ucast_pkts = 0
+        self.in_nucast_pkts = 0
+        self.out_nucast_pkts = 0
+        self.in_discards = 0
+        self.out_discards = 0
+        # Frames seen but MAC-filtered on a non-promiscuous NIC.  Not a
+        # MIB-II object; kept for tests and diagnostics.
+        self.in_filtered_pkts = 0
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy, for tests and reporting."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class Interface:
+    """One network interface (NIC or device port).
+
+    Parameters
+    ----------
+    device:
+        The owning host/switch/hub.  It must expose ``name`` (str) and
+        ``on_frame(iface, frame)`` for upward delivery.
+    local_name:
+        The interface's name unique *within* the device ("eth0", "port3"),
+        mirroring the spec language's ``localName``.
+    speed_bps:
+        Static bandwidth, served as MIB-II ``ifSpeed``.
+    promiscuous:
+        Devices (switch/hub ports) count and deliver every frame; host
+        NICs filter on destination MAC.
+    """
+
+    def __init__(
+        self,
+        device: object,
+        local_name: str,
+        mac: MacAddress,
+        speed_bps: float,
+        ip: Optional[IPv4Address] = None,
+        mtu: int = DEFAULT_MTU,
+        promiscuous: bool = False,
+        if_index: int = 0,
+    ) -> None:
+        if speed_bps <= 0:
+            raise InterfaceError(f"non-positive interface speed {speed_bps!r}")
+        self.device = device
+        self.local_name = local_name
+        self.mac = mac
+        self.ip = ip
+        self.speed_bps = float(speed_bps)
+        self.mtu = mtu
+        self.promiscuous = promiscuous
+        self.if_index = if_index  # 1-based, assigned by the owning device
+        self.link: Optional[Link] = None
+        self.counters = InterfaceCounters()
+        self.admin_up = True
+        # Optional tap invoked on every delivered frame (testing/tracing).
+        self.rx_tap: Optional[Callable[[EthernetFrame], None]] = None
+        # Observers notified with (interface, up: bool) on admin-state
+        # changes -- how the SNMP agent learns to emit linkDown/linkUp
+        # traps without polling its own kernel.
+        self.state_observers: list[Callable[["Interface", bool], None]] = []
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @property
+    def device_name(self) -> str:
+        return getattr(self.device, "name", repr(self.device))
+
+    @property
+    def full_name(self) -> str:
+        """Globally unique "device.interface" name used in reports."""
+        return f"{self.device_name}.{self.local_name}"
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, link: Link) -> None:
+        if self.link is not None:
+            raise InterfaceError(f"{self.full_name} already attached")
+        self.link = link
+
+    @property
+    def connected_peer(self) -> Optional["Interface"]:
+        """The interface on the far side of this interface's link."""
+        return self.link.peer_of(self) if self.link is not None else None
+
+    def set_admin_up(self, up: bool) -> None:
+        """Change administrative state, notifying observers on transition."""
+        if up == self.admin_up:
+            return
+        self.admin_up = up
+        for observer in list(self.state_observers):
+            observer(self, up)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def transmit(self, frame: EthernetFrame) -> bool:
+        """Send a frame out this interface.  Returns False on tail-drop.
+
+        Octet/packet counters are charged on acceptance by the link queue;
+        tail-dropped frames land in ``out_discards`` instead, mirroring
+        how real NIC drivers account output drops.
+        """
+        if self.link is None:
+            raise InterfaceError(f"{self.full_name} is not connected")
+        if not self.admin_up:
+            self.counters.out_discards += 1
+            return False
+        accepted = self.link.send_from(self, frame)
+        if not accepted:
+            self.counters.out_discards += 1
+            return False
+        self.counters.out_octets += frame.size
+        if frame.is_unicast:
+            self.counters.out_ucast_pkts += 1
+        else:
+            self.counters.out_nucast_pkts += 1
+        return True
+
+    def deliver(self, frame: EthernetFrame) -> None:
+        """Called by the link when a frame arrives at this interface."""
+        if not self.admin_up:
+            self.counters.in_discards += 1
+            return
+        if not self.promiscuous:
+            wanted = frame.dst == self.mac or frame.dst.is_broadcast or frame.dst.is_multicast
+            if not wanted:
+                self.counters.in_filtered_pkts += 1
+                return
+        self.counters.in_octets += frame.size
+        if frame.is_unicast:
+            self.counters.in_ucast_pkts += 1
+        else:
+            self.counters.in_nucast_pkts += 1
+        if self.rx_tap is not None:
+            self.rx_tap(frame)
+        self.device.on_frame(self, frame)  # type: ignore[attr-defined]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Interface {self.full_name} {self.speed_bps / 1e6:.0f} Mb/s mac={self.mac}>"

@@ -1,0 +1,208 @@
+"""Learning Ethernet switch.
+
+"A switch only forwards packets to the host for which they are destined,
+not all the hosts connected to the switch" -- this is the property that
+makes the paper's switch bandwidth rule (``u_i = t_i``) correct, and it is
+modelled directly: unicast frames to a learned MAC go out exactly one
+port, everything else floods.
+
+The switch is store-and-forward with a non-blocking backplane: forwarding
+adds a fixed (tiny) processing latency and output frames serialise on the
+per-port links, but there is no shared internal bottleneck -- matching a
+100 Mb/s switched segment where concurrent host pairs each get full rate.
+
+Switches are SNMP-manageable: they expose all their port counters plus a
+bridge forwarding table (used by the topology-discovery extension) through
+an agent attached by :mod:`repro.snmp.agent`.  For that they carry a
+management IP and run the same little UDP stack as hosts, with management
+frames addressed to the switch's own MAC handled locally ("in-band
+management").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.simnet.address import IPv4Address, MacAddress
+from repro.simnet.engine import Simulator
+from repro.simnet.nic import Interface
+from repro.simnet.packet import DEFAULT_MTU, EthernetFrame
+
+MAX_L2_HOPS = 32  # broadcast-storm guard; generous for any sane LAN
+DEFAULT_MAC_AGING = 300.0  # seconds, as in common switch defaults
+SWITCH_FORWARD_LATENCY = 10e-6  # store-and-forward processing time
+
+
+class SwitchError(RuntimeError):
+    """Raised for switch misconfiguration."""
+
+
+class FdbEntry:
+    """One learned MAC -> port binding (a bridge-MIB style FDB row)."""
+
+    __slots__ = ("mac", "port", "learned_at")
+
+    def __init__(self, mac: MacAddress, port: Interface, learned_at: float) -> None:
+        self.mac = mac
+        self.port = port
+        self.learned_at = learned_at
+
+
+class Switch:
+    """A learning switch with ``n_ports`` equal-speed ports."""
+
+    kind = "switch"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        n_ports: int,
+        port_speed_bps: float = 100e6,
+        mac_aging: float = DEFAULT_MAC_AGING,
+        management_ip: Optional[IPv4Address] = None,
+        management_mac: Optional[MacAddress] = None,
+    ) -> None:
+        if n_ports < 2:
+            raise SwitchError(f"a switch needs at least 2 ports, got {n_ports}")
+        self.sim = sim
+        self.name = name
+        self.mac_aging = mac_aging
+        self.management_ip = management_ip
+        self.management_mac = management_mac
+        self.interfaces: List[Interface] = []
+        self.network = None  # set by Network.add_switch
+        self._fdb: Dict[MacAddress, FdbEntry] = {}
+        # Bumped whenever the set of (mac, port) bindings changes; lets
+        # the bridge-MIB provider cache its row list between changes.
+        self.fdb_version = 0
+        self._mgmt_handler = None  # installed by the management stack
+        self.frames_forwarded = 0
+        self.frames_flooded = 0
+        self.frames_dropped_hops = 0
+        self.frames_local = 0
+        name_tag = zlib.crc32(name.encode()) & 0xFFFF
+        for i in range(n_ports):
+            self.interfaces.append(
+                Interface(
+                    device=self,
+                    local_name=f"port{i + 1}",
+                    # Port MACs are internal identifiers (never sources of
+                    # transit frames); derived deterministically from the
+                    # switch name so runs are reproducible.
+                    mac=MacAddress(0x0200F0000000 | (name_tag << 8) | i),
+                    ip=None,
+                    speed_bps=port_speed_bps,
+                    mtu=DEFAULT_MTU,
+                    promiscuous=True,
+                    if_index=i + 1,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Ports
+    # ------------------------------------------------------------------
+    def port(self, index: int) -> Interface:
+        """1-based port lookup (``port(3)`` is ``port3``)."""
+        if not 1 <= index <= len(self.interfaces):
+            raise SwitchError(f"{self.name} has no port {index}")
+        return self.interfaces[index - 1]
+
+    def interface(self, local_name: str) -> Interface:
+        for iface in self.interfaces:
+            if iface.local_name == local_name:
+                return iface
+        raise SwitchError(f"no interface {local_name!r} on switch {self.name}")
+
+    def free_port(self) -> Interface:
+        """First unconnected port, for incremental wiring."""
+        for iface in self.interfaces:
+            if iface.link is None:
+                return iface
+        raise SwitchError(f"switch {self.name} has no free ports")
+
+    # ------------------------------------------------------------------
+    # Forwarding
+    # ------------------------------------------------------------------
+    def on_frame(self, in_port: Interface, frame: EthernetFrame) -> None:
+        self._learn(frame.src, in_port)
+        # In-band management: frames addressed to the switch itself.
+        if self.management_mac is not None and frame.dst == self.management_mac:
+            self.frames_local += 1
+            if self._mgmt_handler is not None:
+                self._mgmt_handler(in_port, frame)
+            return
+        if frame.hops >= MAX_L2_HOPS:
+            self.frames_dropped_hops += 1
+            return
+        out = self._lookup(frame.dst)
+        forwarded = dataclasses.replace(frame, hops=frame.hops + 1)
+        if out is not None and frame.is_unicast:
+            if out is in_port:
+                return  # destination is back where it came from; filter
+            self.frames_forwarded += 1
+            self.sim.schedule(SWITCH_FORWARD_LATENCY, out.transmit, forwarded)
+        else:
+            self.frames_flooded += 1
+            for port in self.interfaces:
+                if port is not in_port and port.link is not None:
+                    self.sim.schedule(SWITCH_FORWARD_LATENCY, port.transmit, forwarded)
+            # Broadcasts also reach the management plane.
+            if frame.is_broadcast and self._mgmt_handler is not None:
+                self._mgmt_handler(in_port, frame)
+
+    def _learn(self, mac: MacAddress, port: Interface) -> None:
+        if mac.is_broadcast or mac.is_multicast:
+            return
+        existing = self._fdb.get(mac)
+        if existing is None or existing.port is not port:
+            self.fdb_version += 1
+        self._fdb[mac] = FdbEntry(mac, port, self.sim.now)
+
+    def _lookup(self, mac: MacAddress) -> Optional[Interface]:
+        entry = self._fdb.get(mac)
+        if entry is None:
+            return None
+        if self.sim.now - entry.learned_at > self.mac_aging:
+            del self._fdb[mac]
+            self.fdb_version += 1
+            return None
+        return entry.port
+
+    # ------------------------------------------------------------------
+    # Management plane
+    # ------------------------------------------------------------------
+    def set_management_handler(self, handler) -> None:
+        """Install the upward frame handler for the management stack."""
+        self._mgmt_handler = handler
+
+    def send_management_frame(self, out_hint: Optional[Interface], frame: EthernetFrame) -> bool:
+        """Transmit a management-plane frame using the FDB.
+
+        If the destination is unlearned the frame floods, exactly like
+        transit traffic -- management responses are ordinary packets.
+        """
+        out = self._lookup(frame.dst)
+        if out is not None and frame.is_unicast:
+            return out.transmit(frame)
+        ok = False
+        for port in self.interfaces:
+            if port.link is not None and port is not out_hint:
+                ok = port.transmit(frame) or ok
+        return ok
+
+    def fdb_entries(self) -> List[Tuple[MacAddress, int, float]]:
+        """Live FDB as (mac, port ifIndex, age) -- the bridge-MIB view."""
+        now = self.sim.now
+        out = []
+        for entry in self._fdb.values():
+            age = now - entry.learned_at
+            if age <= self.mac_aging:
+                out.append((entry.mac, entry.port.if_index, age))
+        out.sort(key=lambda row: row[0])
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Switch {self.name} ports={len(self.interfaces)}>"

@@ -1,0 +1,65 @@
+"""A from-scratch SNMPv1/v2c implementation over the simulated LAN.
+
+The paper monitors its network by "querying network components
+periodically using the Simple Network Management Protocol (SNMP)".  This
+package provides the full stack that made that possible:
+
+- :mod:`repro.snmp.ber`       -- ASN.1 Basic Encoding Rules codec
+  (RFC 1157 messages are BER-encoded on the wire; we encode/decode real
+  bytes so SNMP traffic has its true size and loads the network).
+- :mod:`repro.snmp.oid`       -- object-identifier value type.
+- :mod:`repro.snmp.datatypes` -- SNMP values (INTEGER, OCTET STRING,
+  Counter32, Gauge32, TimeTicks, ...).
+- :mod:`repro.snmp.pdu`       -- protocol data units (Get/GetNext/GetBulk/
+  Set/Response) and error-status codes.
+- :mod:`repro.snmp.message`   -- the community-string message envelope.
+- :mod:`repro.snmp.mib`       -- MIB tree plus the MIB-II system and
+  interfaces groups (Table 1 of the paper) bound to live simulator
+  counters, and a bridge-MIB forwarding table for topology discovery.
+- :mod:`repro.snmp.agent`     -- the "SNMP demon" run by hosts and the
+  switch.
+- :mod:`repro.snmp.manager`   -- the polling client used by the monitor.
+"""
+
+from repro.snmp.agent import SnmpAgent
+from repro.snmp.datatypes import (
+    Counter32,
+    Counter64,
+    EndOfMibView,
+    Gauge32,
+    Integer,
+    IpAddress,
+    NoSuchInstance,
+    NoSuchObject,
+    Null,
+    ObjectIdentifier,
+    OctetString,
+    TimeTicks,
+)
+from repro.snmp.errors import ErrorStatus, SnmpError, SnmpTimeout
+from repro.snmp.manager import SnmpManager
+from repro.snmp.mib import MibTree, build_mib2
+from repro.snmp.oid import Oid
+
+__all__ = [
+    "Counter32",
+    "Counter64",
+    "EndOfMibView",
+    "ErrorStatus",
+    "Gauge32",
+    "Integer",
+    "IpAddress",
+    "MibTree",
+    "NoSuchInstance",
+    "NoSuchObject",
+    "Null",
+    "ObjectIdentifier",
+    "OctetString",
+    "Oid",
+    "SnmpAgent",
+    "SnmpError",
+    "SnmpManager",
+    "SnmpTimeout",
+    "TimeTicks",
+    "build_mib2",
+]

@@ -1,0 +1,253 @@
+"""The SNMP agent ("SNMP demon" in the paper's words).
+
+An agent binds UDP port 161 on a host or on a switch's management stack,
+decodes incoming BER messages, services Get / GetNext / GetBulk against a
+:class:`~repro.snmp.mib.MibTree`, and sends the response back across the
+simulated network after a small processing delay.
+
+The processing delay matters for fidelity: the paper observed that
+"occasionally, some data bytes are counted in a later SNMP message instead
+of an earlier one, resulting in an abnormally small value followed by an
+abnormally large one" -- their dominant error source.  Seeded jitter on the
+agent's response time (plus genuine queueing of the response packets)
+reproduces that effect.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import List, Optional
+
+from repro.snmp import ber
+from repro.snmp.datatypes import EndOfMibView, NoSuchInstance, NoSuchObject, SnmpValue
+from repro.snmp.errors import ErrorStatus
+from repro.snmp.message import VERSION_1, VERSION_2C, Message
+from repro.snmp.mib import MibError, MibTree, register_snmp_group
+from repro.snmp.oid import Oid
+from repro.snmp.pdu import Pdu, VarBind
+from repro.simnet.address import IPv4Address
+from repro.simnet.sockets import SNMP_PORT
+
+DEFAULT_RESPONSE_DELAY = 0.5e-3  # seconds of agent processing
+DEFAULT_RESPONSE_JITTER = 1.5e-3  # uniform extra, seeded
+
+MAX_BULK_REPETITIONS = 64
+
+
+class SnmpAgent:
+    """Serve a MIB over the simulated network.
+
+    ``endpoint`` is a :class:`~repro.simnet.host.Host` or a
+    :class:`~repro.simnet.mgmt.ManagementStack` (they share the socket
+    API).  The agent answers both SNMPv1 and v2c, with the correct error
+    semantics for each.
+    """
+
+    def __init__(
+        self,
+        endpoint,
+        mib: MibTree,
+        community: str = "public",
+        port: int = SNMP_PORT,
+        response_delay: float = DEFAULT_RESPONSE_DELAY,
+        response_jitter: float = DEFAULT_RESPONSE_JITTER,
+        seed: int = 0,
+    ) -> None:
+        self.endpoint = endpoint
+        self.mib = mib
+        self.community = community
+        self.sim = endpoint.sim
+        self.response_delay = response_delay
+        self.response_jitter = response_jitter
+        # Seed mixes in the endpoint name deterministically (str hash is
+        # randomised per-process, so crc32 instead).
+        self.rng = random.Random(seed ^ zlib.crc32(endpoint.name.encode()))
+        self.socket = endpoint.create_socket(port)
+        self.socket.on_receive = self._on_datagram
+        # Statistics, served back over SNMP as the RFC 1213 snmp group.
+        self.in_packets = 0
+        self.out_packets = 0
+        self.malformed = 0
+        self.bad_community = 0
+        self.unsupported = 0
+        self.get_requests = 0
+        try:
+            register_snmp_group(mib, self)
+        except MibError:
+            pass  # a shared/prebuilt tree may already carry the group
+
+    @property
+    def name(self) -> str:
+        return self.endpoint.name
+
+    # ------------------------------------------------------------------
+    # Notifications
+    # ------------------------------------------------------------------
+    def enable_link_traps(
+        self, destination: IPv4Address, community: Optional[str] = None,
+        port: int = 162,
+    ) -> None:
+        """Emit linkDown/linkUp traps to ``destination`` on state changes.
+
+        Observes every interface of the device this agent serves.  Trap
+        datagrams leave through the agent's ordinary socket, so they are
+        genuine network traffic (and can themselves be lost -- traps are
+        unacknowledged, which is why the poller remains the backstop).
+        """
+        self._trap_destination = (destination, port)
+        self._trap_community = community if community is not None else self.community
+        self._observe_interfaces()
+        self.traps_sent = 0
+
+    def enable_link_informs(
+        self, destination: IPv4Address, community: Optional[str] = None,
+        port: int = 162, timeout: float = 2.0, max_attempts: int = 30,
+    ) -> None:
+        """Like :meth:`enable_link_traps`, but acknowledged.
+
+        Link-state notifications become InformRequests that retransmit
+        until the receiver acknowledges -- so a linkDown about the
+        agent's own uplink is delivered once connectivity returns,
+        instead of dying with the link.
+        """
+        from repro.snmp.trap import InformSender  # local: avoid cycle
+
+        self._inform_sender = InformSender(
+            self.endpoint, destination,
+            community=community if community is not None else self.community,
+            port=port, timeout=timeout, max_attempts=max_attempts,
+        )
+        self._observe_interfaces()
+        self.traps_sent = 0
+
+    def _observe_interfaces(self) -> None:
+        device = getattr(self.endpoint, "switch", self.endpoint)
+        for iface in getattr(device, "interfaces", []):
+            if self._on_link_state not in iface.state_observers:
+                iface.state_observers.append(self._on_link_state)
+
+    def _on_link_state(self, iface, up: bool) -> None:
+        from repro.snmp.mib import SYS_UPTIME  # local import avoids a cycle
+        from repro.snmp.trap import build_trap_pdu, TRAP_LINK_DOWN, TRAP_LINK_UP
+        from repro.snmp.pdu import VarBind
+        from repro.snmp.mib import IF_INDEX
+        from repro.snmp.datatypes import Integer
+
+        uptime = self.mib.get(SYS_UPTIME)
+        trap_oid = TRAP_LINK_UP if up else TRAP_LINK_DOWN
+        varbinds = [VarBind(IF_INDEX + str(iface.if_index), Integer(iface.if_index))]
+        inform_sender = getattr(self, "_inform_sender", None)
+        if inform_sender is not None:
+            pdu = build_trap_pdu(uptime, trap_oid, varbinds, confirmed=True)
+            inform_sender.send(pdu)
+            self.traps_sent += 1
+            return
+        destination = getattr(self, "_trap_destination", None)
+        if destination is None:
+            return
+        pdu = build_trap_pdu(uptime, trap_oid, varbinds, confirmed=False)
+        payload = Message(VERSION_2C, self._trap_community, pdu).encode()
+        self.socket.sendto(payload, destination)
+        self.traps_sent += 1
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def _on_datagram(
+        self, payload: Optional[bytes], size: int, src_ip: IPv4Address, src_port: int
+    ) -> None:
+        self.in_packets += 1
+        if payload is None:
+            self.malformed += 1
+            return
+        try:
+            message = Message.decode(payload)
+        except ber.BerError:
+            self.malformed += 1
+            return
+        if message.community != self.community:
+            # RFC 1157: silently drop (and would send an authenticationFailure
+            # trap); the manager sees a timeout.
+            self.bad_community += 1
+            return
+        pdu = message.pdu
+        if pdu.kind == "get":
+            self.get_requests += 1
+            response = self._handle_get(message.version, pdu)
+        elif pdu.kind == "get-next":
+            response = self._handle_get_next(message.version, pdu)
+        elif pdu.kind == "get-bulk" and message.version == VERSION_2C:
+            response = self._handle_get_bulk(pdu)
+        elif pdu.kind == "set":
+            # The monitor is read-only; reject all sets.
+            status = (
+                ErrorStatus.READ_ONLY if message.version == VERSION_1
+                else ErrorStatus.NOT_WRITABLE
+            )
+            response = pdu.response(pdu.varbinds, status, 1 if pdu.varbinds else 0)
+        else:
+            self.unsupported += 1
+            return
+        reply = Message(message.version, self.community, response).encode()
+        delay = self.response_delay + self.rng.random() * self.response_jitter
+        self.sim.schedule(delay, self._send_reply, reply, src_ip, src_port)
+
+    def _send_reply(self, payload: bytes, dst_ip: IPv4Address, dst_port: int) -> None:
+        self.out_packets += 1
+        self.socket.sendto(payload, (dst_ip, dst_port))
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def _handle_get(self, version: int, pdu: Pdu) -> Pdu:
+        out: List[VarBind] = []
+        for i, vb in enumerate(pdu.varbinds):
+            value = self.mib.get(vb.oid)
+            if value is None:
+                if version == VERSION_1:
+                    # v1: whole request fails with noSuchName at this index.
+                    return pdu.response(pdu.varbinds, ErrorStatus.NO_SUCH_NAME, i + 1)
+                exc: SnmpValue = (
+                    NoSuchInstance() if self.mib.has_subtree(vb.oid.parent)
+                    else NoSuchObject()
+                ) if len(vb.oid) > 1 else NoSuchObject()
+                out.append(VarBind(vb.oid, exc))
+            else:
+                out.append(VarBind(vb.oid, value))
+        return pdu.response(out)
+
+    def _handle_get_next(self, version: int, pdu: Pdu) -> Pdu:
+        out: List[VarBind] = []
+        for i, vb in enumerate(pdu.varbinds):
+            hit = self.mib.get_next(vb.oid)
+            if hit is None:
+                if version == VERSION_1:
+                    return pdu.response(pdu.varbinds, ErrorStatus.NO_SUCH_NAME, i + 1)
+                out.append(VarBind(vb.oid, EndOfMibView()))
+            else:
+                out.append(VarBind(hit[0], hit[1]))
+        return pdu.response(out)
+
+    def _handle_get_bulk(self, pdu: Pdu) -> Pdu:
+        non_repeaters = max(0, pdu.non_repeaters)
+        max_repetitions = min(max(0, pdu.max_repetitions), MAX_BULK_REPETITIONS)
+        out: List[VarBind] = []
+        for vb in pdu.varbinds[:non_repeaters]:
+            hit = self.mib.get_next(vb.oid)
+            out.append(
+                VarBind(hit[0], hit[1]) if hit is not None else VarBind(vb.oid, EndOfMibView())
+            )
+        for vb in pdu.varbinds[non_repeaters:]:
+            cursor = vb.oid
+            ended = False
+            for _ in range(max_repetitions):
+                hit = self.mib.get_next(cursor)
+                if hit is None:
+                    if not ended:
+                        out.append(VarBind(cursor, EndOfMibView()))
+                        ended = True
+                    break
+                out.append(VarBind(hit[0], hit[1]))
+                cursor = hit[0]
+        return pdu.response(out)

@@ -1,0 +1,42 @@
+"""SNMP protocol errors and the library's exception taxonomy."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class ErrorStatus(IntEnum):
+    """PDU error-status values (RFC 1157 §4.1.1 plus v2c additions)."""
+
+    NO_ERROR = 0
+    TOO_BIG = 1
+    NO_SUCH_NAME = 2
+    BAD_VALUE = 3
+    READ_ONLY = 4
+    GEN_ERR = 5
+    # SNMPv2c (RFC 1905) -- subset we can emit.
+    NO_ACCESS = 6
+    WRONG_TYPE = 7
+    NOT_WRITABLE = 17
+
+
+class SnmpError(RuntimeError):
+    """Base class for manager-visible SNMP failures."""
+
+
+class SnmpTimeout(SnmpError):
+    """The agent never answered within timeout x retries."""
+
+    def __init__(self, dst: str, attempts: int) -> None:
+        super().__init__(f"no SNMP response from {dst} after {attempts} attempt(s)")
+        self.dst = dst
+        self.attempts = attempts
+
+
+class SnmpErrorResponse(SnmpError):
+    """The agent answered with a non-zero error-status."""
+
+    def __init__(self, status: ErrorStatus, index: int) -> None:
+        super().__init__(f"SNMP error {status.name} at varbind index {index}")
+        self.status = status
+        self.index = index

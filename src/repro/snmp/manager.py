@@ -1,0 +1,249 @@
+"""The SNMP manager: the polling client the monitor is built on.
+
+Event-driven (the simulator has no threads): each operation takes a
+``callback(varbinds)`` and an optional ``errback(exception)``.  Requests
+are matched to responses by request-id; unanswered requests retransmit up
+to ``retries`` times and then fail with :class:`SnmpTimeout`.
+
+The manager's packets are real BER bytes travelling the simulated LAN, so
+polling consumes bandwidth that the monitor itself then measures -- the
+paper counts this among its ~2 % systematic overhead.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.snmp import ber
+from repro.snmp.datatypes import EndOfMibView, NoSuchInstance, NoSuchObject
+from repro.snmp.errors import ErrorStatus, SnmpError, SnmpErrorResponse, SnmpTimeout
+from repro.snmp.message import VERSION_2C, Message
+from repro.snmp.oid import Oid
+from repro.snmp.pdu import Pdu, VarBind
+from repro.simnet.address import IPv4Address
+from repro.simnet.sockets import SNMP_PORT
+
+SuccessCallback = Callable[[List[VarBind]], None]
+ErrorCallback = Callable[[Exception], None]
+
+DEFAULT_TIMEOUT = 1.0
+DEFAULT_RETRIES = 1
+
+
+class _Pending:
+    __slots__ = ("payload", "dst", "attempts", "timer", "callback", "errback")
+
+    def __init__(self, payload, dst, callback, errback) -> None:
+        self.payload = payload
+        self.dst = dst
+        self.attempts = 0
+        self.timer = None
+        self.callback = callback
+        self.errback = errback
+
+
+class SnmpManager:
+    """Asynchronous SNMP client bound to one host."""
+
+    def __init__(
+        self,
+        endpoint,
+        community: str = "public",
+        version: int = VERSION_2C,
+        timeout: float = DEFAULT_TIMEOUT,
+        retries: int = DEFAULT_RETRIES,
+        agent_port: int = SNMP_PORT,
+    ) -> None:
+        self.endpoint = endpoint
+        self.sim = endpoint.sim
+        self.community = community
+        self.version = version
+        self.timeout = timeout
+        self.retries = retries
+        self.agent_port = agent_port
+        self.socket = endpoint.create_socket()  # one ephemeral port for all requests
+        self.socket.on_receive = self._on_datagram
+        self._request_ids = itertools.count(1)
+        self._pending: Dict[int, _Pending] = {}
+        # Statistics.
+        self.requests_sent = 0
+        self.retransmissions = 0
+        self.timeouts = 0
+        self.responses_received = 0
+        self.responses_unmatched = 0
+        self.decode_errors = 0
+
+    # ------------------------------------------------------------------
+    # Public operations
+    # ------------------------------------------------------------------
+    def get(
+        self,
+        dst_ip: IPv4Address,
+        oids: Sequence[Oid],
+        callback: SuccessCallback,
+        errback: Optional[ErrorCallback] = None,
+        community: Optional[str] = None,
+    ) -> int:
+        """GET a batch of exact instances; returns the request id.
+
+        ``community`` overrides the manager default for this request only
+        (agents on different nodes may use different community strings).
+        """
+        request_id = next(self._request_ids)
+        pdu = Pdu.get_request(request_id, [Oid(o) for o in oids])
+        return self._send(request_id, pdu, dst_ip, callback, errback, community)
+
+    def get_next(
+        self,
+        dst_ip: IPv4Address,
+        oids: Sequence[Oid],
+        callback: SuccessCallback,
+        errback: Optional[ErrorCallback] = None,
+        community: Optional[str] = None,
+    ) -> int:
+        request_id = next(self._request_ids)
+        pdu = Pdu.get_next_request(request_id, [Oid(o) for o in oids])
+        return self._send(request_id, pdu, dst_ip, callback, errback, community)
+
+    def get_bulk(
+        self,
+        dst_ip: IPv4Address,
+        oids: Sequence[Oid],
+        callback: SuccessCallback,
+        errback: Optional[ErrorCallback] = None,
+        non_repeaters: int = 0,
+        max_repetitions: int = 16,
+        community: Optional[str] = None,
+    ) -> int:
+        if self.version != VERSION_2C:
+            raise SnmpError("GETBULK requires SNMPv2c")
+        request_id = next(self._request_ids)
+        pdu = Pdu.get_bulk_request(
+            request_id, [Oid(o) for o in oids], non_repeaters, max_repetitions
+        )
+        return self._send(request_id, pdu, dst_ip, callback, errback, community)
+
+    def walk(
+        self,
+        dst_ip: IPv4Address,
+        root: Oid,
+        callback: SuccessCallback,
+        errback: Optional[ErrorCallback] = None,
+        use_bulk: bool = False,
+    ) -> None:
+        """Walk the subtree under ``root`` with chained GETNEXT/GETBULK.
+
+        ``callback`` receives the accumulated in-subtree varbinds once the
+        walk leaves the subtree or hits endOfMibView.
+        """
+        root = Oid(root)
+        collected: List[VarBind] = []
+
+        def step(varbinds: List[VarBind]) -> None:
+            cursor: Optional[Oid] = None
+            for vb in varbinds:
+                if isinstance(vb.value, (EndOfMibView, NoSuchObject, NoSuchInstance)):
+                    callback(collected)
+                    return
+                if not vb.oid.startswith(root):
+                    callback(collected)
+                    return
+                collected.append(vb)
+                cursor = vb.oid
+            if cursor is None:
+                callback(collected)
+                return
+            self._walk_step(dst_ip, cursor, step, errback, use_bulk)
+
+        self._walk_step(dst_ip, root, step, errback, use_bulk)
+
+    def _walk_step(self, dst_ip, cursor, step, errback, use_bulk) -> None:
+        if use_bulk:
+            self.get_bulk(dst_ip, [cursor], step, errback, max_repetitions=16)
+        else:
+            self.get_next(dst_ip, [cursor], step, errback)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending)
+
+    def cancel_all(self) -> None:
+        """Abort every outstanding request without invoking errbacks."""
+        for pending in self._pending.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
+        self._pending.clear()
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+    def _send(
+        self,
+        request_id: int,
+        pdu: Pdu,
+        dst_ip: IPv4Address,
+        callback: SuccessCallback,
+        errback: Optional[ErrorCallback],
+        community: Optional[str] = None,
+    ) -> int:
+        payload = Message(
+            self.version, community if community is not None else self.community, pdu
+        ).encode()
+        pending = _Pending(payload, (dst_ip, self.agent_port), callback, errback)
+        self._pending[request_id] = pending
+        self._transmit(request_id)
+        return request_id
+
+    def _transmit(self, request_id: int) -> None:
+        pending = self._pending.get(request_id)
+        if pending is None:
+            return
+        pending.attempts += 1
+        if pending.attempts > 1:
+            self.retransmissions += 1
+        self.requests_sent += 1
+        self.socket.sendto(pending.payload, pending.dst)
+        pending.timer = self.sim.schedule(self.timeout, self._on_timeout, request_id)
+
+    def _on_timeout(self, request_id: int) -> None:
+        pending = self._pending.get(request_id)
+        if pending is None:
+            return
+        if pending.attempts <= self.retries:
+            self._transmit(request_id)
+            return
+        del self._pending[request_id]
+        self.timeouts += 1
+        if pending.errback is not None:
+            pending.errback(SnmpTimeout(str(pending.dst[0]), pending.attempts))
+
+    def _on_datagram(
+        self, payload: Optional[bytes], size: int, src_ip: IPv4Address, src_port: int
+    ) -> None:
+        if payload is None:
+            self.decode_errors += 1
+            return
+        try:
+            message = Message.decode(payload)
+        except ber.BerError:
+            self.decode_errors += 1
+            return
+        pdu = message.pdu
+        if pdu.kind != "response":
+            self.responses_unmatched += 1
+            return
+        pending = self._pending.pop(pdu.request_id, None)
+        if pending is None:
+            # Late duplicate after a retransmit already succeeded.
+            self.responses_unmatched += 1
+            return
+        if pending.timer is not None:
+            pending.timer.cancel()
+        self.responses_received += 1
+        if pdu.error_status != int(ErrorStatus.NO_ERROR):
+            exc = SnmpErrorResponse(ErrorStatus(pdu.error_status), pdu.error_index)
+            if pending.errback is not None:
+                pending.errback(exc)
+            return
+        pending.callback(pdu.varbinds)

@@ -1,0 +1,62 @@
+"""The SNMP message envelope: version + community string + PDU.
+
+RFC 1157 (v1) and RFC 1901 (v2c) share this trivial-authentication
+envelope; the version integer distinguishes them (0 = v1, 1 = v2c) and
+selects the agent's error semantics (v1 answers misses with noSuchName,
+v2c with per-varbind exception values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.snmp import ber
+from repro.snmp.pdu import Pdu
+
+VERSION_1 = 0
+VERSION_2C = 1
+
+_KNOWN_VERSIONS = {VERSION_1, VERSION_2C}
+
+
+@dataclass
+class Message:
+    version: int
+    community: str
+    pdu: Pdu
+
+    def __post_init__(self) -> None:
+        if self.version not in _KNOWN_VERSIONS:
+            raise ber.BerError(f"unsupported SNMP version {self.version!r}")
+
+    def encode(self) -> bytes:
+        return ber.encode_sequence(
+            ber.encode_integer(self.version),
+            ber.encode_octet_string(self.community.encode()),
+            self.pdu.encode(),
+        )
+
+    @staticmethod
+    def decode(data: bytes) -> "Message":
+        content, end = ber.decode_sequence(data, 0)
+        if end != len(data):
+            raise ber.BerError("trailing bytes after SNMP message")
+        pos = 0
+        tag, c, pos = ber.decode_tlv(content, pos)
+        ber.expect_tag(tag, ber.TAG_INTEGER, "version")
+        version = ber.decode_integer_content(c)
+        if version not in _KNOWN_VERSIONS:
+            raise ber.BerError(f"unsupported SNMP version {version!r}")
+        tag, c, pos = ber.decode_tlv(content, pos)
+        ber.expect_tag(tag, ber.TAG_OCTET_STRING, "community")
+        community = c.decode(errors="replace")
+        if pos < len(content) and content[pos] == ber.TAG_TRAP_V1:
+            # RFC 1157 Trap-PDUs have their own structure entirely.
+            from repro.snmp.trap import TrapV1Pdu  # local: avoids a cycle
+
+            pdu, pos = TrapV1Pdu.decode(content, pos)
+        else:
+            pdu, pos = Pdu.decode(content, pos)
+        if pos != len(content):
+            raise ber.BerError("trailing bytes inside SNMP message")
+        return Message(version, community, pdu)

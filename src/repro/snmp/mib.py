@@ -1,0 +1,414 @@
+"""MIB tree and the MIB-II bindings the paper's monitor polls.
+
+Table 1 of the paper lists the objects its poller reads::
+
+    system.sysUpTime                 (1.3.6.1.2.1.1.3)
+    interfaces.ifTable.ifEntry.ifSpeed        (...2.2.1.5)
+    interfaces.ifTable.ifEntry.ifInOctets     (...2.2.1.10)
+    interfaces.ifTable.ifEntry.ifInUcastPkts  (...2.2.1.11)
+    interfaces.ifTable.ifEntry.ifOutOctets    (...2.2.1.16)
+    interfaces.ifTable.ifEntry.ifOutNUcastPkts(...2.2.1.18)
+
+:func:`build_mib2` binds those OIDs (and the rest of the RFC 1213 system
+and interfaces groups) to *live* simulator state: every GET reads the NIC
+counters at that simulated instant, truncated to Counter32 so the poller's
+wrap handling is real.
+
+Dynamic tables (the switch's bridge-MIB forwarding database used by the
+topology-discovery extension) plug in as :class:`MibProvider` objects that
+enumerate rows on demand.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from typing import Callable, Dict, List, Optional, Protocol, Tuple, Union
+
+from repro.snmp.datatypes import (
+    Counter32,
+    Gauge32,
+    Integer,
+    OctetString,
+    ObjectIdentifier,
+    SnmpValue,
+    TimeTicks,
+)
+from repro.snmp.oid import Oid
+
+Accessor = Callable[[], SnmpValue]
+
+# MIB-II object identifiers (RFC 1213), exported for poller and tests.
+SYS_DESCR = Oid("1.3.6.1.2.1.1.1.0")
+SYS_OBJECT_ID = Oid("1.3.6.1.2.1.1.2.0")
+SYS_UPTIME = Oid("1.3.6.1.2.1.1.3.0")
+SYS_CONTACT = Oid("1.3.6.1.2.1.1.4.0")
+SYS_NAME = Oid("1.3.6.1.2.1.1.5.0")
+SYS_LOCATION = Oid("1.3.6.1.2.1.1.6.0")
+SYS_SERVICES = Oid("1.3.6.1.2.1.1.7.0")
+
+IF_NUMBER = Oid("1.3.6.1.2.1.2.1.0")
+IF_ENTRY = Oid("1.3.6.1.2.1.2.2.1")
+IF_INDEX = IF_ENTRY + "1"
+IF_DESCR = IF_ENTRY + "2"
+IF_TYPE = IF_ENTRY + "3"
+IF_MTU = IF_ENTRY + "4"
+IF_SPEED = IF_ENTRY + "5"
+IF_PHYS_ADDRESS = IF_ENTRY + "6"
+IF_ADMIN_STATUS = IF_ENTRY + "7"
+IF_OPER_STATUS = IF_ENTRY + "8"
+IF_LAST_CHANGE = IF_ENTRY + "9"
+IF_IN_OCTETS = IF_ENTRY + "10"
+IF_IN_UCAST_PKTS = IF_ENTRY + "11"
+IF_IN_NUCAST_PKTS = IF_ENTRY + "12"
+IF_IN_DISCARDS = IF_ENTRY + "13"
+IF_IN_ERRORS = IF_ENTRY + "14"
+IF_OUT_OCTETS = IF_ENTRY + "16"
+IF_OUT_UCAST_PKTS = IF_ENTRY + "17"
+IF_OUT_NUCAST_PKTS = IF_ENTRY + "18"
+IF_OUT_DISCARDS = IF_ENTRY + "19"
+IF_OUT_ERRORS = IF_ENTRY + "20"
+
+# The snmp group (RFC 1213 §6, 1.3.6.1.2.1.11): agent self-statistics.
+SNMP_GROUP = Oid("1.3.6.1.2.1.11")
+SNMP_IN_PKTS = SNMP_GROUP + "1.0"
+SNMP_OUT_PKTS = SNMP_GROUP + "2.0"
+SNMP_IN_BAD_COMMUNITY_NAMES = SNMP_GROUP + "4.0"
+SNMP_IN_ASN_PARSE_ERRS = SNMP_GROUP + "6.0"
+SNMP_IN_GET_REQUESTS = SNMP_GROUP + "15.0"
+
+# Bridge MIB (RFC 1493) transparent-bridging FDB, used by core.discovery.
+DOT1D_TP_FDB_ENTRY = Oid("1.3.6.1.2.1.17.4.3.1")
+DOT1D_TP_FDB_ADDRESS = DOT1D_TP_FDB_ENTRY + "1"
+DOT1D_TP_FDB_PORT = DOT1D_TP_FDB_ENTRY + "2"
+DOT1D_TP_FDB_STATUS = DOT1D_TP_FDB_ENTRY + "3"
+
+IFTYPE_ETHERNET = 6
+IF_STATUS_UP = 1
+IF_STATUS_DOWN = 2
+FDB_STATUS_LEARNED = 3
+
+
+class MibError(RuntimeError):
+    """Raised for registration conflicts and malformed lookups."""
+
+
+class MibProvider(Protocol):
+    """A dynamic subtree: rows are enumerated at query time."""
+
+    prefix: Oid
+
+    def get(self, oid: Oid) -> Optional[SnmpValue]: ...
+
+    def next(self, oid: Oid) -> Optional[Tuple[Oid, SnmpValue]]: ...
+
+
+class MibTree:
+    """Sorted registry of scalar accessors plus dynamic providers.
+
+    ``get`` answers exact-instance reads; ``get_next`` answers the
+    lexicographic successor query that powers GETNEXT/GETBULK walks,
+    merging static entries with every provider's view.
+    """
+
+    def __init__(self) -> None:
+        self._static: Dict[Oid, Accessor] = {}
+        self._sorted: List[Oid] = []
+        self._providers: List[MibProvider] = []
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, oid: Oid, value: Union[SnmpValue, Accessor]) -> None:
+        """Register a scalar instance (a full OID ending in its index)."""
+        oid = Oid(oid)
+        if oid in self._static:
+            raise MibError(f"OID {oid} registered twice")
+        accessor: Accessor = value if callable(value) else (lambda v=value: v)
+        self._static[oid] = accessor
+        insort(self._sorted, oid)
+
+    def register_provider(self, provider: MibProvider) -> None:
+        for existing in self._providers:
+            if existing.prefix.startswith(provider.prefix) or provider.prefix.startswith(
+                existing.prefix
+            ):
+                raise MibError(
+                    f"provider prefix {provider.prefix} overlaps {existing.prefix}"
+                )
+        self._providers.append(provider)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def get(self, oid: Oid) -> Optional[SnmpValue]:
+        accessor = self._static.get(oid)
+        if accessor is not None:
+            return accessor()
+        for provider in self._providers:
+            if oid.startswith(provider.prefix):
+                return provider.get(oid)
+        return None
+
+    def get_next(self, oid: Oid) -> Optional[Tuple[Oid, SnmpValue]]:
+        """Smallest registered instance strictly greater than ``oid``."""
+        best: Optional[Tuple[Oid, SnmpValue]] = None
+        idx = bisect_right(self._sorted, oid)
+        if idx < len(self._sorted):
+            candidate = self._sorted[idx]
+            best = (candidate, self._static[candidate]())
+        for provider in self._providers:
+            hit = provider.next(oid)
+            if hit is not None and (best is None or hit[0] < best[0]):
+                best = hit
+        return best
+
+    def has_subtree(self, oid: Oid) -> bool:
+        """True when any instance lives strictly under ``oid``.
+
+        Distinguishes the v2c ``noSuchInstance`` (object exists, index
+        does not... approximated as: some sibling subtree exists) from
+        ``noSuchObject``.
+        """
+        nxt = self.get_next(oid)
+        return nxt is not None and nxt[0].startswith(oid)
+
+    def walk_all(self) -> List[Tuple[Oid, SnmpValue]]:
+        """Fully materialise the tree (tests and debugging)."""
+        out: List[Tuple[Oid, SnmpValue]] = []
+        cursor = Oid("0")
+        while True:
+            hit = self.get_next(cursor)
+            if hit is None:
+                return out
+            out.append(hit)
+            cursor = hit[0]
+
+    def __len__(self) -> int:
+        return len(self._static)
+
+
+# ----------------------------------------------------------------------
+# MIB-II construction
+# ----------------------------------------------------------------------
+_ENTERPRISE_OID = Oid("1.3.6.1.4.1.99999.1")  # private arc for the simulator
+
+
+def build_mib2(
+    device,
+    sim,
+    descr: Optional[str] = None,
+    location: str = "LIRTSS testbed (simulated)",
+    contact: str = "repro",
+    boot_time: float = 0.0,
+) -> MibTree:
+    """Bind the MIB-II system + interfaces groups to a live device.
+
+    ``device`` is anything carrying ``name`` and ``interfaces`` (a Host,
+    Switch or Hub).  Counter objects read the interface counters at call
+    time and truncate to Counter32; ``sysUpTime`` reads the simulation
+    clock, so "the time interval between two polling processes can be
+    found using the system uptime data" works exactly as in the paper.
+    """
+    tree = MibTree()
+    name = getattr(device, "name", "device")
+    kind = getattr(device, "kind", "host")
+    if descr is None:
+        os_label = getattr(device, "os_label", kind)
+        descr = f"{name} ({os_label})"
+
+    tree.register(SYS_DESCR, OctetString(descr))
+    tree.register(SYS_OBJECT_ID, ObjectIdentifier(_ENTERPRISE_OID))
+    tree.register(
+        SYS_UPTIME,
+        lambda: TimeTicks.from_seconds(max(0.0, sim.now - boot_time)),
+    )
+    tree.register(SYS_CONTACT, OctetString(contact))
+    tree.register(SYS_NAME, OctetString(name))
+    tree.register(SYS_LOCATION, OctetString(location))
+    # services: physical(1) + datalink(2) for devices, +transport/apps for hosts
+    tree.register(SYS_SERVICES, Integer(72 if kind == "host" else 2))
+
+    interfaces = list(getattr(device, "interfaces", []))
+    tree.register(IF_NUMBER, Integer(len(interfaces)))
+
+    for iface in interfaces:
+        i = iface.if_index
+        c = iface.counters
+        tree.register(IF_INDEX + str(i), Integer(i))
+        tree.register(IF_DESCR + str(i), OctetString(iface.local_name))
+        tree.register(IF_TYPE + str(i), Integer(IFTYPE_ETHERNET))
+        tree.register(IF_MTU + str(i), Integer(iface.mtu))
+        # ifSpeed is a Gauge32; clamp like real agents do for >4 Gb/s links.
+        speed = min(int(iface.speed_bps), (1 << 32) - 1)
+        tree.register(IF_SPEED + str(i), Gauge32(speed))
+        tree.register(IF_PHYS_ADDRESS + str(i), OctetString(iface.mac.to_bytes()))
+        tree.register(
+            IF_ADMIN_STATUS + str(i),
+            lambda ifc=iface: Integer(IF_STATUS_UP if ifc.admin_up else IF_STATUS_DOWN),
+        )
+        tree.register(
+            IF_OPER_STATUS + str(i),
+            lambda ifc=iface: Integer(
+                IF_STATUS_UP if (ifc.admin_up and ifc.link is not None) else IF_STATUS_DOWN
+            ),
+        )
+        tree.register(IF_LAST_CHANGE + str(i), TimeTicks(0))
+        tree.register(IF_IN_OCTETS + str(i), lambda cc=c: Counter32.wrap(cc.in_octets))
+        tree.register(IF_IN_UCAST_PKTS + str(i), lambda cc=c: Counter32.wrap(cc.in_ucast_pkts))
+        tree.register(
+            IF_IN_NUCAST_PKTS + str(i), lambda cc=c: Counter32.wrap(cc.in_nucast_pkts)
+        )
+        tree.register(IF_IN_DISCARDS + str(i), lambda cc=c: Counter32.wrap(cc.in_discards))
+        tree.register(IF_IN_ERRORS + str(i), Counter32(0))
+        tree.register(IF_OUT_OCTETS + str(i), lambda cc=c: Counter32.wrap(cc.out_octets))
+        tree.register(
+            IF_OUT_UCAST_PKTS + str(i), lambda cc=c: Counter32.wrap(cc.out_ucast_pkts)
+        )
+        tree.register(
+            IF_OUT_NUCAST_PKTS + str(i), lambda cc=c: Counter32.wrap(cc.out_nucast_pkts)
+        )
+        tree.register(IF_OUT_DISCARDS + str(i), lambda cc=c: Counter32.wrap(cc.out_discards))
+        tree.register(IF_OUT_ERRORS + str(i), Counter32(0))
+
+    if kind == "switch":
+        tree.register_provider(BridgeFdbProvider(device))
+    return tree
+
+
+def register_snmp_group(tree, agent) -> None:
+    """Bind the RFC 1213 snmp group to a live agent's statistics.
+
+    Called by :class:`~repro.snmp.agent.SnmpAgent` on construction; works
+    through a :class:`CachingMibTree` by registering on its inner tree
+    (the counters then refresh on the agent's snapshot timer, like
+    everything else it serves).
+    """
+    target = tree.inner if isinstance(tree, CachingMibTree) else tree
+    target.register(SNMP_IN_PKTS, lambda: Counter32.wrap(agent.in_packets))
+    target.register(SNMP_OUT_PKTS, lambda: Counter32.wrap(agent.out_packets))
+    target.register(
+        SNMP_IN_BAD_COMMUNITY_NAMES, lambda: Counter32.wrap(agent.bad_community)
+    )
+    target.register(SNMP_IN_ASN_PARSE_ERRS, lambda: Counter32.wrap(agent.malformed))
+    target.register(SNMP_IN_GET_REQUESTS, lambda: Counter32.wrap(agent.get_requests))
+
+
+class CachingMibTree:
+    """A MIB view whose values refresh only every ``refresh_interval``.
+
+    Era-accurate agent behaviour: many SNMP daemons (notoriously the
+    Windows NT one in the paper's testbed) serve interface counters from
+    an internal snapshot updated on a timer rather than reading hardware
+    per request.  Bytes received after the snapshot surface only in the
+    *next* poll -- producing the paper's "abnormally small value followed
+    by an abnormally large one" and its worst-case ~16 % single-interval
+    errors.
+
+    ``sysUpTime`` (and anything under the system group) is always served
+    fresh: the uptime clock is not a polled counter, which is exactly why
+    the stale-counter displacement is *not* corrected by the paper's
+    uptime-based interval arithmetic.
+    """
+
+    _FRESH_PREFIX = Oid("1.3.6.1.2.1.1")  # the system group
+
+    def __init__(self, inner: MibTree, sim, refresh_interval: float) -> None:
+        if refresh_interval <= 0:
+            raise MibError(f"non-positive refresh interval {refresh_interval!r}")
+        self.inner = inner
+        self.sim = sim
+        self.refresh_interval = refresh_interval
+        self._snapshot: Dict[Oid, SnmpValue] = {}
+        self._last_refresh = float("-inf")
+        self.refreshes = 0
+        # Eager periodic snapshots: the real artefact is that the agent's
+        # values were captured *at the timer tick*, not at request time.
+        self._task = sim.call_every(refresh_interval, self._take_snapshot, start=sim.now)
+
+    def _take_snapshot(self) -> None:
+        self._snapshot = {oid: value for oid, value in self.inner.walk_all()}
+        self._last_refresh = self.sim.now
+        self.refreshes += 1
+
+    def stop(self) -> None:
+        """Cancel the refresh timer (teardown in long test sessions)."""
+        self._task.cancel()
+
+    def get(self, oid: Oid) -> Optional[SnmpValue]:
+        if oid.startswith(self._FRESH_PREFIX):
+            return self.inner.get(oid)
+        if not self._snapshot:  # before the first tick (t=0 start)
+            return self.inner.get(oid)
+        return self._snapshot.get(oid)
+
+    def get_next(self, oid: Oid) -> Optional[Tuple[Oid, SnmpValue]]:
+        hit = self.inner.get_next(oid)
+        if hit is None:
+            return None
+        next_oid = hit[0]
+        value = self.get(next_oid)
+        # A row that appeared after the snapshot serves its live value
+        # (same behaviour as real agents walking a half-updated table).
+        return (next_oid, value if value is not None else hit[1])
+
+    def has_subtree(self, oid: Oid) -> bool:
+        return self.inner.has_subtree(oid)
+
+    def walk_all(self) -> List[Tuple[Oid, SnmpValue]]:
+        return [(oid, self.get(oid)) for oid, _v in self.inner.walk_all()]
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+
+class BridgeFdbProvider:
+    """RFC 1493 ``dot1dTpFdbTable`` rows backed by a live switch FDB.
+
+    Row index is the MAC address as six OID arcs.  The topology-discovery
+    extension (paper §5 "dynamic network topology discovery") walks this
+    table to learn which MACs sit behind which switch port.
+    """
+
+    prefix = DOT1D_TP_FDB_ENTRY
+
+    # Aging only removes rows on this granularity boundary, so a cached
+    # row list is revalidated at most this often even without FDB churn.
+    _AGE_GRANULARITY = 10.0
+
+    def __init__(self, switch) -> None:
+        self.switch = switch
+        self._cache: List[Tuple[Oid, SnmpValue]] = []
+        self._cache_key = (-1, -1.0)
+
+    def _rows(self) -> List[Tuple[Oid, SnmpValue]]:
+        key = (
+            self.switch.fdb_version,
+            self.switch.sim.now // self._AGE_GRANULARITY,
+        )
+        if key == self._cache_key:
+            return self._cache
+        rows: List[Tuple[Oid, SnmpValue]] = []
+        for mac, port_index, _age in self.switch.fdb_entries():
+            index = tuple(mac.to_bytes())
+            rows.append((Oid(DOT1D_TP_FDB_ADDRESS.arcs + index),
+                         OctetString(mac.to_bytes())))
+            rows.append((Oid(DOT1D_TP_FDB_PORT.arcs + index),
+                         Integer(port_index)))
+            rows.append((Oid(DOT1D_TP_FDB_STATUS.arcs + index),
+                         Integer(FDB_STATUS_LEARNED)))
+        rows.sort(key=lambda r: r[0])
+        self._cache = rows
+        self._cache_key = key
+        return rows
+
+    def get(self, oid: Oid) -> Optional[SnmpValue]:
+        for row_oid, value in self._rows():
+            if row_oid == oid:
+                return value
+        return None
+
+    def next(self, oid: Oid) -> Optional[Tuple[Oid, SnmpValue]]:
+        for row_oid, value in self._rows():
+            if row_oid > oid:
+                return (row_oid, value)
+        return None

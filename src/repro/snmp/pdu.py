@@ -1,0 +1,147 @@
+"""SNMP protocol data units.
+
+A PDU is ``(request-id, error-status, error-index, varbind-list)`` inside
+a context-constructed TLV whose tag selects the operation.  GetBulk reuses
+the two error fields as ``non-repeaters`` / ``max-repetitions`` (RFC 1905).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.snmp import ber
+from repro.snmp.datatypes import Null, SnmpValue, decode_value
+from repro.snmp.errors import ErrorStatus
+from repro.snmp.oid import Oid
+
+PDU_TAGS = {
+    ber.TAG_GET_REQUEST: "get",
+    ber.TAG_GET_NEXT_REQUEST: "get-next",
+    ber.TAG_GET_RESPONSE: "response",
+    ber.TAG_SET_REQUEST: "set",
+    ber.TAG_GET_BULK_REQUEST: "get-bulk",
+    ber.TAG_INFORM_REQUEST: "inform",
+    ber.TAG_SNMPV2_TRAP: "trap",
+}
+
+
+@dataclass(frozen=True)
+class VarBind:
+    """One (name, value) pair."""
+
+    oid: Oid
+    value: SnmpValue = field(default_factory=Null)
+
+    def encode(self) -> bytes:
+        return ber.encode_sequence(ber.encode_oid(self.oid), self.value.encode())
+
+    @staticmethod
+    def decode(data: bytes, offset: int) -> Tuple["VarBind", int]:
+        content, new_offset = ber.decode_sequence(data, offset)
+        tag, oid_content, pos = ber.decode_tlv(content, 0)
+        ber.expect_tag(tag, ber.TAG_OID, "varbind OID")
+        oid = ber.decode_oid_content(oid_content)
+        value, pos = decode_value(content, pos)
+        if pos != len(content):
+            raise ber.BerError("trailing bytes inside varbind")
+        return VarBind(oid, value), new_offset
+
+
+@dataclass
+class Pdu:
+    """A Get/GetNext/GetBulk/Set/Response PDU."""
+
+    pdu_type: int
+    request_id: int
+    error_status: int = 0  # doubles as non-repeaters for GetBulk
+    error_index: int = 0  # doubles as max-repetitions for GetBulk
+    varbinds: List[VarBind] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.pdu_type not in PDU_TAGS:
+            raise ber.BerError(f"unknown PDU tag 0x{self.pdu_type:02x}")
+
+    # Convenience aliases for GetBulk semantics.
+    @property
+    def non_repeaters(self) -> int:
+        return self.error_status
+
+    @property
+    def max_repetitions(self) -> int:
+        return self.error_index
+
+    @property
+    def kind(self) -> str:
+        return PDU_TAGS[self.pdu_type]
+
+    def encode(self) -> bytes:
+        body = (
+            ber.encode_integer(self.request_id)
+            + ber.encode_integer(self.error_status)
+            + ber.encode_integer(self.error_index)
+            + ber.encode_sequence(*[vb.encode() for vb in self.varbinds])
+        )
+        return ber.encode_tlv(self.pdu_type, body)
+
+    @staticmethod
+    def decode(data: bytes, offset: int = 0) -> Tuple["Pdu", int]:
+        tag, content, new_offset = ber.decode_tlv(data, offset)
+        if tag not in PDU_TAGS:
+            raise ber.BerError(f"unknown PDU tag 0x{tag:02x}")
+        pos = 0
+        t, c, pos = ber.decode_tlv(content, pos)
+        ber.expect_tag(t, ber.TAG_INTEGER, "request-id")
+        request_id = ber.decode_integer_content(c)
+        t, c, pos = ber.decode_tlv(content, pos)
+        ber.expect_tag(t, ber.TAG_INTEGER, "error-status")
+        error_status = ber.decode_integer_content(c)
+        t, c, pos = ber.decode_tlv(content, pos)
+        ber.expect_tag(t, ber.TAG_INTEGER, "error-index")
+        error_index = ber.decode_integer_content(c)
+        vb_content, pos = ber.decode_sequence(content, pos)
+        if pos != len(content):
+            raise ber.BerError("trailing bytes inside PDU")
+        varbinds: List[VarBind] = []
+        vpos = 0
+        while vpos < len(vb_content):
+            vb, vpos = VarBind.decode(vb_content, vpos)
+            varbinds.append(vb)
+        return (
+            Pdu(tag, request_id, error_status, error_index, varbinds),
+            new_offset,
+        )
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    @staticmethod
+    def get_request(request_id: int, oids: List[Oid]) -> "Pdu":
+        return Pdu(ber.TAG_GET_REQUEST, request_id, 0, 0, [VarBind(o) for o in oids])
+
+    @staticmethod
+    def get_next_request(request_id: int, oids: List[Oid]) -> "Pdu":
+        return Pdu(ber.TAG_GET_NEXT_REQUEST, request_id, 0, 0, [VarBind(o) for o in oids])
+
+    @staticmethod
+    def get_bulk_request(
+        request_id: int, oids: List[Oid], non_repeaters: int, max_repetitions: int
+    ) -> "Pdu":
+        return Pdu(
+            ber.TAG_GET_BULK_REQUEST,
+            request_id,
+            non_repeaters,
+            max_repetitions,
+            [VarBind(o) for o in oids],
+        )
+
+    def response(
+        self,
+        varbinds: List[VarBind],
+        error_status: ErrorStatus = ErrorStatus.NO_ERROR,
+        error_index: int = 0,
+    ) -> "Pdu":
+        """A response PDU echoing this request's id."""
+        return Pdu(
+            ber.TAG_GET_RESPONSE, self.request_id, int(error_status), error_index, varbinds
+        )

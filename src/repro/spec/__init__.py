@@ -1,0 +1,54 @@
+"""The DeSiDeRaTa specification-language extension for network resources.
+
+The paper (and its companion PDCS 2001 paper, ref [12]) extends the
+DeSiDeRaTa specification language so the resource manager can be told the
+network topology instead of discovering it: "Utilizing the DeSiDeRaTa
+specification language is a straightforward approach to obtain network
+topology.  Pure network discovery is not feasible in the DeSiDeRaTa
+environment because the resource management middleware has to know exactly
+what resources are under its control."
+
+This package implements that extension as a small declarative language::
+
+    network topology lirtss {
+        host L {
+            os "Linux";
+            snmp community "public";
+            interface eth0 { speed 100 Mbps; }
+        }
+        switch SW { snmp community "public"; ports 8 speed 100 Mbps; }
+        hub HUB { ports 4 speed 10 Mbps; }
+
+        connect L.eth0 <-> SW.port1;
+        connect SW.port2 <-> HUB.port1;
+
+        qospath telemetry { from S1 to N1; min_available 200 KBps; }
+    }
+
+- :mod:`repro.spec.lexer`    -- tokenizer with line/column tracking.
+- :mod:`repro.spec.parser`   -- recursive-descent parser producing a
+  :class:`~repro.topology.model.TopologySpec`.
+- :mod:`repro.spec.validate` -- semantic checks (1-to-1 connections,
+  dangling references, loops, SNMP coverage).
+- :mod:`repro.spec.builder`  -- instantiate a live simulated Network.
+- :mod:`repro.spec.writer`   -- serialise a TopologySpec back to text.
+"""
+
+from repro.spec.builder import BuildResult, build_network
+from repro.spec.lexer import LexError, tokenize
+from repro.spec.parser import ParseError, parse_spec, parse_file
+from repro.spec.validate import ValidationIssue, validate_spec
+from repro.spec.writer import write_spec
+
+__all__ = [
+    "BuildResult",
+    "LexError",
+    "ParseError",
+    "ValidationIssue",
+    "build_network",
+    "parse_file",
+    "parse_spec",
+    "tokenize",
+    "validate_spec",
+    "write_spec",
+]

@@ -1,0 +1,211 @@
+"""Tokenizer for the network-resource specification language.
+
+Hand-written single-pass scanner with precise line/column tracking so
+parse errors point at the offending character.  Comments come in three
+styles (``#``, ``//``, ``/* ... */``) because spec files in the wild
+accrete all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, List
+
+
+class LexError(ValueError):
+    """Raised on characters or literals the language does not allow."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+class TokenType(Enum):
+    IDENT = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    SEMICOLON = ";"
+    DOT = "."
+    COMMA = ","
+    ARROW = "<->"
+    EOF = "end of input"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: object  # str for IDENT/STRING, float/int for NUMBER
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        if self.type in (TokenType.IDENT, TokenType.STRING):
+            return f"{self.type.value} {self.value!r}"
+        if self.type is TokenType.NUMBER:
+            return f"number {self.value}"
+        return self.type.value
+
+
+_SINGLE = {
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    ";": TokenType.SEMICOLON,
+    ".": TokenType.DOT,
+    ",": TokenType.COMMA,
+}
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | set("0123456789-")
+_DIGITS = set("0123456789")
+
+
+class _Scanner:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def peek(self, ahead: int = 0) -> str:
+        idx = self.pos + ahead
+        return self.text[idx] if idx < len(self.text) else ""
+
+    def advance(self) -> str:
+        ch = self.text[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return ch
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos >= len(self.text)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Scan ``text`` into a token list ending with an EOF token."""
+    return list(iter_tokens(text))
+
+
+def iter_tokens(text: str) -> Iterator[Token]:
+    scanner = _Scanner(text)
+    while not scanner.exhausted:
+        ch = scanner.peek()
+        if ch in " \t\r\n":
+            scanner.advance()
+            continue
+        if ch == "#" or (ch == "/" and scanner.peek(1) == "/"):
+            _skip_line_comment(scanner)
+            continue
+        if ch == "/" and scanner.peek(1) == "*":
+            _skip_block_comment(scanner)
+            continue
+        line, column = scanner.line, scanner.column
+        if ch == "<":
+            yield _scan_arrow(scanner, line, column)
+            continue
+        if ch in _SINGLE:
+            # A dot between digits would be part of a number, but numbers
+            # never *start* with a dot in this language.
+            scanner.advance()
+            yield Token(_SINGLE[ch], ch, line, column)
+            continue
+        if ch == '"':
+            yield _scan_string(scanner, line, column)
+            continue
+        if ch in _DIGITS:
+            yield _scan_number(scanner, line, column)
+            continue
+        if ch in _IDENT_START:
+            yield _scan_ident(scanner, line, column)
+            continue
+        raise LexError(f"unexpected character {ch!r}", line, column)
+    yield Token(TokenType.EOF, None, scanner.line, scanner.column)
+
+
+def _skip_line_comment(scanner: _Scanner) -> None:
+    while not scanner.exhausted and scanner.peek() != "\n":
+        scanner.advance()
+
+
+def _skip_block_comment(scanner: _Scanner) -> None:
+    line, column = scanner.line, scanner.column
+    scanner.advance()  # '/'
+    scanner.advance()  # '*'
+    while True:
+        if scanner.exhausted:
+            raise LexError("unterminated block comment", line, column)
+        if scanner.peek() == "*" and scanner.peek(1) == "/":
+            scanner.advance()
+            scanner.advance()
+            return
+        scanner.advance()
+
+
+def _scan_arrow(scanner: _Scanner, line: int, column: int) -> Token:
+    text = scanner.peek() + scanner.peek(1) + scanner.peek(2)
+    if text != "<->":
+        raise LexError(f"expected '<->', found {text!r}", line, column)
+    for _ in range(3):
+        scanner.advance()
+    return Token(TokenType.ARROW, "<->", line, column)
+
+
+def _scan_string(scanner: _Scanner, line: int, column: int) -> Token:
+    scanner.advance()  # opening quote
+    chars: List[str] = []
+    while True:
+        if scanner.exhausted:
+            raise LexError("unterminated string literal", line, column)
+        ch = scanner.advance()
+        if ch == '"':
+            return Token(TokenType.STRING, "".join(chars), line, column)
+        if ch == "\n":
+            raise LexError("newline inside string literal", line, column)
+        if ch == "\\":
+            if scanner.exhausted:
+                raise LexError("dangling escape in string literal", line, column)
+            esc = scanner.advance()
+            mapping = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+            if esc not in mapping:
+                raise LexError(f"unknown escape \\{esc}", line, column)
+            chars.append(mapping[esc])
+        else:
+            chars.append(ch)
+
+
+def _scan_number(scanner: _Scanner, line: int, column: int) -> Token:
+    digits: List[str] = []
+    seen_dot = False
+    while not scanner.exhausted:
+        ch = scanner.peek()
+        if ch in _DIGITS:
+            digits.append(scanner.advance())
+        elif ch == "." and not seen_dot and scanner.peek(1) in _DIGITS:
+            seen_dot = True
+            digits.append(scanner.advance())
+        elif ch == "_" and scanner.peek(1) in _DIGITS:
+            scanner.advance()  # digit separator, e.g. 100_000
+        else:
+            break
+    text = "".join(digits)
+    value: object = float(text) if seen_dot else int(text)
+    return Token(TokenType.NUMBER, value, line, column)
+
+
+def _scan_ident(scanner: _Scanner, line: int, column: int) -> Token:
+    chars = [scanner.advance()]
+    while not scanner.exhausted and scanner.peek() in _IDENT_CONT:
+        chars.append(scanner.advance())
+    return Token(TokenType.IDENT, "".join(chars), line, column)

@@ -1,0 +1,356 @@
+"""Recursive-descent parser for the network specification language.
+
+Grammar (EBNF; keywords are case-sensitive identifiers)::
+
+    spec        := "network" "topology" IDENT "{" item* "}" EOF
+    item        := host | switch | hub | connect | qospath
+    host        := "host" IDENT "{" host_stmt* "}"
+    host_stmt   := "os" STRING ";"
+                 | "snmp" ("community" STRING | "off") ";"
+                 | "interface" IDENT "{" if_stmt* "}"
+                 | IDENT STRING ";"                      # free attribute
+    if_stmt     := "speed" rate ";" | "mtu" NUMBER ";"
+    switch      := "switch" IDENT "{" device_stmt* "}"
+    hub         := "hub" IDENT "{" device_stmt* "}"
+    device_stmt := "ports" NUMBER ["speed" rate] ";"
+                 | "snmp" ("community" STRING | "off") ";"
+                 | IDENT STRING ";"
+    connect     := "connect" endpoint "<->" endpoint
+                   ["[" "bandwidth" rate "]"] ";"
+    endpoint    := IDENT "." IDENT
+    qospath     := "qospath" IDENT "{" qos_stmt* "}"
+    qos_stmt    := "from" IDENT "to" IDENT ";"
+                 | "min_available" rate ";"
+                 | "max_utilization" NUMBER ";"
+    application := "application" IDENT "{" app_stmt* "}"
+    app_stmt    := "on" IDENT ";"
+                 | "sends" "to" IDENT "rate" rate ";"
+    rate        := NUMBER unit
+    unit        := "bps" | "Kbps" | "Mbps" | "Gbps"      # bits/second
+                 | "Bps" | "KBps" | "MBps" | "GBps"      # bytes/second
+
+Rates use decimal multipliers (the paper's "Kbytes/second" is 1000
+bytes/second).  ``ports N`` on a switch/hub expands into interfaces named
+``port1..portN``, matching the simulator's port naming.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.spec.lexer import Token, TokenType, tokenize
+from repro.topology.model import (
+    AppFlowSpec,
+    ApplicationSpec,
+    ConnectionSpec,
+    DeviceKind,
+    InterfaceRef,
+    InterfaceSpec,
+    NodeSpec,
+    QosPathSpec,
+    TopologySpec,
+)
+
+RATE_UNITS = {
+    "bps": 1.0,
+    "Kbps": 1e3,
+    "Mbps": 1e6,
+    "Gbps": 1e9,
+    "Bps": 8.0,
+    "KBps": 8e3,
+    "MBps": 8e6,
+    "GBps": 8e9,
+}
+
+
+class ParseError(ValueError):
+    """Raised with token position context on any syntax error."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"{message} at line {token.line}, column {token.column}")
+        self.token = token
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def expect(self, ttype: TokenType, what: str = "") -> Token:
+        token = self.peek()
+        if token.type is not ttype:
+            raise ParseError(f"expected {what or ttype.value}, found {token}", token)
+        return self.advance()
+
+    def expect_keyword(self, keyword: str) -> Token:
+        token = self.peek()
+        if token.type is not TokenType.IDENT or token.value != keyword:
+            raise ParseError(f"expected keyword {keyword!r}, found {token}", token)
+        return self.advance()
+
+    def at_keyword(self, keyword: str) -> bool:
+        token = self.peek()
+        return token.type is TokenType.IDENT and token.value == keyword
+
+    def ident(self, what: str = "name") -> str:
+        return str(self.expect(TokenType.IDENT, what).value)
+
+    def string(self, what: str = "string") -> str:
+        return str(self.expect(TokenType.STRING, what).value)
+
+    def number(self, what: str = "number") -> float:
+        return float(self.expect(TokenType.NUMBER, what).value)
+
+    def semicolon(self) -> None:
+        self.expect(TokenType.SEMICOLON, "';'")
+
+    def rate(self) -> float:
+        """A number followed by a unit identifier; returns bits/second."""
+        value = self.number("rate value")
+        unit_token = self.expect(TokenType.IDENT, "rate unit")
+        unit = str(unit_token.value)
+        if unit not in RATE_UNITS:
+            raise ParseError(
+                f"unknown rate unit {unit!r} (expected one of {sorted(RATE_UNITS)})",
+                unit_token,
+            )
+        return value * RATE_UNITS[unit]
+
+    # ------------------------------------------------------------------
+    # Grammar
+    # ------------------------------------------------------------------
+    def parse(self) -> TopologySpec:
+        self.expect_keyword("network")
+        self.expect_keyword("topology")
+        name = self.ident("topology name")
+        self.expect(TokenType.LBRACE, "'{'")
+        spec = TopologySpec(name=name)
+        while self.peek().type is not TokenType.RBRACE:
+            token = self.peek()
+            if token.type is not TokenType.IDENT:
+                raise ParseError(f"expected a declaration, found {token}", token)
+            keyword = str(token.value)
+            if keyword == "host":
+                spec.nodes.append(self._parse_host())
+            elif keyword == "switch":
+                spec.nodes.append(self._parse_device(DeviceKind.SWITCH))
+            elif keyword == "hub":
+                spec.nodes.append(self._parse_device(DeviceKind.HUB))
+            elif keyword == "connect":
+                spec.connections.append(self._parse_connect())
+            elif keyword == "qospath":
+                spec.qos_paths.append(self._parse_qospath())
+            elif keyword == "application":
+                spec.applications.append(self._parse_application())
+            else:
+                raise ParseError(f"unknown declaration {keyword!r}", token)
+        self.expect(TokenType.RBRACE, "'}'")
+        self.expect(TokenType.EOF, "end of file")
+        return spec
+
+    def _parse_host(self) -> NodeSpec:
+        self.expect_keyword("host")
+        name = self.ident("host name")
+        self.expect(TokenType.LBRACE, "'{'")
+        node = NodeSpec(name=name, kind=DeviceKind.HOST)
+        while self.peek().type is not TokenType.RBRACE:
+            if self.at_keyword("os"):
+                self.advance()
+                node.os_label = self.string("OS label")
+                self.semicolon()
+            elif self.at_keyword("snmp"):
+                self._parse_snmp(node)
+            elif self.at_keyword("interface"):
+                node.interfaces.append(self._parse_interface())
+            else:
+                key = self.ident("attribute name")
+                node.attributes[key] = self.string("attribute value")
+                self.semicolon()
+        self.expect(TokenType.RBRACE, "'}'")
+        if not node.interfaces:
+            # A host with no explicit interfaces gets a default NIC, the
+            # common case in hand-written specs.
+            node.interfaces.append(InterfaceSpec("eth0"))
+        return NodeSpec(  # re-validate with final interface list
+            name=node.name,
+            kind=node.kind,
+            interfaces=node.interfaces,
+            os_label=node.os_label,
+            snmp_enabled=node.snmp_enabled,
+            snmp_community=node.snmp_community,
+            attributes=node.attributes,
+        )
+
+    def _parse_interface(self) -> InterfaceSpec:
+        self.expect_keyword("interface")
+        name = self.ident("interface name")
+        speed = 100e6
+        mtu = 1500
+        self.expect(TokenType.LBRACE, "'{'")
+        while self.peek().type is not TokenType.RBRACE:
+            if self.at_keyword("speed"):
+                self.advance()
+                speed = self.rate()
+                self.semicolon()
+            elif self.at_keyword("mtu"):
+                self.advance()
+                mtu = int(self.number("MTU"))
+                self.semicolon()
+            else:
+                raise ParseError(f"unknown interface statement {self.peek()}", self.peek())
+        self.expect(TokenType.RBRACE, "'}'")
+        return InterfaceSpec(name, speed_bps=speed, mtu=mtu)
+
+    def _parse_device(self, kind: DeviceKind) -> NodeSpec:
+        self.expect_keyword(kind.value)
+        name = self.ident(f"{kind.value} name")
+        self.expect(TokenType.LBRACE, "'{'")
+        node = NodeSpec(name=name, kind=kind)
+        ports: Optional[int] = None
+        port_speed = 100e6 if kind is DeviceKind.SWITCH else 10e6
+        while self.peek().type is not TokenType.RBRACE:
+            if self.at_keyword("ports"):
+                self.advance()
+                ports = int(self.number("port count"))
+                if self.at_keyword("speed"):
+                    self.advance()
+                    port_speed = self.rate()
+                self.semicolon()
+            elif self.at_keyword("snmp"):
+                self._parse_snmp(node)
+            else:
+                key = self.ident("attribute name")
+                node.attributes[key] = self.string("attribute value")
+                self.semicolon()
+        close = self.expect(TokenType.RBRACE, "'}'")
+        if ports is None:
+            raise ParseError(f"{kind.value} {name!r} needs a 'ports N;' statement", close)
+        if ports < 2:
+            raise ParseError(f"{kind.value} {name!r} needs at least 2 ports", close)
+        interfaces = [InterfaceSpec(f"port{i + 1}", speed_bps=port_speed) for i in range(ports)]
+        return NodeSpec(
+            name=node.name,
+            kind=kind,
+            interfaces=interfaces,
+            snmp_enabled=node.snmp_enabled,
+            snmp_community=node.snmp_community,
+            attributes=node.attributes,
+        )
+
+    def _parse_snmp(self, node: NodeSpec) -> None:
+        self.expect_keyword("snmp")
+        if self.at_keyword("off"):
+            self.advance()
+            node.snmp_enabled = False
+        else:
+            self.expect_keyword("community")
+            node.snmp_community = self.string("community string")
+            node.snmp_enabled = True
+        self.semicolon()
+
+    def _parse_endpoint(self) -> InterfaceRef:
+        node = self.ident("device name")
+        self.expect(TokenType.DOT, "'.'")
+        iface = self.ident("interface name")
+        return InterfaceRef(node, iface)
+
+    def _parse_connect(self) -> ConnectionSpec:
+        self.expect_keyword("connect")
+        end_a = self._parse_endpoint()
+        self.expect(TokenType.ARROW, "'<->'")
+        end_b = self._parse_endpoint()
+        bandwidth: Optional[float] = None
+        if self.peek().type is TokenType.LBRACKET:
+            self.advance()
+            self.expect_keyword("bandwidth")
+            bandwidth = self.rate()
+            self.expect(TokenType.RBRACKET, "']'")
+        self.semicolon()
+        return ConnectionSpec(end_a, end_b, bandwidth_bps=bandwidth)
+
+    def _parse_qospath(self) -> QosPathSpec:
+        self.expect_keyword("qospath")
+        name = self.ident("QoS path name")
+        self.expect(TokenType.LBRACE, "'{'")
+        src: Optional[str] = None
+        dst: Optional[str] = None
+        min_available: Optional[float] = None
+        max_utilization: Optional[float] = None
+        while self.peek().type is not TokenType.RBRACE:
+            if self.at_keyword("from"):
+                self.advance()
+                src = self.ident("source host")
+                self.expect_keyword("to")
+                dst = self.ident("destination host")
+                self.semicolon()
+            elif self.at_keyword("min_available"):
+                self.advance()
+                min_available = self.rate()
+                self.semicolon()
+            elif self.at_keyword("max_utilization"):
+                self.advance()
+                max_utilization = self.number("utilization fraction")
+                self.semicolon()
+            else:
+                raise ParseError(f"unknown qospath statement {self.peek()}", self.peek())
+        close = self.expect(TokenType.RBRACE, "'}'")
+        if src is None or dst is None:
+            raise ParseError(f"qospath {name!r} needs a 'from X to Y;' statement", close)
+        return QosPathSpec(
+            name=name,
+            src=src,
+            dst=dst,
+            min_available_bps=min_available,
+            max_utilization=max_utilization,
+        )
+
+    def _parse_application(self) -> ApplicationSpec:
+        self.expect_keyword("application")
+        name = self.ident("application name")
+        self.expect(TokenType.LBRACE, "'{'")
+        host: Optional[str] = None
+        flows: List[AppFlowSpec] = []
+        while self.peek().type is not TokenType.RBRACE:
+            if self.at_keyword("on"):
+                self.advance()
+                host = self.ident("host name")
+                self.semicolon()
+            elif self.at_keyword("sends"):
+                self.advance()
+                self.expect_keyword("to")
+                dst_app = self.ident("destination application")
+                self.expect_keyword("rate")
+                rate = self.rate()
+                self.semicolon()
+                flows.append(AppFlowSpec(dst_app=dst_app, rate_bps=rate))
+            else:
+                raise ParseError(
+                    f"unknown application statement {self.peek()}", self.peek()
+                )
+        close = self.expect(TokenType.RBRACE, "'}'")
+        if host is None:
+            raise ParseError(f"application {name!r} needs an 'on HOST;' statement", close)
+        return ApplicationSpec(name=name, host=host, flows=flows)
+
+
+def parse_spec(text: str) -> TopologySpec:
+    """Parse specification ``text`` into a :class:`TopologySpec`."""
+    return _Parser(tokenize(text)).parse()
+
+
+def parse_file(path) -> TopologySpec:
+    """Parse the specification file at ``path``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_spec(fh.read())

@@ -1,0 +1,94 @@
+"""Serialise a :class:`TopologySpec` back to specification text.
+
+Provides the round-trip (``parse(write(spec)) == spec`` up to formatting)
+that keeps generated topologies, e.g. from the dynamic-discovery
+extension, expressible in the same language operators edit by hand.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.topology.model import DeviceKind, NodeSpec, TopologySpec
+
+
+def _format_rate(bps: float) -> str:
+    """Pick the tersest exact unit for a bits/second value."""
+    for unit, factor in (("Gbps", 1e9), ("Mbps", 1e6), ("Kbps", 1e3)):
+        scaled = bps / factor
+        if scaled >= 1 and scaled == int(scaled):
+            return f"{int(scaled)} {unit}"
+    if bps == int(bps):
+        return f"{int(bps)} bps"
+    return f"{bps} bps"
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _write_host(node: NodeSpec, out: List[str]) -> None:
+    out.append(f"    host {node.name} {{")
+    if node.os_label != "generic":
+        out.append(f'        os "{_escape(node.os_label)}";')
+    if node.snmp_enabled:
+        out.append(f'        snmp community "{_escape(node.snmp_community)}";')
+    for key, value in sorted(node.attributes.items()):
+        out.append(f'        {key} "{_escape(value)}";')
+    for iface in node.interfaces:
+        out.append(f"        interface {iface.local_name} {{")
+        out.append(f"            speed {_format_rate(iface.speed_bps)};")
+        if iface.mtu != 1500:
+            out.append(f"            mtu {iface.mtu};")
+        out.append("        }")
+    out.append("    }")
+
+
+def _write_device(node: NodeSpec, out: List[str]) -> None:
+    out.append(f"    {node.kind.value} {node.name} {{")
+    if node.snmp_enabled:
+        out.append(f'        snmp community "{_escape(node.snmp_community)}";')
+    for key, value in sorted(node.attributes.items()):
+        out.append(f'        {key} "{_escape(value)}";')
+    speed = node.interfaces[0].speed_bps if node.interfaces else 100e6
+    out.append(f"        ports {len(node.interfaces)} speed {_format_rate(speed)};")
+    out.append("    }")
+
+
+def write_spec(spec: TopologySpec) -> str:
+    """Render ``spec`` as parseable specification text."""
+    out: List[str] = [f"network topology {spec.name} {{"]
+    for node in spec.nodes:
+        if node.kind is DeviceKind.HOST:
+            _write_host(node, out)
+        else:
+            _write_device(node, out)
+    if spec.connections:
+        out.append("")
+    for conn in spec.connections:
+        suffix = ""
+        if conn.bandwidth_bps is not None:
+            suffix = f" [ bandwidth {_format_rate(conn.bandwidth_bps)} ]"
+        out.append(f"    connect {conn.end_a} <-> {conn.end_b}{suffix};")
+    if spec.qos_paths:
+        out.append("")
+    for path in spec.qos_paths:
+        out.append(f"    qospath {path.name} {{")
+        out.append(f"        from {path.src} to {path.dst};")
+        if path.min_available_bps is not None:
+            out.append(f"        min_available {_format_rate(path.min_available_bps)};")
+        if path.max_utilization is not None:
+            out.append(f"        max_utilization {path.max_utilization};")
+        out.append("    }")
+    if spec.applications:
+        out.append("")
+    for app in spec.applications:
+        out.append(f"    application {app.name} {{")
+        out.append(f"        on {app.host};")
+        for flow in app.flows:
+            out.append(
+                f"        sends to {flow.dst_app} rate {_format_rate(flow.rate_bps)};"
+            )
+        out.append("    }")
+    out.append("}")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,35 @@
+"""Topology model shared by the spec language, the monitor and the RM.
+
+This is the in-memory form of the paper's Figure 2 data structures::
+
+    Host { host_name; LinkedList interfaces; ... }
+    Interface { localName; ... }
+    HostPairConnection { Host host1; Interface interface1;
+                         Host host2; Interface interface2; }
+    NetworkTopology { LinkedList hosts; LinkedList hostPairConnections; }
+
+extended with the device kind (host / switch / hub -- the monitor's
+bandwidth rules differ by kind) and SNMP capability flags.
+"""
+
+from repro.topology.model import (
+    ConnectionSpec,
+    DeviceKind,
+    InterfaceRef,
+    InterfaceSpec,
+    NodeSpec,
+    TopologyError,
+    TopologySpec,
+)
+from repro.topology.graph import TopologyGraph
+
+__all__ = [
+    "ConnectionSpec",
+    "DeviceKind",
+    "InterfaceRef",
+    "InterfaceSpec",
+    "NodeSpec",
+    "TopologyError",
+    "TopologyGraph",
+    "TopologySpec",
+]

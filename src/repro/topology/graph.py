@@ -1,0 +1,113 @@
+"""Graph view of a :class:`~repro.topology.model.TopologySpec`.
+
+Provides the adjacency structure the monitor's recursive path traversal
+walks, connectivity/cycle queries used by spec validation, and a networkx
+export for analysis and visualisation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.topology.model import ConnectionSpec, TopologyError, TopologySpec
+
+
+class TopologyGraph:
+    """Adjacency over nodes, with connections as edges."""
+
+    def __init__(self, spec: TopologySpec) -> None:
+        self.spec = spec
+        self._adjacency: Dict[str, List[Tuple[ConnectionSpec, str]]] = {
+            node.name: [] for node in spec.nodes
+        }
+        for conn in spec.connections:
+            for end, other in ((conn.end_a, conn.end_b), (conn.end_b, conn.end_a)):
+                if end.node not in self._adjacency:
+                    raise TopologyError(f"connection {conn} references unknown node {end.node!r}")
+                self._adjacency[end.node].append((conn, other.node))
+
+    def neighbors(self, node_name: str) -> List[Tuple[ConnectionSpec, str]]:
+        """Connections leaving ``node_name`` with the peer node name."""
+        try:
+            return list(self._adjacency[node_name])
+        except KeyError:
+            raise TopologyError(f"no node named {node_name!r}") from None
+
+    def degree(self, node_name: str) -> int:
+        return len(self.neighbors(node_name))
+
+    # ------------------------------------------------------------------
+    # Connectivity
+    # ------------------------------------------------------------------
+    def reachable_from(self, start: str) -> Set[str]:
+        if start not in self._adjacency:
+            raise TopologyError(f"no node named {start!r}")
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for _conn, peer in self._adjacency[node]:
+                if peer not in seen:
+                    seen.add(peer)
+                    frontier.append(peer)
+        return seen
+
+    def is_connected(self) -> bool:
+        if not self._adjacency:
+            return True
+        first = next(iter(self._adjacency))
+        return self.reachable_from(first) == set(self._adjacency)
+
+    def has_cycle(self) -> bool:
+        """True when the physical topology contains a layer-2 loop.
+
+        Loops matter because neither the simulated devices nor the paper's
+        testbed run spanning-tree; validation warns on them.
+        """
+        parent: Dict[str, str] = {}
+
+        def find(x: str) -> str:
+            while parent.get(x, x) != x:
+                parent[x] = parent.get(parent[x], parent[x])
+                x = parent[x]
+            return x
+
+        for conn in self.spec.connections:
+            ra, rb = find(conn.end_a.node), find(conn.end_b.node)
+            if ra == rb:
+                return True
+            parent[ra] = rb
+        return False
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_networkx(self) -> "nx.MultiGraph":
+        """A MultiGraph (parallel links are legal between two devices)."""
+        graph = nx.MultiGraph(name=self.spec.name)
+        for node in self.spec.nodes:
+            graph.add_node(
+                node.name,
+                kind=node.kind.value,
+                snmp=node.snmp_enabled,
+                os=node.os_label,
+            )
+        for conn in self.spec.connections:
+            graph.add_edge(
+                conn.end_a.node,
+                conn.end_b.node,
+                interface_a=conn.end_a.interface,
+                interface_b=conn.end_b.interface,
+                bandwidth_bps=self.spec.effective_bandwidth(conn),
+            )
+        return graph
+
+    def shortest_hop_path(self, src: str, dst: str) -> Optional[List[str]]:
+        """Node names along a minimum-hop path, or None if disconnected."""
+        graph = self.to_networkx()
+        try:
+            return nx.shortest_path(graph, src, dst)
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return None

@@ -1,0 +1,120 @@
+"""Unit tests for MAC/IPv4 address types and allocators."""
+
+import pytest
+
+from repro.simnet.address import (
+    BROADCAST_MAC,
+    AddressError,
+    IPv4Address,
+    IPv4Allocator,
+    MacAddress,
+    MacAllocator,
+)
+
+
+class TestMacAddress:
+    def test_parse_colon_form(self):
+        mac = MacAddress("02:00:00:00:00:01")
+        assert mac.value == 0x020000000001
+
+    def test_parse_dash_form(self):
+        assert MacAddress("02-00-00-00-00-01") == MacAddress("02:00:00:00:00:01")
+
+    def test_str_roundtrip(self):
+        mac = MacAddress(0xAABBCCDDEEFF)
+        assert MacAddress(str(mac)) == mac
+        assert str(mac) == "aa:bb:cc:dd:ee:ff"
+
+    def test_to_bytes(self):
+        assert MacAddress("00:11:22:33:44:55").to_bytes() == bytes.fromhex("001122334455")
+
+    def test_broadcast_detection(self):
+        assert BROADCAST_MAC.is_broadcast
+        assert not MacAddress(1).is_broadcast
+
+    def test_multicast_bit(self):
+        assert MacAddress("01:00:5e:00:00:01").is_multicast
+        assert not MacAddress("02:00:00:00:00:01").is_multicast
+        assert BROADCAST_MAC.is_multicast  # broadcast sets the group bit too
+
+    def test_ordering_and_hash(self):
+        a, b = MacAddress(1), MacAddress(2)
+        assert a < b
+        assert len({a, MacAddress(1)}) == 1
+
+    @pytest.mark.parametrize("bad", ["", "02:00", "02:00:00:00:00:zz", "0:0:0:0:0:0"])
+    def test_malformed_strings(self, bad):
+        with pytest.raises(AddressError):
+            MacAddress(bad)
+
+    def test_out_of_range_int(self):
+        with pytest.raises(AddressError):
+            MacAddress(1 << 48)
+        with pytest.raises(AddressError):
+            MacAddress(-1)
+
+    def test_copy_constructor(self):
+        mac = MacAddress(42)
+        assert MacAddress(mac) == mac
+
+
+class TestIPv4Address:
+    def test_parse_and_str(self):
+        ip = IPv4Address("10.0.0.1")
+        assert ip.value == (10 << 24) + 1
+        assert str(ip) == "10.0.0.1"
+
+    def test_to_bytes(self):
+        assert IPv4Address("1.2.3.4").to_bytes() == bytes([1, 2, 3, 4])
+
+    def test_ordering(self):
+        assert IPv4Address("10.0.0.1") < IPv4Address("10.0.0.2")
+
+    def test_in_subnet(self):
+        ip = IPv4Address("10.0.5.7")
+        assert ip.in_subnet(IPv4Address("10.0.0.0"), 16)
+        assert not ip.in_subnet(IPv4Address("10.1.0.0"), 16)
+        assert ip.in_subnet(IPv4Address("0.0.0.0"), 0)
+
+    def test_in_subnet_bad_prefix(self):
+        with pytest.raises(AddressError):
+            IPv4Address("10.0.0.1").in_subnet(IPv4Address("10.0.0.0"), 33)
+
+    @pytest.mark.parametrize("bad", ["", "10.0.0", "10.0.0.256", "a.b.c.d", "10.0.0.1.2"])
+    def test_malformed(self, bad):
+        with pytest.raises(AddressError):
+            IPv4Address(bad)
+
+    def test_mac_and_ip_never_equal(self):
+        assert MacAddress(5) != IPv4Address(5)
+
+
+class TestAllocators:
+    def test_mac_allocator_unique_and_unicast(self):
+        alloc = MacAllocator()
+        macs = [alloc.allocate() for _ in range(100)]
+        assert len(set(macs)) == 100
+        assert all(not m.is_multicast and not m.is_broadcast for m in macs)
+
+    def test_ip_allocator_stays_in_subnet(self):
+        alloc = IPv4Allocator("192.168.0.0", 24)
+        ips = [alloc.allocate() for _ in range(50)]
+        assert len(set(ips)) == 50
+        assert all(ip.in_subnet(IPv4Address("192.168.0.0"), 24) for ip in ips)
+
+    def test_ip_allocator_exhaustion(self):
+        alloc = IPv4Allocator("192.168.0.0", 30)  # 2 usable hosts
+        alloc.allocate()
+        alloc.allocate()
+        with pytest.raises(AddressError):
+            alloc.allocate()
+
+    def test_ip_allocator_rejects_tiny_subnet(self):
+        with pytest.raises(AddressError):
+            IPv4Allocator("192.168.0.0", 31)
+
+    def test_allocators_deterministic(self):
+        alloc1, alloc2 = MacAllocator(), MacAllocator()
+        seq1 = [alloc1.allocate() for _ in range(5)]
+        seq2 = [alloc2.allocate() for _ in range(5)]
+        assert seq1 == seq2  # fresh allocators produce identical sequences

@@ -1,0 +1,88 @@
+"""Tests for the ASCII chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.charts import AsciiChart, ChartError, render_pair
+from repro.experiments.scenarios import SeriesPair
+
+
+def simple_chart(**kwargs):
+    chart = AsciiChart(title="t", **kwargs)
+    chart.add_series("s", [0.0, 1.0, 2.0], [0.0, 5.0, 10.0])
+    return chart
+
+
+class TestAsciiChart:
+    def test_render_contains_axes_and_legend(self):
+        text = simple_chart().render()
+        assert "t" in text.splitlines()[0]
+        assert "10.0" in text  # y max tick
+        assert "0.0" in text  # y min tick
+        assert "* s" in text  # legend
+        assert "time (s)" in text
+
+    def test_markers_appear(self):
+        text = simple_chart().render()
+        assert text.count("*") >= 3 + 1  # three points + legend
+
+    def test_peak_on_top_row(self):
+        chart = AsciiChart(height=6, width=30)
+        chart.add_series("s", [0, 1, 2], [0, 0, 100])
+        rows = [l for l in chart.render().splitlines() if "|" in l]
+        assert "*" in rows[0]  # the 100 lands on the top row
+        assert "*" in rows[-1]  # the zeros land on the bottom row
+
+    def test_multiple_series_distinct_markers(self):
+        chart = AsciiChart(width=40, height=8)
+        chart.add_series("a", [0, 1], [1, 1], marker="a")
+        chart.add_series("b", [0, 1], [2, 2], marker="b")
+        text = chart.render()
+        assert "a" in text and "b" in text
+
+    def test_flat_zero_series_renders(self):
+        chart = AsciiChart(width=30, height=5)
+        chart.add_series("flat", [0, 1, 2], [0, 0, 0])
+        chart.render()  # must not divide by zero
+
+    def test_empty_series_rejected(self):
+        chart = AsciiChart()
+        with pytest.raises(ChartError):
+            chart.add_series("e", [], [])
+
+    def test_mismatched_lengths_rejected(self):
+        chart = AsciiChart()
+        with pytest.raises(ChartError):
+            chart.add_series("e", [0, 1], [1])
+
+    def test_bad_marker_rejected(self):
+        chart = AsciiChart()
+        with pytest.raises(ChartError):
+            chart.add_series("e", [0], [1], marker="**")
+
+    def test_no_series_rejected(self):
+        with pytest.raises(ChartError):
+            AsciiChart().render()
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ChartError):
+            AsciiChart(width=5, height=2)
+
+    def test_width_respected(self):
+        text = simple_chart(width=40, height=6).render()
+        plot_rows = [l for l in text.splitlines() if "|" in l]
+        assert all(len(row) <= 10 + 2 + 40 for row in plot_rows)
+
+
+class TestRenderPair:
+    def test_renders_generated_and_measured(self):
+        pair = SeriesPair(
+            label="p",
+            times=np.array([0.0, 1.0, 2.0]),
+            measured_kbps=np.array([0.0, 101.0, 99.0]),
+            generated_kbps=np.array([0.0, 100.0, 100.0]),
+        )
+        text = render_pair(pair, title="demo")
+        assert "demo" in text
+        assert "generated" in text and "measured" in text
+        assert "KB/s" in text

@@ -1,0 +1,161 @@
+"""Tests for the repro command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+GOOD_SPEC = """
+network topology demo {
+    host L  { snmp community "public"; }
+    host S1 { snmp community "public"; }
+    host N1 { snmp community "public"; interface el0 { speed 10 Mbps; } }
+    switch sw { snmp community "public"; ports 6; }
+    hub hb { ports 4; }
+    connect L.eth0 <-> sw.port1;
+    connect S1.eth0 <-> sw.port2;
+    connect sw.port3 <-> hb.port1;
+    connect N1.el0 <-> hb.port2;
+}
+"""
+
+BAD_SPEC = """
+network topology broken {
+    host A { }
+    connect A.eth0 <-> ghost.port1;
+}
+"""
+
+
+@pytest.fixture
+def good_spec(tmp_path):
+    path = tmp_path / "demo.net"
+    path.write_text(GOOD_SPEC)
+    return str(path)
+
+
+@pytest.fixture
+def bad_spec(tmp_path):
+    path = tmp_path / "broken.net"
+    path.write_text(BAD_SPEC)
+    return str(path)
+
+
+class TestValidate:
+    def test_good_spec_exits_zero(self, good_spec, capsys):
+        assert main(["validate", good_spec]) == 0
+        out = capsys.readouterr().out
+        assert "ok: 5 nodes, 4 connections" in out
+
+    def test_bad_spec_exits_one(self, bad_spec, capsys):
+        assert main(["validate", bad_spec]) == 1
+        captured = capsys.readouterr()
+        assert "unknown node 'ghost'" in captured.out
+        assert "error(s)" in captured.err
+
+    def test_unparseable_file(self, tmp_path, capsys):
+        path = tmp_path / "junk.net"
+        path.write_text("this is not a spec")
+        assert main(["validate", str(path)]) == 1
+
+    def test_missing_file(self, capsys):
+        assert main(["validate", "/nonexistent/path.net"]) == 1
+
+
+class TestShow:
+    def test_prints_normalised_spec(self, good_spec, capsys):
+        assert main(["show", good_spec]) == 0
+        out = capsys.readouterr().out
+        assert "network topology demo {" in out
+        assert "# hosts: L, S1, N1" in out
+        assert "# snmp-enabled:" in out
+
+    def test_bad_spec_fails(self, bad_spec):
+        assert main(["show", bad_spec]) == 1
+
+
+class TestMonitor:
+    def test_end_to_end_monitoring(self, good_spec, capsys):
+        code = main([
+            "monitor", good_spec, "--host", "L",
+            "--watch", "S1:N1",
+            "--load", "L:N1:200:5:20",
+            "--until", "30",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "S1<->N1:" in out
+        assert "used max" in out
+        assert "timeouts" in out
+
+    def test_chart_flag(self, good_spec, capsys):
+        code = main([
+            "monitor", good_spec, "--host", "L",
+            "--watch", "S1:N1", "--until", "12", "--chart",
+        ])
+        assert code == 0
+        assert "measured used bandwidth" in capsys.readouterr().out
+
+    def test_watch_required(self, good_spec, capsys):
+        assert main(["monitor", good_spec, "--host", "L"]) == 2
+
+    def test_malformed_watch(self, good_spec, capsys):
+        code = main(["monitor", good_spec, "--host", "L", "--watch", "S1"])
+        assert code == 2
+
+    def test_malformed_load(self, good_spec, capsys):
+        code = main([
+            "monitor", good_spec, "--host", "L",
+            "--watch", "S1:N1", "--load", "L:N1:200",
+        ])
+        assert code == 2
+
+    def test_unknown_host(self, good_spec, capsys):
+        code = main(["monitor", good_spec, "--host", "nope", "--watch", "S1:N1"])
+        assert code == 2
+
+
+class TestDiscover:
+    def test_discovery_runs_clean(self, good_spec, capsys):
+        assert main(["discover", good_spec, "--host", "L"]) == 0
+        out = capsys.readouterr().out
+        assert "sw port 1: L" in out
+        assert "mismatch" not in out
+
+    def test_bad_spec_fails(self, bad_spec):
+        assert main(["discover", bad_spec, "--host", "L"]) == 1
+
+
+class TestMatrix:
+    def test_matrix_renders(self, good_spec, capsys):
+        code = main([
+            "matrix", good_spec, "--host", "L",
+            "--load", "L:N1:400:5:25", "--until", "30",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "path available (KB/s)" in out
+        assert "tightest pair" in out
+        assert "N1" in out
+
+    def test_matrix_utilization_metric(self, good_spec, capsys):
+        code = main([
+            "matrix", good_spec, "--host", "L", "--until", "10",
+            "--metric", "utilization",
+        ])
+        assert code == 0
+        assert "%" in capsys.readouterr().out
+
+    def test_matrix_bad_host(self, good_spec, capsys):
+        assert main(["matrix", good_spec, "--host", "zzz"]) == 1
+
+
+class TestExperiment:
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_fig5_runs(self, capsys):
+        assert main(["experiment", "fig5", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "hub sum" in out

@@ -1,0 +1,157 @@
+"""Property-based conservation invariants for the LAN substrate.
+
+Every bandwidth figure the monitor reports is a counter difference, so
+the counters themselves must conserve octets exactly:
+
+- what a host's socket sends (plus headers) equals what its NIC counts out;
+- what the destination NIC counts in equals what the DISCARD sink absorbs
+  (plus headers);
+- a switch moves unicast bytes from exactly one ingress port to exactly
+  one egress port;
+- a hub repeats every frame to every other port, where exactly one
+  station accepts it and the rest MAC-filter it.
+
+Hypothesis drives random traffic patterns through both device types.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet.network import Network
+from repro.simnet.packet import IPV4_HEADER_SIZE, UDP_HEADER_SIZE
+from repro.simnet.sockets import DISCARD_PORT
+
+HEADERS = UDP_HEADER_SIZE + IPV4_HEADER_SIZE
+
+# (src index, dst index, payload size) over 4 hosts; sizes stay below the
+# MTU so one datagram is one frame and the arithmetic is exact.
+flows = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=1, max_value=1400),
+    ),
+    min_size=1,
+    max_size=25,
+).map(lambda raw: [(s, d, size) for s, d, size in raw if s != d])
+
+
+def build(device_kind: str):
+    net = Network()
+    hosts = [net.add_host(f"h{i}") for i in range(4)]
+    if device_kind == "switch":
+        dev = net.add_switch("dev", 6, managed=False)
+    else:
+        dev = net.add_hub("dev", 6, speed_bps=10e6)
+    for host in hosts:
+        net.connect(host, dev)
+    net.announce_hosts()
+    net.run(0.05)  # announcements done; FDB warm
+    return net, hosts, dev
+
+
+def baseline(hosts):
+    return [h.interfaces[0].counters.snapshot() for h in hosts]
+
+
+def run_flows(net, hosts, pattern):
+    socks = [h.create_socket() for h in hosts]
+    for i, (src, dst, size) in enumerate(pattern):
+        # Stagger sends so hub serialisation never overflows queues.
+        net.sim.schedule_at(net.now + 0.01 * i, socks[src].sendto, size,
+                           (hosts[dst].primary_ip, DISCARD_PORT))
+    net.run(net.now + 0.01 * len(pattern) + 2.0)
+
+
+class TestSwitchConservation:
+    @settings(max_examples=25, deadline=None)
+    @given(flows)
+    def test_octets_conserved_end_to_end(self, pattern):
+        net, hosts, dev = build("switch")
+        before = baseline(hosts)
+        discard_before = [h.discard.octets for h in hosts]
+        run_flows(net, hosts, pattern)
+
+        sent_payload = [0] * 4
+        recv_payload = [0] * 4
+        frames_out = [0] * 4
+        frames_in = [0] * 4
+        for src, dst, size in pattern:
+            sent_payload[src] += size
+            recv_payload[dst] += size
+            frames_out[src] += 1
+            frames_in[dst] += 1
+
+        for i, host in enumerate(hosts):
+            counters = host.interfaces[0].counters
+            # NIC out = payload + per-datagram headers (sender side).
+            assert (
+                counters.out_octets - before[i]["out_octets"]
+                == sent_payload[i] + HEADERS * frames_out[i]
+            )
+            # NIC in = payload + headers (receiver side).
+            assert (
+                counters.in_octets - before[i]["in_octets"]
+                == recv_payload[i] + HEADERS * frames_in[i]
+            )
+            # The DISCARD sink saw exactly the payload bytes.
+            assert host.discard.octets - discard_before[i] == recv_payload[i]
+            # A switch never shows this host anyone else's unicast.
+            assert counters.in_filtered_pkts == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(flows)
+    def test_switch_port_counters_mirror_hosts(self, pattern):
+        net, hosts, dev = build("switch")
+        port_before = [p.counters.snapshot() for p in dev.interfaces[:4]]
+        host_before = baseline(hosts)
+        run_flows(net, hosts, pattern)
+        for i, host in enumerate(hosts):
+            port = dev.interfaces[i]
+            host_out = host.interfaces[0].counters.out_octets - host_before[i]["out_octets"]
+            host_in = host.interfaces[0].counters.in_octets - host_before[i]["in_octets"]
+            # Port in = what the host sent; port out = what it received.
+            assert port.counters.in_octets - port_before[i]["in_octets"] == host_out
+            assert port.counters.out_octets - port_before[i]["out_octets"] == host_in
+
+
+class TestHubConservation:
+    @settings(max_examples=25, deadline=None)
+    @given(flows)
+    def test_unicast_accepted_once_filtered_elsewhere(self, pattern):
+        net, hosts, dev = build("hub")
+        before = baseline(hosts)
+        discard_before = [h.discard.octets for h in hosts]
+        run_flows(net, hosts, pattern)
+
+        recv_payload = [0] * 4
+        frames_to = [0] * 4
+        total_frames = len(pattern)
+        for src, dst, size in pattern:
+            recv_payload[dst] += size
+            frames_to[dst] += 1
+
+        for i, host in enumerate(hosts):
+            counters = host.interfaces[0].counters
+            # Delivered exactly its own traffic...
+            assert host.discard.octets - discard_before[i] == recv_payload[i]
+            assert (
+                counters.in_ucast_pkts - before[i]["in_ucast_pkts"] == frames_to[i]
+            )
+            # ...and MAC-filtered every frame the hub repeated past it
+            # that was neither sent by nor addressed to it.
+            frames_from_me = sum(1 for s, d, _sz in pattern if s == i)
+            expected_filtered = total_frames - frames_to[i] - frames_from_me
+            assert (
+                counters.in_filtered_pkts - before[i]["in_filtered_pkts"]
+                == expected_filtered
+            )
+
+    @settings(max_examples=10, deadline=None)
+    @given(flows)
+    def test_hub_repeats_every_frame_once(self, pattern):
+        net, hosts, dev = build("hub")
+        repeated_before = dev.frames_repeated
+        run_flows(net, hosts, pattern)
+        assert dev.frames_repeated - repeated_before == len(pattern)
+        assert dev.frames_dropped == 0

@@ -1,0 +1,118 @@
+"""Tests for the distributed-monitoring extension."""
+
+import pytest
+
+from repro.core.distributed import (
+    DistributedMonitor,
+    decode_sample,
+    encode_sample,
+)
+from repro.core.poller import InterfaceRates
+from repro.experiments.testbed import build_testbed
+from repro.simnet.trafficgen import StaircaseLoad, StepSchedule
+
+
+class TestSampleCodec:
+    def test_roundtrip(self):
+        sample = InterfaceRates("S1", 3, 12.5, 2.0, 100.5, 50.25, 10.0, 5.0)
+        assert decode_sample(encode_sample(sample)) == sample
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            decode_sample(b"not json")
+
+
+def distributed(worker_hosts=("L", "S1", "S2"), **kwargs):
+    build = build_testbed()
+    dm = DistributedMonitor(
+        build, coordinator_host="L", worker_hosts=list(worker_hosts),
+        poll_jitter=0.0, **kwargs
+    )
+    return build, dm
+
+
+class TestPartitioning:
+    def test_every_snmp_node_assigned_exactly_once(self):
+        build, dm = distributed()
+        assigned = [t for w in dm.workers.values() for t in w.poller.targets]
+        assert sorted(t.node for t in assigned) == [
+            "L", "N1", "N2", "S1", "S2", "switch",
+        ]
+
+    def test_affinity_workers_poll_themselves(self):
+        build, dm = distributed()
+        assert "L" in dm.targets_of("L")
+        assert "S1" in dm.targets_of("S1")
+        assert "S2" in dm.targets_of("S2")
+
+    def test_single_worker_gets_everything(self):
+        build, dm = distributed(worker_hosts=("S2",))
+        assert sorted(dm.targets_of("S2")) == [
+            "L", "N1", "N2", "S1", "S2", "switch",
+        ]
+
+    def test_no_workers_rejected(self):
+        build = build_testbed()
+        with pytest.raises(ValueError):
+            DistributedMonitor(build, "L", [])
+
+
+class TestOperation:
+    def test_measurements_match_single_monitor_semantics(self):
+        build, dm = distributed()
+        label = dm.watch_path("S1", "N1")
+        net = build.network
+        StaircaseLoad(
+            net.host("L"), net.ip_of("N1"), StepSchedule.pulse(5.0, 35.0, 300_000.0)
+        ).start()
+        dm.start()
+        net.run(40.0)
+        series = dm.history.series(label)
+        assert series.used().max() == pytest.approx(300_000 * 1.019, rel=0.08)
+        assert dm.samples_received > 0
+        assert dm.decode_errors == 0
+
+    def test_load_spread_across_workers(self):
+        build, dm = distributed()
+        dm.watch_path("S1", "N1")
+        dm.start()
+        build.network.run(20.0)
+        per_worker = dm.stats()["per_worker_requests"]
+        active = [count for count in per_worker.values() if count > 0]
+        assert len(active) == 3  # all three workers actually polled
+
+    def test_subscribers_receive_reports(self):
+        build, dm = distributed()
+        dm.watch_path("S1", "N1")
+        seen = []
+        dm.subscribe(seen.append)
+        dm.start()
+        build.network.run(12.0)
+        assert len(seen) >= 3
+
+    def test_stop_halts_workers(self):
+        build, dm = distributed()
+        dm.watch_path("S1", "N1")
+        dm.start()
+        build.network.run(10.0)
+        dm.stop()
+        build.network.run(11.0)  # drain datagrams already on the wire
+        received = dm.samples_received
+        build.network.run(40.0)
+        assert dm.samples_received == received
+
+    def test_duplicate_watch_rejected(self):
+        build, dm = distributed()
+        dm.watch_path("S1", "N1")
+        with pytest.raises(ValueError):
+            dm.watch_path("S1", "N1")
+
+    def test_report_shipping_is_real_traffic(self):
+        """Workers' sample datagrams traverse the network to the coordinator."""
+        build, dm = distributed(worker_hosts=("S2",))
+        dm.watch_path("S1", "N1")
+        s2 = build.network.host("S2")
+        base = s2.interfaces[0].counters.out_octets
+        dm.start()
+        build.network.run(15.0)
+        assert s2.interfaces[0].counters.out_octets > base + 1000

@@ -1,0 +1,113 @@
+"""Tests for the latency extension: model estimate + probe measurement."""
+
+import pytest
+
+from repro.core.latency import LatencyEstimator, PathProber
+from repro.core.monitor import NetworkMonitor
+from repro.experiments.testbed import build_testbed
+from repro.simnet.sockets import EchoService
+from repro.simnet.trafficgen import StaircaseLoad, StepSchedule
+
+
+def system():
+    build = build_testbed()
+    monitor = NetworkMonitor(build, "L", poll_jitter=0.0)
+    return build, monitor, LatencyEstimator(build.spec, monitor.calculator)
+
+
+class TestEstimator:
+    def test_idle_path_dominated_by_transmission(self):
+        build, monitor, est = system()
+        e = est.estimate_path("S1", "N1")
+        # Idle: 100 Mb/s hop ~0.12 ms + two 10 Mb/s crossings ~1.2 ms each
+        # (link + hub repeat); queueing 0.
+        assert e.queueing_s == 0.0
+        assert 0.001 < e.total_s < 0.006
+        assert len(e.per_connection_s) == 3
+
+    def test_switch_only_path_faster_than_hub_path(self):
+        build, monitor, est = system()
+        fast = est.estimate_path("S1", "S2")
+        slow = est.estimate_path("S1", "N1")
+        assert fast.total_s < slow.total_s / 5
+
+    def test_load_increases_estimate(self):
+        build, monitor, est = system()
+        net = build.network
+        monitor.start()
+        idle = est.estimate_path("S1", "N1").total_s
+        StaircaseLoad(
+            net.host("L"), net.ip_of("N1"), StepSchedule.pulse(1.0, 30.0, 800_000.0)
+        ).start()
+        net.run(20.0)
+        loaded = est.estimate_path("S1", "N1")
+        assert loaded.total_s > idle * 1.5
+        assert loaded.queueing_s > 0
+
+    def test_estimate_brackets_probe_floor(self):
+        """The idle model estimate must be close to real idle RTT/2.
+
+        The probe carries an MTU-sized payload so the measured frames
+        match the frame size the estimator models.
+        """
+        build, monitor, est = system()
+        net = build.network
+        EchoService(net.host("N1"))
+        results = {}
+        prober = PathProber(
+            net.host("S1"), net.ip_of("N1"), count=5, payload_size=1472,
+            on_complete=lambda s: results.update(stats=s),
+        )
+        prober.start()
+        net.run(10.0)
+        one_way = results["stats"].min_s / 2
+        estimate = est.estimate_path("S1", "N1").total_s
+        assert estimate == pytest.approx(one_way, rel=0.5)
+
+
+class TestProber:
+    def probe(self, count=10, load=None, payload=64):
+        build = build_testbed()
+        net = build.network
+        EchoService(net.host("N1"))
+        if load:
+            StaircaseLoad(net.host("L"), net.ip_of("N1"), load).start()
+        results = {}
+        prober = PathProber(
+            net.host("S1"), net.ip_of("N1"), count=count, payload_size=payload,
+            on_complete=lambda s: results.update(stats=s),
+        )
+        net.run(5.0)
+        prober.start()
+        net.run(60.0)
+        return results["stats"]
+
+    def test_all_probes_echoed_on_idle_lan(self):
+        stats = self.probe()
+        assert stats.received == stats.sent == 10
+        assert stats.loss_rate == 0.0
+        assert stats.min_s > 0
+
+    def test_rtt_grows_under_load(self):
+        idle = self.probe()
+        loaded = self.probe(load=StepSchedule.pulse(0.0, 60.0, 1_000_000.0))
+        assert loaded.mean_s > idle.mean_s
+        assert loaded.jitter_s >= 0.0
+
+    def test_probe_count_validated(self):
+        build = build_testbed()
+        with pytest.raises(ValueError):
+            PathProber(build.network.host("S1"), build.network.ip_of("N1"), count=0)
+
+    def test_probe_to_silent_host_counts_loss(self):
+        build = build_testbed()
+        net = build.network
+        results = {}
+        prober = PathProber(
+            net.host("S1"), net.ip_of("N2"), count=3,  # no echo service on N2
+            on_complete=lambda s: results.update(stats=s),
+        )
+        prober.start()
+        net.run(10.0)
+        assert results["stats"].received == 0
+        assert results["stats"].loss_rate == 1.0

@@ -1,0 +1,123 @@
+"""Tests for the all-pairs bandwidth matrix."""
+
+import numpy as np
+import pytest
+
+from repro.core.matrix import BandwidthMatrix, MatrixError
+from repro.core.monitor import NetworkMonitor
+from repro.experiments.testbed import build_testbed
+from repro.simnet.trafficgen import StaircaseLoad, StepSchedule
+
+
+def monitored_matrix(hosts=None, load_to=None, rate=300_000.0):
+    build = build_testbed()
+    monitor = NetworkMonitor(build, "L", poll_jitter=0.0)
+    net = build.network
+    if load_to:
+        StaircaseLoad(
+            net.host("L"), net.ip_of(load_to), StepSchedule([(2.0, rate)])
+        ).start()
+    monitor.start()
+    net.run(10.0)
+    matrix = BandwidthMatrix(build.spec, monitor.calculator, hosts=hosts)
+    return build, matrix
+
+
+class TestSnapshot:
+    def test_full_testbed_matrix(self):
+        build, matrix = monitored_matrix()
+        snap = matrix.snapshot(time=10.0)
+        assert len(snap.hosts) == 9
+        assert len(snap.reports) == 9 * 8 // 2
+
+    def test_symmetry(self):
+        build, matrix = monitored_matrix(hosts=["S1", "S2", "N1"])
+        snap = matrix.snapshot(time=10.0)
+        values = snap.values("available")
+        assert np.allclose(values, values.T, equal_nan=True)
+        assert np.isnan(values.diagonal()).all()
+
+    def test_hub_pairs_capped_by_hub(self):
+        build, matrix = monitored_matrix(hosts=["S1", "S2", "N1", "N2"])
+        snap = matrix.snapshot(time=10.0)
+        hub_avail = snap.report("S1", "N1").available_bps
+        sw_avail = snap.report("S1", "S2").available_bps
+        assert hub_avail <= 10e6 / 8
+        assert sw_avail > 10e6 / 8  # switch pairs see 100 Mb/s
+
+    def test_load_shows_in_matrix(self):
+        build, matrix = monitored_matrix(hosts=["S1", "N1"], load_to="N1")
+        snap = matrix.snapshot(time=10.0)
+        report = snap.report("S1", "N1")
+        assert report.used_bps == pytest.approx(300_000 * 1.019, rel=0.05)
+
+    def test_worst_pair_is_hub_pair_under_load(self):
+        build, matrix = monitored_matrix(load_to="N1", rate=800_000.0)
+        snap = matrix.snapshot(time=10.0)
+        a, b, available = snap.worst_pair()
+        assert {a, b} & {"N1", "N2"}, (a, b)
+        assert available < 10e6 / 8
+
+    def test_pair_lookup_both_orders(self):
+        build, matrix = monitored_matrix(hosts=["S1", "S2"])
+        snap = matrix.snapshot(time=10.0)
+        assert snap.report("S1", "S2") is snap.report("S2", "S1")
+
+    def test_self_pair_rejected(self):
+        build, matrix = monitored_matrix(hosts=["S1", "S2"])
+        snap = matrix.snapshot(time=10.0)
+        with pytest.raises(MatrixError):
+            snap.report("S1", "S1")
+
+    def test_unknown_pair_rejected(self):
+        build, matrix = monitored_matrix(hosts=["S1", "S2"])
+        snap = matrix.snapshot(time=10.0)
+        with pytest.raises(MatrixError):
+            snap.report("S1", "N1")
+
+
+class TestRendering:
+    def test_table_contains_hosts_and_units(self):
+        build, matrix = monitored_matrix(hosts=["S1", "S2", "N1"])
+        text = matrix.snapshot(time=10.0).format_table()
+        assert "KB/s" in text
+        for host in ("S1", "S2", "N1"):
+            assert host in text
+        assert "-" in text  # the diagonal
+
+    def test_utilization_metric(self):
+        build, matrix = monitored_matrix(hosts=["S1", "N1"], load_to="N1",
+                                         rate=800_000.0)
+        snap = matrix.snapshot(time=10.0)
+        util = snap.values("utilization")
+        assert util[0, 1] == pytest.approx(0.65, abs=0.1)
+        assert "%" in snap.format_table("utilization")
+
+    def test_unknown_metric_rejected(self):
+        build, matrix = monitored_matrix(hosts=["S1", "S2"])
+        snap = matrix.snapshot(time=10.0)
+        with pytest.raises(MatrixError):
+            snap.values("bogus")
+
+
+class TestConstruction:
+    def test_device_in_host_list_rejected(self):
+        build = build_testbed()
+        monitor = NetworkMonitor(build, "L")
+        with pytest.raises(MatrixError):
+            BandwidthMatrix(build.spec, monitor.calculator, hosts=["S1", "switch"])
+
+    def test_disconnected_pair_is_none(self):
+        from repro.spec.parser import parse_spec
+        from repro.core.bandwidth import BandwidthCalculator
+        from repro.core.poller import RateTable
+
+        spec = parse_spec(
+            "network topology t { host A { } host B { } host C { } "
+            "connect A.eth0 <-> B.eth0; }"
+        )
+        calc = BandwidthCalculator(spec, RateTable())
+        matrix = BandwidthMatrix(spec, calc)
+        snap = matrix.snapshot(time=0.0)
+        assert snap.report("A", "C") is None
+        assert "n/a" in snap.format_table()

@@ -1,0 +1,154 @@
+"""Integration tests for the experiment drivers.
+
+The full paper runs (480 s for Fig 4) are exercised by the benchmark
+harness; here shorter, structurally identical runs assert the properties
+the paper claims: measured tracks generated, hub paths see sums, switch
+paths isolate, error statistics land in the right band.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.series import stable_mask
+from repro.analysis.stats import compute_table2
+from repro.experiments import fig5, fig6
+from repro.experiments.scenarios import Scenario
+from repro.experiments.testbed import MONITOR_HOST, TESTBED_SPEC_TEXT, build_testbed
+from repro.simnet.trafficgen import KBPS, StepSchedule
+from repro.spec.parser import parse_spec
+
+
+class TestTestbed:
+    def test_layout_matches_figure3(self):
+        spec = parse_spec(TESTBED_SPEC_TEXT)
+        hosts = {n.name for n in spec.hosts()}
+        assert hosts == {"L", "S1", "S2", "S3", "S4", "S5", "S6", "N1", "N2"}
+        snmp_nodes = {n.name for n in spec.nodes if n.snmp_enabled}
+        assert snmp_nodes == {"L", "S1", "S2", "N1", "N2", "switch"}
+
+    def test_hub_hosts_are_the_nt_machines(self):
+        spec = parse_spec(TESTBED_SPEC_TEXT)
+        hub_conns = spec.connections_of("hub")
+        peers = {c.other_end("hub").node for c in hub_conns}
+        assert peers == {"switch", "N1", "N2"}
+
+    def test_build_is_deterministic(self):
+        b1 = build_testbed()
+        b2 = build_testbed()
+        assert sorted(b1.agents) == sorted(b2.agents)
+        assert str(b1.network.ip_of("N1")) == str(b2.network.ip_of("N1"))
+
+
+class TestScenarioMechanics:
+    def test_series_pair_alignment(self):
+        sc = Scenario(seed=0, chatter_rate=0.0)
+        label = sc.watch("S1", "N1")
+        sc.add_load("L", "N1", StepSchedule.pulse(6.0, 20.0, 100 * KBPS))
+        sc.run(30.0)
+        pair = sc.series_pair(label, ["N1"])
+        assert len(pair.times) == len(pair.measured_kbps)
+        on = pair.generated_kbps > 0
+        # Measured during the pulse must clearly exceed measured outside it.
+        assert pair.measured_kbps[on].mean() > 50 * pair.measured_kbps[~on].mean() + 1
+
+    def test_duplicate_load_rejected(self):
+        sc = Scenario(seed=0)
+        sc.add_load("L", "N1", StepSchedule.pulse(1.0, 2.0, 1000.0))
+        with pytest.raises(ValueError):
+            sc.add_load("L", "N1", StepSchedule.pulse(3.0, 4.0, 1000.0))
+
+    def test_generated_rate_sums_loads_to_same_dst(self):
+        sc = Scenario(seed=0)
+        sc.add_load("L", "N1", StepSchedule.pulse(0.0, 10.0, 1000.0))
+        sc.add_load("S2", "N1", StepSchedule.pulse(5.0, 10.0, 500.0))
+        assert sc.generated_rate_at("N1", 6.0) == 1500.0
+        assert sc.generated_rate_at("N1", 2.0) == 1000.0
+        assert sc.generated_rate_at("N2", 6.0) == 0.0
+
+
+class TestShortStaircase:
+    """A compressed Figure-4: 2 levels, hub path, Table-2 statistics."""
+
+    def test_measured_tracks_staircase(self):
+        sc = Scenario(seed=1)
+        label = sc.watch("S1", "N1")
+        schedule = StepSchedule(
+            [(10.0, 100 * KBPS), (40.0, 200 * KBPS), (70.0, 0.0)]
+        )
+        sc.add_load("L", "N1", schedule)
+        sc.run(100.0)
+        pair = sc.series_pair(label, ["N1"])
+        stable = stable_mask(pair.times, schedule, window=2.0, guard=1.0)
+        stats = compute_table2(
+            pair.measured_kbps, pair.generated_kbps, stable=stable
+        )
+        assert [lv.generated for lv in stats.levels] == [100.0, 200.0]
+        # Systematic error: headers ~1.9% plus a little monitoring noise.
+        assert 0.5 < stats.mean_pct_error < 6.0
+        # Background: chatter + SNMP polling, same order as the paper's 0.8.
+        assert 0.1 < stats.background < 5.0
+        # Measured is consistently ABOVE generated (headers), not below.
+        for level in stats.levels:
+            assert level.avg_less_background > level.generated
+
+
+class TestFig5Short:
+    def test_hub_paths_see_sum(self):
+        result = fig5.run(seed=2)
+        for label in ("S1<->N1", "S1<->N2"):
+            pair = result.pairs[label]
+            # During the overlap the hub carries 400 KB/s on both paths.
+            overlap = (pair.times > 44) & (pair.times < 58)
+            assert pair.measured_kbps[overlap].mean() == pytest.approx(400, rel=0.08)
+            # Single-load windows: 200 KB/s.
+            single = (pair.times > 24) & (pair.times < 38)
+            assert pair.measured_kbps[single].mean() == pytest.approx(200, rel=0.08)
+        for stats in result.stats.values():
+            assert stats.mean_pct_error < 8.0
+            assert stats.max_pct_error < 25.0
+
+
+class TestFig6Short:
+    def test_switch_paths_isolate(self):
+        result = fig6.run(seed=2)
+        s2 = result.pairs["S1<->S2"]
+        s3 = result.pairs["S1<->S3"]
+        # Load to S2 (20-60 s) appears only on S1<->S2.
+        window = (s2.times > 24) & (s2.times < 38)
+        assert s2.measured_kbps[window].mean() == pytest.approx(2000, rel=0.08)
+        assert s3.measured_kbps[window].mean() < 100
+        # Load to S3 (40-80 s, after S2's ends at 60) only on S1<->S3.
+        window3 = (s3.times > 64) & (s3.times < 78)
+        assert s3.measured_kbps[window3].mean() == pytest.approx(2000, rel=0.08)
+        assert s2.measured_kbps[window3].mean() < 100
+        # Load to S1 (100-120 s) on BOTH paths.
+        window1 = (s2.times > 104) & (s2.times < 118)
+        assert s2.measured_kbps[window1].mean() == pytest.approx(2000, rel=0.08)
+        assert s3.measured_kbps[window1].mean() == pytest.approx(2000, rel=0.08)
+
+    def test_accuracy_statistics_in_band(self):
+        result = fig6.run(seed=2)
+        for stats in result.stats.values():
+            assert stats.mean_pct_error < 6.0  # paper: 2.2 %
+
+
+class TestDeterminism:
+    def test_same_seed_identical_series(self):
+        runs = []
+        for _ in range(2):
+            sc = Scenario(seed=7)
+            label = sc.watch("S1", "N1")
+            sc.add_load("L", "N1", StepSchedule.pulse(5.0, 15.0, 150 * KBPS))
+            sc.run(25.0)
+            runs.append(sc.path_series(label).used())
+        np.testing.assert_array_equal(runs[0], runs[1])
+
+    def test_different_seed_differs(self):
+        used = []
+        for seed in (1, 2):
+            sc = Scenario(seed=seed)
+            label = sc.watch("S1", "N1")
+            sc.add_load("L", "N1", StepSchedule.pulse(5.0, 15.0, 150 * KBPS))
+            sc.run(25.0)
+            used.append(sc.path_series(label).used())
+        assert not np.array_equal(used[0], used[1])

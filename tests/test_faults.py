@@ -1,0 +1,148 @@
+"""Tests for fault injection: link failures, packet loss, agent outages."""
+
+import pytest
+
+from repro.core.monitor import NetworkMonitor
+from repro.experiments.testbed import build_testbed
+from repro.simnet.faults import AgentOutage, FaultError, LinkFailure, PacketLoss
+from repro.simnet.network import Network
+from repro.simnet.sockets import DISCARD_PORT
+from repro.simnet.trafficgen import StaircaseLoad, StepSchedule
+
+
+def small_net():
+    net = Network()
+    a = net.add_host("A")
+    b = net.add_host("B")
+    sw = net.add_switch("sw", 4, managed=False)
+    net.connect(a, sw)
+    net.connect(b, sw)
+    net.announce_hosts()
+    net.run(0.01)
+    return net, a, b
+
+
+class TestLinkFailure:
+    def test_traffic_stops_and_resumes(self):
+        net, a, b = small_net()
+        link = b.interfaces[0].link
+        LinkFailure(net.sim, link, at=5.0, until=10.0)
+        StaircaseLoad(
+            a, b.primary_ip, StepSchedule([(0.0, 100_000.0), (15.0, 0.0)])
+        ).start()
+        net.run(5.1)  # failure at 5.0; give in-flight frames 100ms to land
+        before = b.discard.octets
+        assert before > 0
+        net.run(9.9)
+        during = b.discard.octets - before
+        assert during == 0  # nothing crossed the dead link
+        net.run(15.0)
+        after = b.discard.octets - before - during
+        assert after > 0  # flow resumed on restore
+
+    def test_interface_state_follows(self):
+        net, a, b = small_net()
+        link = b.interfaces[0].link
+        failure = LinkFailure(net.sim, link, at=1.0, until=2.0)
+        net.run(1.5)
+        assert failure.failed
+        assert not b.interfaces[0].admin_up
+        net.run(3.0)
+        assert not failure.failed
+        assert b.interfaces[0].admin_up
+
+    def test_permanent_failure(self):
+        net, a, b = small_net()
+        LinkFailure(net.sim, b.interfaces[0].link, at=1.0)  # no restore
+        net.run(100.0)
+        assert not b.interfaces[0].admin_up
+
+    def test_restore_must_follow_failure(self):
+        net, a, b = small_net()
+        with pytest.raises(FaultError):
+            LinkFailure(net.sim, b.interfaces[0].link, at=5.0, until=5.0)
+
+    def test_discards_counted_during_failure(self):
+        net, a, b = small_net()
+        LinkFailure(net.sim, a.interfaces[0].link, at=0.5)
+        StaircaseLoad(
+            a, b.primary_ip, StepSchedule([(1.0, 100_000.0), (3.0, 0.0)])
+        ).start()
+        net.run(4.0)
+        assert a.interfaces[0].counters.out_discards > 0
+
+
+class TestPacketLoss:
+    def test_zero_rate_is_transparent(self):
+        net, a, b = small_net()
+        PacketLoss(b.interfaces[0].link, loss_rate=0.0, seed=1)
+        a.create_socket().sendto(100, (b.primary_ip, DISCARD_PORT))
+        net.run(1.0)
+        assert b.discard.datagrams == 1
+
+    def test_full_loss_blocks_everything(self):
+        net, a, b = small_net()
+        loss = PacketLoss(b.interfaces[0].link, loss_rate=1.0, seed=1)
+        sock = a.create_socket()
+        for _ in range(10):
+            sock.sendto(100, (b.primary_ip, DISCARD_PORT))
+        net.run(1.0)
+        assert b.discard.datagrams == 0
+        assert loss.frames_lost == 10
+
+    def test_partial_loss_approximates_rate(self):
+        net, a, b = small_net()
+        loss = PacketLoss(b.interfaces[0].link, loss_rate=0.3, seed=7)
+        sock = a.create_socket()
+        for _ in range(500):
+            sock.sendto(100, (b.primary_ip, DISCARD_PORT))
+            net.run(net.now + 0.001)
+        net.run(net.now + 1.0)
+        assert b.discard.datagrams == pytest.approx(350, abs=40)
+
+    def test_deterministic_for_seed(self):
+        results = []
+        for _ in range(2):
+            net, a, b = small_net()
+            PacketLoss(b.interfaces[0].link, loss_rate=0.5, seed=3)
+            sock = a.create_socket()
+            for _ in range(50):
+                sock.sendto(100, (b.primary_ip, DISCARD_PORT))
+            net.run(2.0)
+            results.append(b.discard.datagrams)
+        assert results[0] == results[1]
+
+    def test_rate_validated(self):
+        net, a, b = small_net()
+        with pytest.raises(FaultError):
+            PacketLoss(b.interfaces[0].link, loss_rate=1.5)
+
+
+class TestAgentOutage:
+    def test_monitor_times_out_then_recovers(self):
+        build = build_testbed()
+        monitor = NetworkMonitor(build, "L", poll_jitter=0.0)
+        monitor.watch_path("S1", "N1")
+        outage = AgentOutage(build.network.sim, build.agents["S1"], at=6.0, until=16.0)
+        monitor.start()
+        build.network.run(30.0)
+        assert outage.requests_ignored > 0
+        assert monitor.manager.timeouts > 0
+        # Recovery: the last poll cycles succeeded again.
+        assert monitor.poller.rates.latest("S1", 1) is not None
+        stats = monitor.stats()
+        assert stats["snmp_retransmissions"] >= stats["snmp_timeouts"]
+
+    def test_other_targets_unaffected(self):
+        build = build_testbed()
+        monitor = NetworkMonitor(build, "L", poll_jitter=0.0)
+        AgentOutage(build.network.sim, build.agents["S1"], at=0.0, until=20.0)
+        monitor.start()
+        build.network.run(20.0)
+        assert monitor.poller.rates.latest("N1", 1) is not None
+        assert monitor.poller.rates.latest("S1", 1) is None
+
+    def test_window_validated(self):
+        build = build_testbed()
+        with pytest.raises(FaultError):
+            AgentOutage(build.network.sim, build.agents["S1"], at=5.0, until=4.0)

@@ -1,0 +1,175 @@
+"""Unit tests for duplex links: serialisation, queueing, drops."""
+
+import pytest
+
+from repro.simnet.address import IPv4Address, MacAddress
+from repro.simnet.engine import Simulator
+from repro.simnet.link import Link, LinkError
+from repro.simnet.nic import Interface
+from repro.simnet.packet import EthernetFrame, IPPacket, UDPDatagram
+
+
+class Sink:
+    """Minimal device: records delivered frames with their arrival time."""
+
+    def __init__(self, sim, name):
+        self.sim = sim
+        self.name = name
+        self.received = []
+
+    def on_frame(self, iface, frame):
+        self.received.append((self.sim.now, frame))
+
+
+def make_iface(sim, name, speed=100e6, promiscuous=True):
+    sink = Sink(sim, name)
+    iface = Interface(
+        device=sink,
+        local_name="eth0",
+        mac=MacAddress(hash_tag(name)),
+        speed_bps=speed,
+        promiscuous=promiscuous,
+    )
+    return iface, sink
+
+
+def hash_tag(name: str) -> int:
+    return sum(ord(c) for c in name) + 1
+
+
+def make_frame(size_payload=972, src=1, dst=2):
+    packet = IPPacket(
+        src=IPv4Address("10.0.0.1"),
+        dst=IPv4Address("10.0.0.2"),
+        payload=UDPDatagram(1, 2, payload_size=size_payload),
+    )
+    return EthernetFrame(MacAddress(src), MacAddress(dst), packet)  # size = payload + 28
+
+
+class TestWiring:
+    def test_min_speed_rule(self):
+        sim = Simulator()
+        a, _ = make_iface(sim, "a", speed=100e6)
+        b, _ = make_iface(sim, "b", speed=10e6)
+        link = Link(sim, a, b)
+        assert link.bandwidth_bps == 10e6
+
+    def test_explicit_bandwidth_overrides(self):
+        sim = Simulator()
+        a, _ = make_iface(sim, "a")
+        b, _ = make_iface(sim, "b")
+        assert Link(sim, a, b, bandwidth_bps=5e6).bandwidth_bps == 5e6
+
+    def test_self_connection_rejected(self):
+        sim = Simulator()
+        a, _ = make_iface(sim, "a")
+        with pytest.raises(LinkError):
+            Link(sim, a, a)
+
+    def test_double_attach_rejected(self):
+        sim = Simulator()
+        a, _ = make_iface(sim, "a")
+        b, _ = make_iface(sim, "b")
+        c, _ = make_iface(sim, "c")
+        Link(sim, a, b)
+        with pytest.raises(LinkError):
+            Link(sim, a, c)
+
+    def test_peer_of(self):
+        sim = Simulator()
+        a, _ = make_iface(sim, "a")
+        b, _ = make_iface(sim, "b")
+        link = Link(sim, a, b)
+        assert link.peer_of(a) is b
+        assert link.peer_of(b) is a
+        c, _ = make_iface(sim, "c")
+        with pytest.raises(LinkError):
+            link.peer_of(c)
+
+    def test_connected_peer_property(self):
+        sim = Simulator()
+        a, _ = make_iface(sim, "a")
+        b, _ = make_iface(sim, "b")
+        assert a.connected_peer is None
+        Link(sim, a, b)
+        assert a.connected_peer is b
+
+    def test_non_positive_bandwidth_rejected(self):
+        sim = Simulator()
+        a, _ = make_iface(sim, "a")
+        b, _ = make_iface(sim, "b")
+        with pytest.raises(LinkError):
+            Link(sim, a, b, bandwidth_bps=0)
+
+
+class TestTransmission:
+    def test_delivery_after_tx_plus_prop(self):
+        sim = Simulator()
+        a, _ = make_iface(sim, "a")
+        b, sink = make_iface(sim, "b")
+        Link(sim, a, b, bandwidth_bps=1e6, prop_delay=0.001)
+        frame = make_frame(972)  # 1000 wire bytes = 8000 bits = 8 ms at 1 Mb/s
+        assert a.transmit(frame)
+        sim.run(1.0)
+        assert len(sink.received) == 1
+        t, got = sink.received[0]
+        assert got is frame
+        assert t == pytest.approx(0.008 + 0.001)
+
+    def test_fifo_serialisation(self):
+        sim = Simulator()
+        a, _ = make_iface(sim, "a")
+        b, sink = make_iface(sim, "b")
+        Link(sim, a, b, bandwidth_bps=1e6, prop_delay=0.0)
+        for _ in range(3):
+            a.transmit(make_frame(972))
+        sim.run(1.0)
+        times = [t for t, _f in sink.received]
+        assert times == pytest.approx([0.008, 0.016, 0.024])
+
+    def test_duplex_directions_independent(self):
+        sim = Simulator()
+        a, sink_a = make_iface(sim, "a")
+        b, sink_b = make_iface(sim, "b")
+        Link(sim, a, b, bandwidth_bps=1e6, prop_delay=0.0)
+        a.transmit(make_frame(972, src=1, dst=2))
+        b.transmit(make_frame(972, src=2, dst=1))
+        sim.run(1.0)
+        # Both arrive at 8 ms: no shared serialiser between directions.
+        assert sink_a.received[0][0] == pytest.approx(0.008)
+        assert sink_b.received[0][0] == pytest.approx(0.008)
+
+    def test_queue_overflow_drops(self):
+        sim = Simulator()
+        a, _ = make_iface(sim, "a")
+        b, sink = make_iface(sim, "b")
+        link = Link(sim, a, b, bandwidth_bps=1e6, max_queue_bytes=2500)
+        sent = [a.transmit(make_frame(972)) for _ in range(5)]
+        # First frame starts transmitting immediately (leaves the queue),
+        # then the 2500-byte queue fits two more 1000-byte frames.
+        assert sent == [True, True, True, False, False]
+        assert link.total_drops == 2
+        assert a.counters.out_discards == 2
+        sim.run(1.0)
+        assert len(sink.received) == 3
+
+    def test_drops_not_counted_as_sent_octets(self):
+        sim = Simulator()
+        a, _ = make_iface(sim, "a")
+        b, _ = make_iface(sim, "b")
+        Link(sim, a, b, bandwidth_bps=1e6, max_queue_bytes=1000)
+        for _ in range(5):
+            a.transmit(make_frame(972))
+        # 1 transmitting + 1 queued accepted; 3 dropped.
+        assert a.counters.out_octets == 2000
+
+    def test_channel_stats(self):
+        sim = Simulator()
+        a, _ = make_iface(sim, "a")
+        b, _ = make_iface(sim, "b")
+        link = Link(sim, a, b, bandwidth_bps=1e6)
+        a.transmit(make_frame(972))
+        sim.run(1.0)
+        chan = link.channel_from(a)
+        assert chan.frames_delivered == 1
+        assert chan.octets_delivered == 1000

@@ -1,0 +1,63 @@
+"""Tests for the library's structured logging."""
+
+import logging
+
+import pytest
+
+from repro.core.monitor import NetworkMonitor
+from repro.experiments.testbed import build_testbed
+from repro.simnet.faults import LinkFailure
+
+
+class TestMonitorLogging:
+    def test_watch_and_start_logged(self, caplog):
+        build = build_testbed()
+        monitor = NetworkMonitor(build, "L", poll_jitter=0.0)
+        with caplog.at_level(logging.INFO, logger="repro.monitor"):
+            monitor.watch_path("S1", "N1")
+            monitor.start()
+        messages = [r.message for r in caplog.records]
+        assert any("watching path S1<->N1" in m for m in messages)
+        assert any("monitor on L starting" in m for m in messages)
+
+    def test_link_state_transitions_logged(self, caplog):
+        build = build_testbed()
+        monitor = NetworkMonitor(build, "L", poll_jitter=0.0)
+        monitor.watch_path("S1", "N1")
+        monitor.enable_trap_listener()
+        net = build.network
+        LinkFailure(net.sim, net.host("S1").interfaces[0].link, at=5.0, until=10.0)
+        monitor.start()
+        with caplog.at_level(logging.INFO, logger="repro.monitor"):
+            net.run(15.0)
+        messages = [r.message for r in caplog.records]
+        assert any("linkDown" in m for m in messages)
+        assert any("linkUp" in m for m in messages)
+        down_records = [r for r in caplog.records if "linkDown" in r.message]
+        assert down_records[0].levelno == logging.WARNING
+
+    def test_reallocation_logged(self, caplog):
+        from repro.experiments.testbed import TESTBED_SPEC_TEXT
+        from repro.rm.applications import ApplicationRuntime
+        from repro.spec.builder import build_network
+        from repro.spec.parser import parse_spec
+
+        text = TESTBED_SPEC_TEXT.rstrip()[:-1] + """
+            application sensor  { on S1; sends to tracker rate 100 Kbps; }
+            application tracker { on N1; }
+        }
+        """
+        build = build_network(parse_spec(text))
+        monitor = NetworkMonitor(build, "L", poll_jitter=0.0)
+        runtime = ApplicationRuntime(build, monitor)
+        runtime.start()
+        with caplog.at_level(logging.WARNING, logger="repro.rm"):
+            runtime.move("tracker", "S3", reason="test move")
+        assert any("reallocation executed" in r.message for r in caplog.records)
+        assert any("tracker" in r.message for r in caplog.records)
+
+    def test_quiet_by_default(self, caplog):
+        """No output unless the application configures logging (library
+        etiquette: loggers propagate, handlers are the caller's job)."""
+        logger = logging.getLogger("repro.monitor")
+        assert logger.handlers == []

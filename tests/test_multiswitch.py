@@ -1,0 +1,192 @@
+"""Generalisation tests: topologies beyond the paper's single-switch LAN.
+
+The paper's model (Figure 1) explicitly includes multi-device paths
+("B and D can be hosts with multiple network connections, or network
+devices such as switches or hubs"); these tests verify the monitor's
+traversal, counter-source resolution and bandwidth rules hold on chained
+switches, cascaded hubs, and a trunk bottleneck.
+"""
+
+import pytest
+
+from repro.core.monitor import NetworkMonitor
+from repro.core.traversal import find_path, format_path
+from repro.simnet.trafficgen import KBPS, StaircaseLoad, StepSchedule
+from repro.spec.builder import build_network
+from repro.spec.parser import parse_spec
+
+TWO_SWITCHES = """
+network topology chained {
+    host A { snmp community "public"; }
+    host B { snmp community "public"; }
+    host C { }
+    switch sw1 { snmp community "public"; ports 4; }
+    switch sw2 { snmp community "public"; ports 4; }
+    connect A.eth0 <-> sw1.port1;
+    connect C.eth0 <-> sw1.port2;
+    connect sw1.port3 <-> sw2.port1 [ bandwidth 10 Mbps ];  # thin trunk
+    connect B.eth0 <-> sw2.port2;
+}
+"""
+
+CASCADED_HUBS = """
+network topology cascaded {
+    host A { snmp community "public"; }
+    host B { snmp community "public"; }
+    host C { snmp community "public"; }
+    switch sw { snmp community "public"; ports 4; }
+    hub hub1 { ports 4; }
+    hub hub2 { ports 4; }
+    connect A.eth0 <-> sw.port1;
+    connect sw.port2 <-> hub1.port1;
+    connect B.eth0 <-> hub1.port2;
+    connect hub1.port3 <-> hub2.port1;
+    connect C.eth0 <-> hub2.port2;
+}
+"""
+
+
+class TestChainedSwitches:
+    def build(self):
+        spec = parse_spec(TWO_SWITCHES)
+        build = build_network(spec)
+        monitor = NetworkMonitor(build, "A", poll_jitter=0.0)
+        return build, monitor
+
+    def test_path_crosses_both_switches(self):
+        spec = parse_spec(TWO_SWITCHES)
+        path = find_path(spec, "A", "B")
+        assert format_path(path, "A") == "A -> sw1 -> sw2 -> B"
+        assert len(path) == 3
+
+    def test_traffic_flows_across_trunk(self):
+        build, monitor = self.build()
+        net = build.network
+        label = monitor.watch_path("A", "B")
+        StaircaseLoad(
+            net.host("A"), net.ip_of("B"), StepSchedule.pulse(2.0, 28.0, 300 * KBPS)
+        ).start()
+        monitor.start()
+        net.run(30.0)
+        series = monitor.history.series(label)
+        assert series.used().max() == pytest.approx(300_000 * 1.019, rel=0.05)
+
+    def test_trunk_is_the_capacity_bottleneck(self):
+        build, monitor = self.build()
+        label = monitor.watch_path("A", "B")
+        monitor.start()
+        build.network.run(6.0)
+        report = monitor.current_report(label)
+        assert report.capacity_bps == 10e6 / 8
+        bottleneck = report.bottleneck
+        assert {e.node for e in bottleneck.connection.endpoints()} == {"sw1", "sw2"}
+
+    def test_trunk_measured_from_either_switch(self):
+        """The trunk has no host end; a switch-port source must serve it."""
+        from repro.core.counters import resolve_counter_source
+
+        spec = parse_spec(TWO_SWITCHES)
+        trunk = next(
+            c for c in spec.connections
+            if {c.end_a.node, c.end_b.node} == {"sw1", "sw2"}
+        )
+        source = resolve_counter_source(spec, trunk)
+        assert source.node in ("sw1", "sw2")
+
+    def test_cross_switch_isolation(self):
+        """Traffic A->B must not appear on C's connection."""
+        build, monitor = self.build()
+        net = build.network
+        ab = monitor.watch_path("A", "B")
+        ac = monitor.watch_path("A", "C")
+        StaircaseLoad(
+            net.host("A"), net.ip_of("B"), StepSchedule.pulse(2.0, 28.0, 300 * KBPS)
+        ).start()
+        monitor.start()
+        net.run(30.0)
+        assert monitor.history.series(ab).used().max() > 250_000
+        # A's own connection carries the flow, so the A<->C path (sharing
+        # A's NIC) sees it too -- but C's own leg must stay quiet.
+        c_conn = monitor.path_of(ac)[-1]
+        measurement = monitor.calculator.measure_connection(c_conn)
+        assert measurement.used_bps < 20_000
+
+
+class TestCascadedHubs:
+    def build(self):
+        spec = parse_spec(CASCADED_HUBS)
+        build = build_network(spec)
+        monitor = NetworkMonitor(build, "A", poll_jitter=0.0)
+        return build, monitor
+
+    def test_path_through_both_hubs(self):
+        spec = parse_spec(CASCADED_HUBS)
+        path = find_path(spec, "A", "C")
+        assert format_path(path, "A") == "A -> sw -> hub1 -> hub2 -> C"
+
+    def test_traffic_reaches_across_cascade(self):
+        build, monitor = self.build()
+        net = build.network
+        label = monitor.watch_path("A", "C")
+        StaircaseLoad(
+            net.host("A"), net.ip_of("C"), StepSchedule.pulse(2.0, 28.0, 100 * KBPS)
+        ).start()
+        monitor.start()
+        net.run(30.0)
+        assert net.host("C").discard.octets > 2_000_000
+        series = monitor.history.series(label)
+        assert series.used().max() == pytest.approx(100_000 * 1.019, rel=0.06)
+
+    def test_each_hub_sums_its_own_hosts(self):
+        """hub1's rule sums B's leg; hub2's sums C's leg."""
+        build, monitor = self.build()
+        net = build.network
+        StaircaseLoad(
+            net.host("A"), net.ip_of("B"), StepSchedule.pulse(2.0, 28.0, 100 * KBPS)
+        ).start()
+        monitor.start()
+        net.run(30.0)
+        spec = build.spec
+        b_leg = next(c for c in spec.connections if c.touches("B"))
+        c_leg = next(c for c in spec.connections if c.touches("C"))
+        m_b = monitor.calculator.measure_connection(b_leg)
+        m_c = monitor.calculator.measure_connection(c_leg)
+        assert m_b.rule == "hub" and m_c.rule == "hub"
+        assert m_b.used_bps == pytest.approx(100_000 * 1.019, rel=0.06)
+        # A cascaded hub repeats *everything* onward: C's NIC filters the
+        # frames, but C's agent counts only its own (none), so hub2's sum
+        # stays near zero -- the monitor model matches the paper's, which
+        # sums per-host delivered traffic.
+        assert m_c.used_bps < 20_000
+
+
+class TestMultihomedHost:
+    def test_spec_with_dual_homed_host(self):
+        """Figure 1's model: host B with connections into two segments."""
+        text = """
+        network topology dualhome {
+            host GW { snmp community "public";
+                      interface eth0 { speed 100 Mbps; }
+                      interface eth1 { speed 100 Mbps; } }
+            host X { snmp community "public"; }
+            host Y { snmp community "public"; }
+            switch sw1 { snmp community "public"; ports 4; }
+            switch sw2 { snmp community "public"; ports 4; }
+            connect GW.eth0 <-> sw1.port1;
+            connect GW.eth1 <-> sw2.port1;
+            connect X.eth0 <-> sw1.port2;
+            connect Y.eth0 <-> sw2.port2;
+        }
+        """
+        spec = parse_spec(text)
+        # The path X -> Y runs through the dual-homed GW host.
+        path = find_path(spec, "X", "Y")
+        assert format_path(path, "X") == "X -> sw1 -> GW -> sw2 -> Y"
+        build = build_network(spec)
+        monitor = NetworkMonitor(build, "GW", poll_jitter=0.0)
+        label = monitor.watch_path("X", "Y")
+        monitor.start()
+        build.network.run(8.0)
+        report = monitor.current_report(label)
+        assert report.complete
+        assert len(report.connections) == 4

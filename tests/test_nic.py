@@ -1,0 +1,162 @@
+"""Unit tests for interfaces: MIB-II counters and MAC filtering."""
+
+import pytest
+
+from repro.simnet.address import BROADCAST_MAC, IPv4Address, MacAddress
+from repro.simnet.engine import Simulator
+from repro.simnet.link import Link
+from repro.simnet.nic import Interface, InterfaceError
+from repro.simnet.packet import EthernetFrame, IPPacket, UDPDatagram
+
+
+class Recorder:
+    def __init__(self, sim, name="dev"):
+        self.sim = sim
+        self.name = name
+        self.frames = []
+
+    def on_frame(self, iface, frame):
+        self.frames.append(frame)
+
+
+def pair(sim, promiscuous_b=False, mac_b=None):
+    dev_a, dev_b = Recorder(sim, "A"), Recorder(sim, "B")
+    a = Interface(dev_a, "eth0", MacAddress(0x10), 1e8, promiscuous=True)
+    b = Interface(
+        dev_b, "eth0", mac_b or MacAddress(0x20), 1e8, promiscuous=promiscuous_b
+    )
+    Link(sim, a, b, prop_delay=0.0)
+    return a, b, dev_a, dev_b
+
+
+def frame_to(dst_mac, payload=72):
+    packet = IPPacket(
+        src=IPv4Address("10.0.0.1"),
+        dst=IPv4Address("10.0.0.2"),
+        payload=UDPDatagram(1, 2, payload_size=payload),
+    )
+    return EthernetFrame(MacAddress(0x10), dst_mac, packet)  # wire = payload + 28
+
+
+class TestCounters:
+    def test_out_counters_on_transmit(self):
+        sim = Simulator()
+        a, b, *_ = pair(sim)
+        a.transmit(frame_to(MacAddress(0x20), payload=72))
+        assert a.counters.out_octets == 100
+        assert a.counters.out_ucast_pkts == 1
+        assert a.counters.out_nucast_pkts == 0
+
+    def test_in_counters_on_delivery(self):
+        sim = Simulator()
+        a, b, _, dev_b = pair(sim)
+        a.transmit(frame_to(MacAddress(0x20), payload=72))
+        sim.run(1.0)
+        assert b.counters.in_octets == 100
+        assert b.counters.in_ucast_pkts == 1
+        assert len(dev_b.frames) == 1
+
+    def test_broadcast_counts_as_nucast(self):
+        sim = Simulator()
+        a, b, *_ = pair(sim)
+        a.transmit(frame_to(BROADCAST_MAC))
+        sim.run(1.0)
+        assert a.counters.out_nucast_pkts == 1
+        assert b.counters.in_nucast_pkts == 1
+        assert b.counters.in_ucast_pkts == 0
+
+    def test_counters_accumulate(self):
+        sim = Simulator()
+        a, b, *_ = pair(sim)
+        for _ in range(10):
+            a.transmit(frame_to(MacAddress(0x20), payload=72))
+        sim.run(1.0)
+        assert b.counters.in_octets == 1000
+        assert b.counters.in_ucast_pkts == 10
+
+    def test_snapshot_returns_plain_dict(self):
+        sim = Simulator()
+        a, *_ = pair(sim)
+        snap = a.counters.snapshot()
+        assert snap["out_octets"] == 0
+        a.transmit(frame_to(MacAddress(0x20)))
+        assert snap["out_octets"] == 0  # copy, not a view
+
+
+class TestMacFiltering:
+    def test_non_promiscuous_filters_other_macs(self):
+        sim = Simulator()
+        a, b, _, dev_b = pair(sim, promiscuous_b=False)
+        a.transmit(frame_to(MacAddress(0x99)))  # not B's MAC
+        sim.run(1.0)
+        assert dev_b.frames == []
+        assert b.counters.in_octets == 0
+        assert b.counters.in_filtered_pkts == 1
+
+    def test_promiscuous_accepts_everything(self):
+        sim = Simulator()
+        a, b, _, dev_b = pair(sim, promiscuous_b=True)
+        a.transmit(frame_to(MacAddress(0x99)))
+        sim.run(1.0)
+        assert len(dev_b.frames) == 1
+        assert b.counters.in_octets == 100
+
+    def test_broadcast_passes_filter(self):
+        sim = Simulator()
+        a, b, _, dev_b = pair(sim, promiscuous_b=False)
+        a.transmit(frame_to(BROADCAST_MAC))
+        sim.run(1.0)
+        assert len(dev_b.frames) == 1
+
+    def test_multicast_passes_filter(self):
+        sim = Simulator()
+        a, b, _, dev_b = pair(sim, promiscuous_b=False)
+        a.transmit(frame_to(MacAddress("01:00:5e:00:00:01")))
+        sim.run(1.0)
+        assert len(dev_b.frames) == 1
+
+
+class TestAdminState:
+    def test_transmit_while_down_discards(self):
+        sim = Simulator()
+        a, *_ = pair(sim)
+        a.admin_up = False
+        assert a.transmit(frame_to(MacAddress(0x20))) is False
+        assert a.counters.out_discards == 1
+        assert a.counters.out_octets == 0
+
+    def test_receive_while_down_discards(self):
+        sim = Simulator()
+        a, b, _, dev_b = pair(sim)
+        b.admin_up = False
+        a.transmit(frame_to(MacAddress(0x20)))
+        sim.run(1.0)
+        assert dev_b.frames == []
+        assert b.counters.in_discards == 1
+
+
+class TestMisc:
+    def test_transmit_unconnected_raises(self):
+        sim = Simulator()
+        iface = Interface(Recorder(sim), "eth0", MacAddress(1), 1e8)
+        with pytest.raises(InterfaceError):
+            iface.transmit(frame_to(MacAddress(2)))
+
+    def test_non_positive_speed_rejected(self):
+        sim = Simulator()
+        with pytest.raises(InterfaceError):
+            Interface(Recorder(sim), "eth0", MacAddress(1), 0)
+
+    def test_full_name(self):
+        sim = Simulator()
+        iface = Interface(Recorder(sim, "S1"), "hme0", MacAddress(1), 1e8)
+        assert iface.full_name == "S1.hme0"
+
+    def test_rx_tap_invoked(self):
+        sim = Simulator()
+        a, b, *_ = pair(sim, promiscuous_b=True)
+        seen = []
+        b.rx_tap = seen.append
+        a.transmit(frame_to(MacAddress(0x20)))
+        sim.run(1.0)
+        assert len(seen) == 1

@@ -1,0 +1,188 @@
+"""Unit tests for packets, header accounting, fragmentation, reassembly."""
+
+import pytest
+
+from repro.simnet.address import IPv4Address, MacAddress
+from repro.simnet.packet import (
+    IPV4_HEADER_SIZE,
+    UDP_HEADER_SIZE,
+    EthernetFrame,
+    IPPacket,
+    PacketError,
+    ReassemblyBuffer,
+    UDPDatagram,
+    fragment_ip_packet,
+)
+
+SRC = IPv4Address("10.0.0.1")
+DST = IPv4Address("10.0.0.2")
+
+
+def make_packet(payload_size: int) -> IPPacket:
+    return IPPacket(src=SRC, dst=DST, payload=UDPDatagram(1000, 9, payload_size=payload_size))
+
+
+class TestUDPDatagram:
+    def test_size_includes_header(self):
+        assert UDPDatagram(1, 2, payload_size=100).size == 100 + UDP_HEADER_SIZE
+
+    def test_bytes_payload_sets_size(self):
+        d = UDPDatagram(1, 2, payload=b"hello")
+        assert d.payload_size == 5
+        assert d.size == 5 + UDP_HEADER_SIZE
+
+    def test_conflicting_sizes_rejected(self):
+        with pytest.raises(PacketError):
+            UDPDatagram(1, 2, payload=b"hello", payload_size=3)
+
+    def test_matching_explicit_size_ok(self):
+        assert UDPDatagram(1, 2, payload=b"hi", payload_size=2).payload_size == 2
+
+    def test_missing_payload_rejected(self):
+        with pytest.raises(PacketError):
+            UDPDatagram(1, 2)
+
+    @pytest.mark.parametrize("port", [-1, 65536])
+    def test_bad_ports_rejected(self, port):
+        with pytest.raises(PacketError):
+            UDPDatagram(port, 9, payload_size=1)
+
+
+class TestIPPacket:
+    def test_size_stacks_headers(self):
+        packet = make_packet(100)
+        assert packet.size == 100 + UDP_HEADER_SIZE + IPV4_HEADER_SIZE
+
+    def test_paper_header_overhead_is_about_two_percent(self):
+        """1472-byte payload + 28 header bytes = the paper's ~2 % figure."""
+        packet = make_packet(1472)
+        overhead = packet.size / 1472
+        assert 1.018 < overhead < 1.020
+
+    def test_fragment_ids_unique(self):
+        assert make_packet(10).fragment_id != make_packet(10).fragment_id
+
+    def test_non_positive_ttl_rejected(self):
+        with pytest.raises(PacketError):
+            IPPacket(src=SRC, dst=DST, payload=UDPDatagram(1, 2, payload_size=1), ttl=0)
+
+    def test_needs_payload_or_fragment_size(self):
+        with pytest.raises(PacketError):
+            IPPacket(src=SRC, dst=DST)
+
+
+class TestEthernetFrame:
+    def test_default_no_l2_overhead(self):
+        packet = make_packet(100)
+        frame = EthernetFrame(MacAddress(1), MacAddress(2), packet)
+        assert frame.size == packet.size
+
+    def test_optional_l2_overhead(self):
+        packet = make_packet(100)
+        frame = EthernetFrame(MacAddress(1), MacAddress(2), packet, l2_overhead=18)
+        assert frame.size == packet.size + 18
+
+    def test_broadcast_and_unicast_flags(self):
+        from repro.simnet.address import BROADCAST_MAC
+
+        packet = make_packet(1)
+        bcast = EthernetFrame(MacAddress(1), BROADCAST_MAC, packet)
+        ucast = EthernetFrame(MacAddress(1), MacAddress(2), packet)
+        assert bcast.is_broadcast and not bcast.is_unicast
+        assert ucast.is_unicast and not ucast.is_broadcast
+
+
+class TestFragmentation:
+    def test_small_packet_untouched(self):
+        packet = make_packet(100)
+        assert fragment_ip_packet(packet, 1500) == [packet]
+
+    def test_fragment_sizes_respect_mtu(self):
+        packet = make_packet(4000)
+        frags = fragment_ip_packet(packet, 1500)
+        assert len(frags) == 3
+        assert all(f.size <= 1500 for f in frags)
+
+    def test_fragment_data_conserved(self):
+        packet = make_packet(4000)
+        frags = fragment_ip_packet(packet, 1500)
+        assert sum(f.transport_size for f in frags) == packet.transport_size
+
+    def test_offsets_contiguous(self):
+        frags = fragment_ip_packet(make_packet(5000), 1500)
+        offset = 0
+        for frag in frags:
+            assert frag.fragment_offset == offset
+            offset += frag.transport_size
+        assert frags[-1].more_fragments is False
+        assert all(f.more_fragments for f in frags[:-1])
+
+    def test_all_fragments_share_id(self):
+        frags = fragment_ip_packet(make_packet(5000), 1500)
+        assert len({f.fragment_id for f in frags}) == 1
+
+    def test_intermediate_data_multiple_of_eight(self):
+        frags = fragment_ip_packet(make_packet(5000), 1500)
+        for frag in frags[:-1]:
+            assert frag.transport_size % 8 == 0
+
+    def test_refragmenting_rejected(self):
+        frags = fragment_ip_packet(make_packet(5000), 1500)
+        with pytest.raises(PacketError):
+            fragment_ip_packet(frags[0], 500)
+
+    def test_tiny_mtu_rejected(self):
+        with pytest.raises(PacketError):
+            fragment_ip_packet(make_packet(100), IPV4_HEADER_SIZE + 8)
+
+
+class TestReassembly:
+    def test_unfragmented_passthrough(self):
+        buf = ReassemblyBuffer()
+        packet = make_packet(100)
+        assert buf.add(packet, now=0.0) is packet
+
+    def test_in_order_reassembly(self):
+        buf = ReassemblyBuffer()
+        packet = make_packet(4000)
+        frags = fragment_ip_packet(packet, 1500)
+        results = [buf.add(f, now=0.0) for f in frags]
+        assert results[:-1] == [None, None]
+        final = results[-1]
+        assert final is not None
+        assert final.payload is packet.payload
+        assert not final.is_fragment
+
+    def test_out_of_order_reassembly(self):
+        buf = ReassemblyBuffer()
+        packet = make_packet(4000)
+        frags = fragment_ip_packet(packet, 1500)
+        assert buf.add(frags[2], now=0.0) is None
+        assert buf.add(frags[0], now=0.0) is None
+        final = buf.add(frags[1], now=0.0)
+        assert final is not None and final.payload is packet.payload
+
+    def test_interleaved_packets(self):
+        buf = ReassemblyBuffer()
+        p1, p2 = make_packet(2000), make_packet(2000)  # 2 fragments each
+        f1 = fragment_ip_packet(p1, 1500)
+        f2 = fragment_ip_packet(p2, 1500)
+        assert len(f1) == len(f2) == 2
+        assert buf.add(f1[0], 0.0) is None
+        assert buf.add(f2[0], 0.0) is None
+        done1 = buf.add(f1[-1], 0.0)
+        done2 = buf.add(f2[-1], 0.0)
+        assert done1.payload is p1.payload
+        assert done2.payload is p2.payload
+
+    def test_expiry_discards_stale_groups(self):
+        buf = ReassemblyBuffer(timeout=10.0)
+        frags = fragment_ip_packet(make_packet(4000), 1500)
+        assert buf.add(frags[0], now=0.0) is None
+        assert buf.pending_groups() == 1
+        # A later packet triggers expiry of the stale group.
+        other = make_packet(100)
+        buf.add(other, now=20.0)
+        frag2 = fragment_ip_packet(make_packet(200), 150)
+        buf.add(frag2[0], now=20.0)
+        assert buf.expired_groups == 1

@@ -1,0 +1,92 @@
+"""Integration tests: RM middleware over the live monitor."""
+
+import pytest
+
+from repro.core.monitor import NetworkMonitor
+from repro.experiments.testbed import build_testbed
+from repro.rm.detector import QosState
+from repro.rm.middleware import RmMiddleware
+from repro.rm.qos import QosRequirement
+from repro.simnet.trafficgen import StaircaseLoad, StepSchedule
+
+
+def system(requirements, **monitor_kwargs):
+    build = build_testbed()
+    monitor = NetworkMonitor(build, "L", poll_interval=2.0, poll_jitter=0.0,
+                             **monitor_kwargs)
+    middleware = RmMiddleware(monitor, requirements)
+    return build, monitor, middleware
+
+
+class TestMiddleware:
+    def test_auto_watches_required_paths(self):
+        req = QosRequirement("telemetry", "S1", "N1", min_available_bps=600_000)
+        build, monitor, mw = system([req])
+        assert "S1<->N1" in monitor.watched_paths()
+
+    def test_violation_and_recovery_cycle(self):
+        req = QosRequirement("telemetry", "S1", "N1", min_available_bps=600_000)
+        build, monitor, mw = system([req])
+        net = build.network
+        # 900 KB/s into the 1250 KB/s hub leaves < 600 KB/s available.
+        StaircaseLoad(
+            net.host("L"), net.ip_of("N1"), StepSchedule.pulse(10.0, 40.0, 900_000.0)
+        ).start()
+        monitor.start()
+        net.run(70.0)
+        states = [a.event.state for a in mw.actions]
+        assert QosState.VIOLATED in states
+        assert states[-1] is QosState.OK
+        violation = mw.violations()[0]
+        assert violation.diagnosis is not None
+        assert violation.diagnosis.kind == "hub-saturation"
+        assert violation.advice, "expected reallocation advice"
+        assert violation.advice[0].avoids_bottleneck
+
+    def test_no_violation_under_light_load(self):
+        req = QosRequirement("telemetry", "S1", "N1", min_available_bps=600_000)
+        build, monitor, mw = system([req])
+        net = build.network
+        StaircaseLoad(
+            net.host("L"), net.ip_of("N1"), StepSchedule.pulse(10.0, 40.0, 100_000.0)
+        ).start()
+        monitor.start()
+        net.run(60.0)
+        assert mw.violations() == []
+        assert mw.state_of("S1<->N1") is QosState.OK
+
+    def test_multiple_requirements_tracked_independently(self):
+        reqs = [
+            QosRequirement("hubpath", "S1", "N1", min_available_bps=600_000),
+            QosRequirement("swpath", "S1", "S2", min_available_bps=600_000),
+        ]
+        build, monitor, mw = system(reqs)
+        net = build.network
+        StaircaseLoad(
+            net.host("L"), net.ip_of("N1"), StepSchedule.pulse(10.0, 40.0, 900_000.0)
+        ).start()
+        monitor.start()
+        net.run(60.0)
+        assert mw.state_of("S1<->S2") is QosState.OK
+        assert any(
+            a.event.requirement.name == "hubpath" for a in mw.violations()
+        )
+        assert not any(
+            a.event.requirement.name == "swpath" for a in mw.violations()
+        )
+
+    def test_duplicate_requirement_rejected(self):
+        req = QosRequirement("a", "S1", "N1", min_available_bps=1.0)
+        req2 = QosRequirement("b", "S1", "N1", min_available_bps=2.0)
+        build = build_testbed()
+        monitor = NetworkMonitor(build, "L")
+        with pytest.raises(ValueError):
+            RmMiddleware(monitor, [req, req2])
+
+    def test_format_log(self):
+        req = QosRequirement("telemetry", "S1", "N1", min_available_bps=600_000)
+        build, monitor, mw = system([req])
+        assert mw.format_log() == "(no QoS events)"
+        monitor.start()
+        build.network.run(8.0)
+        assert "telemetry" in mw.format_log()

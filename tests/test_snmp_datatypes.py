@@ -1,0 +1,128 @@
+"""Unit tests for SNMP value types and their wire forms."""
+
+import pytest
+
+from repro.snmp import ber
+from repro.snmp.datatypes import (
+    Counter32,
+    Counter64,
+    EndOfMibView,
+    Gauge32,
+    Integer,
+    IpAddress,
+    NoSuchInstance,
+    NoSuchObject,
+    Null,
+    ObjectIdentifier,
+    OctetString,
+    TimeTicks,
+    decode_value,
+)
+from repro.snmp.oid import Oid
+
+
+def roundtrip(value):
+    decoded, end = decode_value(value.encode())
+    assert end == len(value.encode())
+    return decoded
+
+
+class TestRoundtrips:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            Integer(0),
+            Integer(-42),
+            Integer(2**31 - 1),
+            OctetString(b"community"),
+            OctetString(""),
+            Null(),
+            ObjectIdentifier("1.3.6.1.2.1.1.3.0"),
+            IpAddress("10.0.0.1"),
+            Counter32(0),
+            Counter32((1 << 32) - 1),
+            Gauge32(100_000_000),
+            TimeTicks(360000),
+            Counter64(1 << 40),
+            NoSuchObject(),
+            NoSuchInstance(),
+            EndOfMibView(),
+        ],
+    )
+    def test_encode_decode_identity(self, value):
+        assert roundtrip(value) == value
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ber.BerError):
+            decode_value(bytes([0x77, 0x01, 0x00]))
+
+    def test_exception_value_with_content_rejected(self):
+        with pytest.raises(ber.BerError):
+            decode_value(bytes([0x80, 0x01, 0x00]))
+
+
+class TestCounter32:
+    def test_wrap_truncates_raw_counter(self):
+        raw = (1 << 32) + 1234
+        assert Counter32.wrap(raw).value == 1234
+
+    def test_delta_simple(self):
+        assert Counter32(5000).delta(Counter32(3000)) == 2000
+
+    def test_delta_across_wrap(self):
+        """The poller's 'old subtracted from new' must survive a wrap."""
+        old = Counter32((1 << 32) - 100)
+        new = Counter32(50)
+        assert new.delta(old) == 150
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ber.BerError):
+            Counter32(1 << 32)
+        with pytest.raises(ber.BerError):
+            Counter32(-1)
+
+
+class TestTimeTicks:
+    def test_from_seconds_is_hundredths(self):
+        assert TimeTicks.from_seconds(2.0).value == 200
+
+    def test_to_seconds_roundtrip(self):
+        assert TimeTicks.from_seconds(123.45).to_seconds() == pytest.approx(123.45)
+
+    def test_delta_seconds(self):
+        t1 = TimeTicks.from_seconds(10.0)
+        t2 = TimeTicks.from_seconds(12.5)
+        assert t2.delta_seconds(t1) == pytest.approx(2.5)
+
+    def test_delta_across_wrap(self):
+        t1 = TimeTicks((1 << 32) - 100)
+        t2 = TimeTicks(100)
+        assert t2.delta_seconds(t1) == pytest.approx(2.0)
+
+    def test_from_seconds_wraps_like_agent(self):
+        # 2^32 hundredths ~ 497 days; the value must wrap, not overflow.
+        big = (1 << 32) / 100.0 + 1.0
+        assert TimeTicks.from_seconds(big).value == 100
+
+
+class TestIpAddress:
+    def test_text_roundtrip(self):
+        assert IpAddress("192.168.1.1").as_text() == "192.168.1.1"
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ber.BerError):
+            IpAddress(b"\x01\x02\x03")
+        with pytest.raises(ber.BerError):
+            IpAddress("1.2.3")
+
+
+class TestEquality:
+    def test_same_value_different_type_not_equal(self):
+        assert Counter32(5) != Gauge32(5)
+        assert Integer(5) != Counter32(5)
+
+    def test_octetstring_accepts_str(self):
+        assert OctetString("abc") == OctetString(b"abc")
+
+    def test_hashable(self):
+        assert len({Counter32(5), Counter32(5), Gauge32(5)}) == 2

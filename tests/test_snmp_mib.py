@@ -1,0 +1,225 @@
+"""Unit tests for the MIB tree, MIB-II bindings and the caching view."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Network
+from repro.simnet.sockets import DISCARD_PORT
+from repro.snmp.datatypes import Counter32, Gauge32, Integer, OctetString, TimeTicks
+from repro.snmp.mib import (
+    CachingMibTree,
+    IF_IN_OCTETS,
+    IF_NUMBER,
+    IF_PHYS_ADDRESS,
+    IF_SPEED,
+    MibError,
+    MibTree,
+    SYS_NAME,
+    SYS_UPTIME,
+    build_mib2,
+    DOT1D_TP_FDB_PORT,
+)
+from repro.snmp.oid import Oid
+
+
+class TestMibTree:
+    def test_get_registered_scalar(self):
+        tree = MibTree()
+        tree.register(Oid("1.3.1.0"), Integer(5))
+        assert tree.get(Oid("1.3.1.0")) == Integer(5)
+
+    def test_get_missing_returns_none(self):
+        assert MibTree().get(Oid("1.3")) is None
+
+    def test_callable_accessor_reads_live(self):
+        tree = MibTree()
+        box = {"v": 1}
+        tree.register(Oid("1.3.1.0"), lambda: Integer(box["v"]))
+        assert tree.get(Oid("1.3.1.0")) == Integer(1)
+        box["v"] = 2
+        assert tree.get(Oid("1.3.1.0")) == Integer(2)
+
+    def test_double_registration_rejected(self):
+        tree = MibTree()
+        tree.register(Oid("1.3.1.0"), Integer(1))
+        with pytest.raises(MibError):
+            tree.register(Oid("1.3.1.0"), Integer(2))
+
+    def test_get_next_lexicographic(self):
+        tree = MibTree()
+        for text in ("1.3.1.0", "1.3.2.0", "1.3.10.0"):
+            tree.register(Oid(text), Integer(0))
+        hit = tree.get_next(Oid("1.3.1.0"))
+        assert hit[0] == Oid("1.3.2.0")
+        # 2 < 10 numerically, not as strings
+        assert tree.get_next(Oid("1.3.2.0"))[0] == Oid("1.3.10.0")
+
+    def test_get_next_from_prefix(self):
+        tree = MibTree()
+        tree.register(Oid("1.3.6.1.2.1.1.3.0"), TimeTicks(0))
+        assert tree.get_next(Oid("1.3.6.1.2.1.1.3"))[0] == Oid("1.3.6.1.2.1.1.3.0")
+
+    def test_get_next_end_of_mib(self):
+        tree = MibTree()
+        tree.register(Oid("1.3.1.0"), Integer(0))
+        assert tree.get_next(Oid("1.3.1.0")) is None
+
+    def test_walk_all_sorted(self):
+        tree = MibTree()
+        for text in ("1.3.2.0", "1.3.1.0", "1.4.0"):
+            tree.register(Oid(text), Integer(0))
+        oids = [oid for oid, _v in tree.walk_all()]
+        assert oids == sorted(oids)
+        assert len(oids) == 3
+
+    def test_has_subtree(self):
+        tree = MibTree()
+        tree.register(Oid("1.3.1.5"), Integer(0))
+        assert tree.has_subtree(Oid("1.3.1"))
+        assert tree.has_subtree(Oid("1.3"))
+        assert not tree.has_subtree(Oid("1.4"))
+
+
+def make_host_net():
+    net = Network()
+    host = net.add_host("S1", os_label="Solaris 7")
+    peer = net.add_host("peer")
+    sw = net.add_switch("sw", 4, managed=False)
+    net.connect(host, sw)
+    net.connect(peer, sw)
+    net.announce_hosts()
+    return net, host, peer
+
+
+class TestMib2:
+    def test_table1_objects_present(self):
+        """Every MIB-II object in the paper's Table 1 must resolve."""
+        net, host, _ = make_host_net()
+        tree = build_mib2(host, net.sim)
+        table1 = [
+            "1.3.6.1.2.1.1.3.0",  # sysUpTime
+            "1.3.6.1.2.1.2.2.1.5.1",  # ifSpeed
+            "1.3.6.1.2.1.2.2.1.10.1",  # ifInOctets
+            "1.3.6.1.2.1.2.2.1.11.1",  # ifInUcastPkts
+            "1.3.6.1.2.1.2.2.1.16.1",  # ifOutOctets
+            "1.3.6.1.2.1.2.2.1.18.1",  # ifOutNUcastPkts
+        ]
+        for text in table1:
+            assert tree.get(Oid(text)) is not None, text
+
+    def test_sysuptime_tracks_clock(self):
+        net, host, _ = make_host_net()
+        tree = build_mib2(host, net.sim)
+        net.run(12.34)
+        uptime = tree.get(SYS_UPTIME)
+        assert uptime == TimeTicks(1234)
+
+    def test_sysname(self):
+        net, host, _ = make_host_net()
+        tree = build_mib2(host, net.sim)
+        assert tree.get(SYS_NAME) == OctetString(b"S1")
+
+    def test_ifspeed_static(self):
+        net, host, _ = make_host_net()
+        tree = build_mib2(host, net.sim)
+        assert tree.get(IF_SPEED + "1") == Gauge32(100_000_000)
+
+    def test_ifnumber(self):
+        net, host, _ = make_host_net()
+        tree = build_mib2(host, net.sim)
+        assert tree.get(IF_NUMBER) == Integer(1)
+
+    def test_ifphysaddress_is_mac(self):
+        net, host, _ = make_host_net()
+        tree = build_mib2(host, net.sim)
+        got = tree.get(IF_PHYS_ADDRESS + "1")
+        assert got == OctetString(host.interfaces[0].mac.to_bytes())
+
+    def test_counters_read_live_and_wrap(self):
+        net, host, peer = make_host_net()
+        tree = build_mib2(host, net.sim)
+        assert tree.get(IF_IN_OCTETS + "1") == Counter32(0)
+        peer.create_socket().sendto(972, (host.primary_ip, DISCARD_PORT))
+        net.run(1.0)
+        after = tree.get(IF_IN_OCTETS + "1")
+        assert after.value >= 1000
+        # Force a wrap: the MIB must truncate the raw 64-bit counter.
+        host.interfaces[0].counters.in_octets = (1 << 32) + 42
+        assert tree.get(IF_IN_OCTETS + "1") == Counter32(42)
+
+    def test_ifspeed_clamped_to_gauge32(self):
+        net = Network()
+        host = net.add_host("fast", speed_bps=10e9)  # 10 Gb/s > 2^32
+        tree = build_mib2(host, net.sim)
+        assert tree.get(IF_SPEED + "1") == Gauge32((1 << 32) - 1)
+
+
+class TestBridgeFdb:
+    def test_fdb_rows_appear_after_learning(self):
+        net = Network()
+        a = net.add_host("A")
+        b = net.add_host("B")
+        sw = net.add_switch("sw", 4, managed=False)
+        net.connect(a, sw)
+        net.connect(b, sw)
+        net.announce_hosts()
+        net.run(0.1)
+        tree = build_mib2(sw, net.sim)
+        # Walk the FDB port column: one row per learned MAC.
+        rows = []
+        cursor = DOT1D_TP_FDB_PORT
+        while True:
+            hit = tree.get_next(cursor)
+            if hit is None or not hit[0].startswith(DOT1D_TP_FDB_PORT):
+                break
+            rows.append(hit)
+            cursor = hit[0]
+        assert len(rows) == 2
+        ports = sorted(v.value for _oid, v in rows)
+        assert ports == [1, 2]  # A on port1, B on port2
+
+    def test_fdb_get_exact(self):
+        net = Network()
+        a = net.add_host("A")
+        sw = net.add_switch("sw", 4, managed=False)
+        net.connect(a, sw)
+        net.announce_hosts()
+        net.run(0.1)
+        tree = build_mib2(sw, net.sim)
+        index = ".".join(str(x) for x in a.interfaces[0].mac.to_bytes())
+        assert tree.get(DOT1D_TP_FDB_PORT + index) == Integer(1)
+        assert tree.get(DOT1D_TP_FDB_PORT + "9.9.9.9.9.9") is None
+
+
+class TestCachingMibTree:
+    def test_counters_stale_between_refreshes(self):
+        net, host, peer = make_host_net()
+        inner = build_mib2(host, net.sim)
+        cached = CachingMibTree(inner, net.sim, refresh_interval=1.0)
+        net.run(0.5)  # first snapshot happened at t=0
+        host.interfaces[0].counters.in_octets = 5000
+        # Still serving the t=0 snapshot:
+        assert cached.get(IF_IN_OCTETS + "1") == Counter32(0)
+        net.run(1.5)  # snapshot at t=1.0 picked up the new value
+        assert cached.get(IF_IN_OCTETS + "1") == Counter32(5000)
+
+    def test_system_group_always_fresh(self):
+        net, host, _ = make_host_net()
+        cached = CachingMibTree(build_mib2(host, net.sim), net.sim, 10.0)
+        net.run(5.0)
+        assert cached.get(SYS_UPTIME) == TimeTicks(500)
+
+    def test_non_positive_interval_rejected(self):
+        net, host, _ = make_host_net()
+        with pytest.raises(MibError):
+            CachingMibTree(build_mib2(host, net.sim), net.sim, 0.0)
+
+    def test_get_next_uses_cached_values(self):
+        net, host, _ = make_host_net()
+        inner = build_mib2(host, net.sim)
+        cached = CachingMibTree(inner, net.sim, 1.0)
+        net.run(0.2)
+        host.interfaces[0].counters.in_octets = 999
+        hit = cached.get_next(IF_IN_OCTETS)
+        assert hit[0] == IF_IN_OCTETS + "1"
+        assert hit[1] == Counter32(0)  # snapshot value, not live

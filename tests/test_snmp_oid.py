@@ -1,0 +1,92 @@
+"""Unit tests for the OID value type."""
+
+import pytest
+
+from repro.snmp.oid import Oid, OidError
+
+
+class TestConstruction:
+    def test_from_string(self):
+        assert Oid("1.3.6.1").arcs == (1, 3, 6, 1)
+
+    def test_leading_dot_tolerated(self):
+        assert Oid(".1.3.6") == Oid("1.3.6")
+
+    def test_from_iterable(self):
+        assert Oid([1, 3, 6]).arcs == (1, 3, 6)
+        assert Oid((1, 3)) == Oid("1.3")
+
+    def test_copy(self):
+        oid = Oid("1.2.3")
+        assert Oid(oid) == oid
+
+    @pytest.mark.parametrize("bad", ["", ".", "1..2", "1.x.2"])
+    def test_malformed_strings(self, bad):
+        with pytest.raises(OidError):
+            Oid(bad)
+
+    def test_negative_arc_rejected(self):
+        with pytest.raises(OidError):
+            Oid([1, -2])
+
+    def test_empty_iterable_rejected(self):
+        with pytest.raises(OidError):
+            Oid([])
+
+
+class TestOrdering:
+    def test_lexicographic(self):
+        assert Oid("1.3.6.1.2") < Oid("1.3.6.1.3")
+
+    def test_prefix_sorts_before_extension(self):
+        """GETNEXT semantics depend on this: parent < parent.child."""
+        assert Oid("1.3.6") < Oid("1.3.6.0")
+
+    def test_sorted_table_column_order(self):
+        """ifInOctets.1 < ifInOctets.2 < ifOutOctets.1 (column-major)."""
+        in1 = Oid("1.3.6.1.2.1.2.2.1.10.1")
+        in2 = Oid("1.3.6.1.2.1.2.2.1.10.2")
+        out1 = Oid("1.3.6.1.2.1.2.2.1.16.1")
+        assert sorted([out1, in2, in1]) == [in1, in2, out1]
+
+    def test_hash_equality(self):
+        assert len({Oid("1.2.3"), Oid([1, 2, 3])}) == 1
+
+
+class TestStructure:
+    def test_str_roundtrip(self):
+        text = "1.3.6.1.2.1.1.3.0"
+        assert str(Oid(text)) == text
+
+    def test_concatenation(self):
+        assert Oid("1.3") + "6.1" == Oid("1.3.6.1")
+        assert Oid("1.3").extend(6, 1) == Oid("1.3.6.1")
+
+    def test_startswith(self):
+        oid = Oid("1.3.6.1.2.1.2.2.1.10.3")
+        assert oid.startswith("1.3.6.1.2.1.2")
+        assert oid.startswith(oid)
+        assert not oid.startswith("1.3.6.1.4")
+
+    def test_strip_prefix(self):
+        oid = Oid("1.3.6.1.2.1.2.2.1.10.3")
+        assert oid.strip_prefix("1.3.6.1.2.1.2.2.1.10") == (3,)
+        with pytest.raises(OidError):
+            oid.strip_prefix("9.9")
+
+    def test_parent(self):
+        assert Oid("1.3.6").parent == Oid("1.3")
+        with pytest.raises(OidError):
+            Oid("1").parent
+
+    def test_indexing_and_slicing(self):
+        oid = Oid("1.3.6.1")
+        assert oid[0] == 1
+        assert oid[-1] == 1
+        assert oid[:2] == Oid("1.3")
+        assert len(oid) == 4
+        assert list(oid) == [1, 3, 6, 1]
+
+    def test_empty_slice_rejected(self):
+        with pytest.raises(OidError):
+            Oid("1.3")[2:2]

@@ -1,0 +1,121 @@
+"""Unit tests for PDU and message encode/decode."""
+
+import pytest
+
+from repro.snmp import ber
+from repro.snmp.datatypes import Counter32, Integer, Null, OctetString, TimeTicks
+from repro.snmp.errors import ErrorStatus
+from repro.snmp.message import VERSION_1, VERSION_2C, Message
+from repro.snmp.oid import Oid
+from repro.snmp.pdu import Pdu, VarBind
+
+
+class TestVarBind:
+    def test_roundtrip_null(self):
+        vb = VarBind(Oid("1.3.6.1.2.1.1.3.0"))
+        decoded, end = VarBind.decode(vb.encode(), 0)
+        assert decoded == vb
+        assert isinstance(decoded.value, Null)
+
+    def test_roundtrip_counter(self):
+        vb = VarBind(Oid("1.3.6.1.2.1.2.2.1.10.1"), Counter32(99999))
+        decoded, _ = VarBind.decode(vb.encode(), 0)
+        assert decoded.value == Counter32(99999)
+
+    def test_trailing_garbage_rejected(self):
+        vb = VarBind(Oid("1.3"), Integer(1))
+        raw = vb.encode()
+        # Splice an extra byte inside the varbind sequence.
+        inner = raw[2:] + b"\x00"
+        bad = bytes([raw[0], len(inner)]) + inner
+        with pytest.raises(ber.BerError):
+            VarBind.decode(bad, 0)
+
+
+class TestPdu:
+    def test_get_request_roundtrip(self):
+        pdu = Pdu.get_request(42, [Oid("1.3.6.1.2.1.1.3.0"), Oid("1.3.6.1.2.1.1.5.0")])
+        decoded, end = Pdu.decode(pdu.encode())
+        assert decoded.kind == "get"
+        assert decoded.request_id == 42
+        assert [vb.oid for vb in decoded.varbinds] == [vb.oid for vb in pdu.varbinds]
+
+    def test_get_next_roundtrip(self):
+        pdu = Pdu.get_next_request(7, [Oid("1.3")])
+        assert Pdu.decode(pdu.encode())[0].kind == "get-next"
+
+    def test_get_bulk_fields(self):
+        pdu = Pdu.get_bulk_request(9, [Oid("1.3")], non_repeaters=1, max_repetitions=20)
+        decoded, _ = Pdu.decode(pdu.encode())
+        assert decoded.kind == "get-bulk"
+        assert decoded.non_repeaters == 1
+        assert decoded.max_repetitions == 20
+
+    def test_response_builder_echoes_request_id(self):
+        request = Pdu.get_request(1234, [Oid("1.3")])
+        response = request.response([VarBind(Oid("1.3"), Integer(5))])
+        assert response.kind == "response"
+        assert response.request_id == 1234
+        assert response.error_status == int(ErrorStatus.NO_ERROR)
+
+    def test_error_response(self):
+        request = Pdu.get_request(1, [Oid("1.3")])
+        response = request.response(request.varbinds, ErrorStatus.NO_SUCH_NAME, 1)
+        decoded, _ = Pdu.decode(response.encode())
+        assert decoded.error_status == int(ErrorStatus.NO_SUCH_NAME)
+        assert decoded.error_index == 1
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ber.BerError):
+            Pdu(0xA9, 1)
+
+    def test_mixed_value_types_roundtrip(self):
+        pdu = Pdu(
+            ber.TAG_GET_RESPONSE,
+            5,
+            varbinds=[
+                VarBind(Oid("1.3.6.1.2.1.1.3.0"), TimeTicks(12345)),
+                VarBind(Oid("1.3.6.1.2.1.1.5.0"), OctetString(b"S1")),
+                VarBind(Oid("1.3.6.1.2.1.2.2.1.10.1"), Counter32(777)),
+            ],
+        )
+        decoded, _ = Pdu.decode(pdu.encode())
+        assert decoded.varbinds[0].value == TimeTicks(12345)
+        assert decoded.varbinds[1].value == OctetString(b"S1")
+        assert decoded.varbinds[2].value == Counter32(777)
+
+
+class TestMessage:
+    def test_v1_roundtrip(self):
+        msg = Message(VERSION_1, "public", Pdu.get_request(1, [Oid("1.3")]))
+        decoded = Message.decode(msg.encode())
+        assert decoded.version == VERSION_1
+        assert decoded.community == "public"
+        assert decoded.pdu.request_id == 1
+
+    def test_v2c_roundtrip(self):
+        msg = Message(VERSION_2C, "s3cret", Pdu.get_bulk_request(2, [Oid("1.3")], 0, 8))
+        decoded = Message.decode(msg.encode())
+        assert decoded.version == VERSION_2C
+        assert decoded.community == "s3cret"
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ber.BerError):
+            Message(3, "public", Pdu.get_request(1, [Oid("1.3")]))
+
+    def test_trailing_bytes_rejected(self):
+        raw = Message(VERSION_1, "public", Pdu.get_request(1, [Oid("1.3")])).encode()
+        with pytest.raises(ber.BerError):
+            Message.decode(raw + b"\x00")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ber.BerError):
+            Message.decode(b"\x01\x02\x03")
+
+    def test_wire_size_realistic(self):
+        """A Table-1-style poll of one interface is a small datagram."""
+        oids = [Oid("1.3.6.1.2.1.1.3.0")] + [
+            Oid(f"1.3.6.1.2.1.2.2.1.{col}.1") for col in (10, 16, 11, 17, 12, 18)
+        ]
+        raw = Message(VERSION_2C, "public", Pdu.get_request(1, oids)).encode()
+        assert 100 < len(raw) < 250

@@ -1,0 +1,120 @@
+"""Unit tests for the spec-language lexer."""
+
+import pytest
+
+from repro.spec.lexer import LexError, Token, TokenType, tokenize
+
+
+def types(text):
+    return [t.type for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)][:-1]  # drop EOF
+
+
+class TestBasics:
+    def test_empty_input_gives_eof(self):
+        tokens = tokenize("")
+        assert [t.type for t in tokens] == [TokenType.EOF]
+
+    def test_identifiers_and_punctuation(self):
+        text = "host L { }"
+        assert types(text) == [
+            TokenType.IDENT,
+            TokenType.IDENT,
+            TokenType.LBRACE,
+            TokenType.RBRACE,
+            TokenType.EOF,
+        ]
+
+    def test_identifier_with_dash_and_digits(self):
+        assert values("node-1b") == ["node-1b"]
+
+    def test_arrow(self):
+        assert types("a.b <-> c.d")[:7] == [
+            TokenType.IDENT,
+            TokenType.DOT,
+            TokenType.IDENT,
+            TokenType.ARROW,
+            TokenType.IDENT,
+            TokenType.DOT,
+            TokenType.IDENT,
+        ]
+
+    def test_incomplete_arrow_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("a <- b")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError) as err:
+            tokenize("host @")
+        assert "line 1" in str(err.value)
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert values("42") == [42]
+        assert isinstance(values("42")[0], int)
+
+    def test_float(self):
+        assert values("0.8") == [0.8]
+        assert isinstance(values("0.8")[0], float)
+
+    def test_digit_separator(self):
+        assert values("100_000") == [100000]
+
+    def test_number_then_unit(self):
+        assert values("100 Mbps") == [100, "Mbps"]
+
+    def test_number_dot_not_consumed_without_digit(self):
+        # "1." is number 1 followed by a DOT token.
+        tokens = tokenize("1.x")
+        assert tokens[0].value == 1
+        assert tokens[1].type is TokenType.DOT
+
+
+class TestStrings:
+    def test_simple_string(self):
+        assert values('"Solaris 7"') == ["Solaris 7"]
+
+    def test_escapes(self):
+        assert values(r'"a\"b\\c\nd"') == ['a"b\\c\nd']
+
+    def test_unknown_escape(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\q"')
+
+    def test_unterminated(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_newline_in_string(self):
+        with pytest.raises(LexError):
+            tokenize('"a\nb"')
+
+
+class TestComments:
+    def test_hash_comment(self):
+        assert values("a # comment\n b") == ["a", "b"]
+
+    def test_slash_slash_comment(self):
+        assert values("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert values("a /* multi\nline */ b") == ["a", "b"]
+
+    def test_unterminated_block(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_token_str_rendering(self):
+        token = tokenize('"x"')[0]
+        assert "string" in str(token)
