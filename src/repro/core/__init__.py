@@ -30,6 +30,12 @@ from repro.core.bandwidth import BandwidthCalculator, ConnectionMeasurement
 from repro.core.counters import CounterSource, resolve_counter_sources
 from repro.core.discovery import DiscoveryResult, TopologyDiscoverer
 from repro.core.distributed import DistributedMonitor
+from repro.core.health import (
+    AgentHealth,
+    AgentHealthTracker,
+    HealthState,
+    HealthTransition,
+)
 from repro.core.history import MeasurementHistory, PathSeries
 from repro.core.latency import LatencyEstimator, PathProber
 from repro.core.linkstate import LinkStateRegistry
@@ -40,12 +46,16 @@ from repro.core.report import PathReport
 from repro.core.traversal import NoPathError, PathLoopError, find_all_paths, find_path
 
 __all__ = [
+    "AgentHealth",
+    "AgentHealthTracker",
     "BandwidthCalculator",
     "BandwidthMatrix",
     "ConnectionMeasurement",
     "CounterSource",
     "DiscoveryResult",
     "DistributedMonitor",
+    "HealthState",
+    "HealthTransition",
     "InterfaceRates",
     "LatencyEstimator",
     "LinkStateRegistry",

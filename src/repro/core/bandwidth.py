@@ -38,15 +38,45 @@ from repro.topology.model import ConnectionSpec, DeviceKind, TopologySpec
 
 
 class BandwidthCalculator:
-    """Turns a :class:`RateTable` into connection/path measurements."""
+    """Turns a :class:`RateTable` into connection/path measurements.
 
-    def __init__(self, spec: TopologySpec, rates: RateTable, link_state=None) -> None:
+    Staleness-aware when ``stale_after`` is set (the monitor sets it):
+    samples older than ``stale_after`` mark their connection stale and
+    the path degraded; older than ``dead_after`` (or sourced from an
+    agent the health tracker says is DEAD) they stop counting as data at
+    all, and a path left without trustworthy figures reports
+    ``unavailable`` instead of a stale number.
+    """
+
+    def __init__(
+        self,
+        spec: TopologySpec,
+        rates: RateTable,
+        link_state=None,
+        stale_after: Optional[float] = None,
+        dead_after: Optional[float] = None,
+        health=None,
+    ) -> None:
         """``link_state``: optional :class:`~repro.core.linkstate.
         LinkStateRegistry`; connections it marks down report zero
-        availability with rule "down"."""
+        availability with rule "down".  ``health``: optional
+        :class:`~repro.core.health.AgentHealthTracker` consulted for the
+        counter-source agents.  ``stale_after``/``dead_after``: sample
+        ages (seconds) beyond which data is degraded / untrustworthy."""
+        if (
+            stale_after is not None
+            and dead_after is not None
+            and dead_after <= stale_after
+        ):
+            raise ValueError(
+                f"dead_after {dead_after!r} must exceed stale_after {stale_after!r}"
+            )
         self.spec = spec
         self.rates = rates
         self.link_state = link_state
+        self.stale_after = stale_after
+        self.dead_after = dead_after
+        self.health = health
         self._source_cache: Dict[Tuple, Optional[CounterSource]] = {}
         # Hub membership: hub name -> its host-facing connections.
         self._hub_host_conns: Dict[str, List[ConnectionSpec]] = {}
@@ -114,7 +144,9 @@ class BandwidthCalculator:
         hub_speed_bytes = self.spec.node(hub).interfaces[0].speed_bps / 8.0
         return min(total, hub_speed_bytes), "hub", newest
 
-    def measure_connection(self, conn: ConnectionSpec) -> ConnectionMeasurement:
+    def measure_connection(
+        self, conn: ConnectionSpec, now: Optional[float] = None
+    ) -> ConnectionMeasurement:
         capacity_bytes = self.spec.effective_bandwidth(conn) / 8.0
         if self.link_state is not None and self.link_state.is_down(conn):
             source = self.counter_source(conn)
@@ -127,6 +159,12 @@ class BandwidthCalculator:
             )
         used, rule, sample = self.used_bandwidth(conn)
         source = self.counter_source(conn)
+        age = sample.age(now) if (sample is not None and now is not None) else None
+        stale = (
+            age is not None
+            and self.stale_after is not None
+            and age > self.stale_after
+        )
         return ConnectionMeasurement(
             connection=conn,
             capacity_bps=capacity_bytes,
@@ -135,7 +173,39 @@ class BandwidthCalculator:
             rule=rule,
             sample_time=sample.time if sample is not None else None,
             sample_interval=sample.interval if sample is not None else None,
+            sample_age=age,
+            stale=stale,
         )
+
+    # ------------------------------------------------------------------
+    # Data quality
+    # ------------------------------------------------------------------
+    def _connection_confidence(self, m: ConnectionMeasurement) -> Optional[float]:
+        """0..1 trust in one connection's figures; None = not expected.
+
+        - "down" is *fresh* knowledge (the link-state registry said so).
+        - No counter source at all: structurally unmeasured, excluded
+          (the report's ``complete`` flag already covers it).
+        - Source agent DEAD, or sample older than ``dead_after``: 0.0.
+        - Sample between ``stale_after`` and ``dead_after``: linear decay.
+        - Expected source but no sample yet: 0.5 (degraded, not dead).
+        """
+        if m.rule == "down":
+            return 1.0
+        if m.source is None:
+            return None
+        if self.health is not None and self.health.is_dead(m.source.node):
+            return 0.0
+        if m.sample_age is None:
+            return 0.5
+        if self.stale_after is None or m.sample_age <= self.stale_after:
+            return 1.0
+        if self.dead_after is None:
+            return 0.5
+        if m.sample_age >= self.dead_after:
+            return 0.0
+        span = self.dead_after - self.stale_after
+        return max(0.0, 1.0 - (m.sample_age - self.stale_after) / span)
 
     # ------------------------------------------------------------------
     # Paths
@@ -153,5 +223,22 @@ class BandwidthCalculator:
         NOTE: all figures are in **bytes/second** (the paper reports
         KB/s); capacities are converted from the spec's bits/second.
         """
-        measurements = tuple(self.measure_connection(conn) for conn in path)
-        return PathReport(src=src, dst=dst, time=time, connections=measurements, name=name)
+        measurements = tuple(self.measure_connection(conn, now=time) for conn in path)
+        ages = [m.sample_age for m in measurements if m.sample_age is not None]
+        confidences = [
+            c
+            for c in (self._connection_confidence(m) for m in measurements)
+            if c is not None
+        ]
+        confidence = min(confidences) if confidences else 1.0
+        return PathReport(
+            src=src,
+            dst=dst,
+            time=time,
+            connections=measurements,
+            name=name,
+            freshness=max(ages) if ages else None,
+            confidence=confidence,
+            degraded=confidence < 1.0,
+            unavailable=confidence <= 0.0 and bool(confidences),
+        )

@@ -1,0 +1,255 @@
+"""Per-agent health tracking and circuit breaking.
+
+The paper's monitor only ever met agents that answered.  A production
+monitor meets agents that crash, hang, reboot and flap -- and must keep
+producing useful answers while they do.  This module tracks each SNMP
+agent's *reachability* through a small state machine driven by poll
+outcomes:
+
+    HEALTHY --fail--> DEGRADED --fail*--> SUSPECT --fail*--> DEAD
+       ^                  |                                   |
+       +---success*-------+ <----------success----------------+
+
+- Any failure (a request that exhausted its retransmissions) moves the
+  agent down the ladder; ``suspect_after`` / ``dead_after`` consecutive
+  failures reach SUSPECT / DEAD.
+- Any success while SUSPECT or DEAD returns the agent to DEGRADED; it
+  must then string together ``recovery_successes`` consecutive successes
+  to be HEALTHY again (hysteresis, so one lucky response during a flap
+  does not clear the alarm).
+- DEAD agents are **circuit-broken**: :meth:`AgentHealthTracker.should_poll`
+  suppresses routine polls and admits only a slow re-probe every
+  ``probe_interval`` seconds, so the manager stops burning timeout slots
+  (and simulated bandwidth) hammering a corpse, yet still notices the
+  moment it comes back.
+
+Health is about *reachability*, not data quality: an agent that answers
+with an SNMP error-status is alive (it counts as a success here) even
+though the poller could not use the response.  Data quality -- staleness
+of the rate samples -- is judged separately by the bandwidth calculator
+(see :mod:`repro.core.bandwidth`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Dict, List, Optional
+
+import logging
+
+logger = logging.getLogger("repro.monitor")
+
+
+class HealthState(Enum):
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"  # at least one recent failure
+    SUSPECT = "suspect"  # several consecutive failures
+    DEAD = "dead"  # circuit open; only slow re-probes go out
+
+    @property
+    def usable(self) -> bool:
+        """Whether fresh data from this agent is still expected."""
+        return self is not HealthState.DEAD
+
+
+@dataclass(frozen=True)
+class HealthTransition:
+    """One state change of one agent, for logs and tests."""
+
+    node: str
+    old: HealthState
+    new: HealthState
+    time: float
+    consecutive_failures: int
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.time:.1f}s] {self.node}: {self.old.value} -> {self.new.value}"
+            f" ({self.consecutive_failures} consecutive failure(s))"
+        )
+
+
+class AgentHealth:
+    """Mutable health record of one agent."""
+
+    __slots__ = (
+        "node",
+        "state",
+        "consecutive_failures",
+        "consecutive_successes",
+        "total_failures",
+        "total_successes",
+        "last_success_time",
+        "last_failure_time",
+        "last_probe_time",
+    )
+
+    def __init__(self, node: str) -> None:
+        self.node = node
+        self.state = HealthState.HEALTHY
+        self.consecutive_failures = 0
+        self.consecutive_successes = 0
+        self.total_failures = 0
+        self.total_successes = 0
+        self.last_success_time: Optional[float] = None
+        self.last_failure_time: Optional[float] = None
+        self.last_probe_time: Optional[float] = None
+
+
+TransitionCallback = Callable[[HealthTransition], None]
+
+
+class AgentHealthTracker:
+    """Drives :class:`AgentHealth` records from poll outcomes.
+
+    Thresholds:
+
+    suspect_after / dead_after:
+        Consecutive failures that reach SUSPECT / DEAD.
+    recovery_successes:
+        Consecutive successes a DEGRADED agent needs to be HEALTHY again.
+    probe_interval:
+        Seconds between re-probes of a DEAD agent (the circuit breaker's
+        half-open probe cadence).
+    """
+
+    def __init__(
+        self,
+        suspect_after: int = 3,
+        dead_after: int = 5,
+        recovery_successes: int = 2,
+        probe_interval: float = 6.0,
+    ) -> None:
+        if not 1 <= suspect_after <= dead_after:
+            raise ValueError(
+                f"need 1 <= suspect_after <= dead_after, got "
+                f"{suspect_after!r} / {dead_after!r}"
+            )
+        if recovery_successes < 1:
+            raise ValueError(f"recovery_successes must be >= 1, got {recovery_successes!r}")
+        if probe_interval <= 0:
+            raise ValueError(f"non-positive probe interval {probe_interval!r}")
+        self.suspect_after = suspect_after
+        self.dead_after = dead_after
+        self.recovery_successes = recovery_successes
+        self.probe_interval = probe_interval
+        self._agents: Dict[str, AgentHealth] = {}
+        self.transitions: List[HealthTransition] = []
+        self._callbacks: List[TransitionCallback] = []
+        self.polls_suppressed = 0
+
+    # ------------------------------------------------------------------
+    # Registration and lookup
+    # ------------------------------------------------------------------
+    def agent(self, node: str) -> AgentHealth:
+        """The (auto-created) health record for ``node``."""
+        record = self._agents.get(node)
+        if record is None:
+            record = self._agents[node] = AgentHealth(node)
+        return record
+
+    def state(self, node: str) -> HealthState:
+        """Current state; unknown agents are optimistically HEALTHY."""
+        record = self._agents.get(node)
+        return record.state if record is not None else HealthState.HEALTHY
+
+    def is_dead(self, node: str) -> bool:
+        return self.state(node) is HealthState.DEAD
+
+    def nodes(self) -> List[str]:
+        return sorted(self._agents)
+
+    def states(self) -> Dict[str, HealthState]:
+        return {node: record.state for node, record in self._agents.items()}
+
+    def count(self, state: HealthState) -> int:
+        return sum(1 for r in self._agents.values() if r.state is state)
+
+    def subscribe(self, callback: TransitionCallback) -> None:
+        self._callbacks.append(callback)
+
+    # ------------------------------------------------------------------
+    # Circuit breaker
+    # ------------------------------------------------------------------
+    def should_poll(self, node: str, now: float) -> bool:
+        """Gate one routine poll of ``node`` at time ``now``.
+
+        Non-DEAD agents always poll.  A DEAD agent is granted one probe
+        per ``probe_interval``; everything else is suppressed (and
+        counted in :attr:`polls_suppressed`).
+        """
+        record = self.agent(node)
+        if record.state is not HealthState.DEAD:
+            return True
+        if (
+            record.last_probe_time is None
+            or now - record.last_probe_time >= self.probe_interval
+        ):
+            record.last_probe_time = now
+            return True
+        self.polls_suppressed += 1
+        return False
+
+    # ------------------------------------------------------------------
+    # Outcome intake
+    # ------------------------------------------------------------------
+    def record_success(self, node: str, now: float) -> None:
+        """A request to ``node`` produced *any* response (agent is alive)."""
+        record = self.agent(node)
+        record.total_successes += 1
+        record.last_success_time = now
+        record.consecutive_failures = 0
+        record.consecutive_successes += 1
+        new_state = record.state
+        if record.state in (HealthState.DEAD, HealthState.SUSPECT):
+            new_state = HealthState.DEGRADED
+            record.consecutive_successes = 1
+        if (
+            new_state is HealthState.DEGRADED
+            and record.consecutive_successes >= self.recovery_successes
+        ):
+            new_state = HealthState.HEALTHY
+        self._move(record, new_state, now)
+
+    def record_failure(self, node: str, now: float) -> None:
+        """A request to ``node`` timed out after all retransmissions."""
+        record = self.agent(node)
+        record.total_failures += 1
+        record.last_failure_time = now
+        record.consecutive_successes = 0
+        record.consecutive_failures += 1
+        if record.consecutive_failures >= self.dead_after:
+            new_state = HealthState.DEAD
+        elif record.consecutive_failures >= self.suspect_after:
+            new_state = HealthState.SUSPECT
+        else:
+            new_state = HealthState.DEGRADED
+        self._move(record, new_state, now)
+
+    def _move(self, record: AgentHealth, new_state: HealthState, now: float) -> None:
+        if new_state is record.state:
+            return
+        old = record.state
+        record.state = new_state
+        if new_state is HealthState.DEAD:
+            # Start the probe clock at death so the first re-probe waits a
+            # full interval instead of firing on the very next cycle.
+            record.last_probe_time = now
+            logger.warning(
+                "agent %s is DEAD after %d consecutive failures; "
+                "circuit open, re-probing every %.1fs",
+                record.node, record.consecutive_failures, self.probe_interval,
+            )
+        elif old is HealthState.DEAD:
+            logger.warning("agent %s responded again: %s", record.node, new_state.value)
+        transition = HealthTransition(
+            node=record.node,
+            old=old,
+            new=new_state,
+            time=now,
+            consecutive_failures=record.consecutive_failures,
+        )
+        self.transitions.append(transition)
+        for callback in self._callbacks:
+            callback(transition)

@@ -68,6 +68,9 @@ class NetworkMonitor:
         report_offset: float = DEFAULT_REPORT_OFFSET,
         snmp_timeout: float = 1.0,
         snmp_retries: int = 1,
+        snmp_adaptive: bool = True,
+        stale_after: Optional[float] = None,
+        dead_after: Optional[float] = None,
         seed: int = 0,
     ) -> None:
         if not 0 < report_offset < poll_interval:
@@ -83,12 +86,23 @@ class NetworkMonitor:
         self.report_offset = report_offset
         self.sim = self.network.sim
         self.manager = SnmpManager(
-            self.monitor_host, timeout=snmp_timeout, retries=snmp_retries
+            self.monitor_host,
+            timeout=snmp_timeout,
+            retries=snmp_retries,
+            adaptive=snmp_adaptive,
         )
         self.rates = RateTable()
         self.link_state: Optional[LinkStateRegistry] = None
         self.trap_receiver = None
-        self.calculator = BandwidthCalculator(self.spec, self.rates)
+        # Staleness bounds: a sample normally arrives every cycle, so age
+        # beyond ~2.5 intervals means consecutive polls were lost (the
+        # data is suspect) and beyond ~6 intervals it is no longer data.
+        if stale_after is None:
+            stale_after = poll_interval * 2.5
+        if dead_after is None:
+            dead_after = max(poll_interval * 6.0, stale_after * 2.0)
+        self.stale_after = stale_after
+        self.dead_after = dead_after
         self.history = MeasurementHistory()
         self._watches: Dict[str, _Watch] = {}
         self._subscribers: List[ReportCallback] = []
@@ -99,6 +113,13 @@ class NetworkMonitor:
             jitter=poll_jitter,
             seed=seed,
             rate_table=self.rates,
+        )
+        self.calculator = BandwidthCalculator(
+            self.spec,
+            self.rates,
+            stale_after=stale_after,
+            dead_after=dead_after,
+            health=self._poller.health,
         )
         self._report_task = None
         self.reports_emitted = 0
@@ -125,6 +146,18 @@ class NetworkMonitor:
     @property
     def poller(self) -> SnmpPoller:
         return self._poller
+
+    @property
+    def health(self) -> "AgentHealthTracker":
+        """The per-agent health tracker (reachability state machine)."""
+        return self._poller.health
+
+    def agent_health(self) -> Dict[str, str]:
+        """Current health state name per polled agent."""
+        return {
+            target.node: self._poller.health.state(target.node).value
+            for target in self._poller.targets
+        }
 
     # ------------------------------------------------------------------
     # Link-state notifications (traps)
@@ -281,9 +314,19 @@ class NetworkMonitor:
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, float]:
+        from repro.core.health import HealthState
+
+        health = self._poller.health
         return {
             "poll_cycles": self._poller.cycles,
             "poll_errors": self._poller.poll_errors,
+            "poll_timeout_errors": self._poller.timeout_errors,
+            "poll_error_responses": self._poller.error_responses,
+            "poll_parse_errors": self._poller.parse_errors,
+            "polls_suppressed": self._poller.polls_suppressed,
+            "agent_restarts": self._poller.agent_restarts,
+            "agents_healthy": health.count(HealthState.HEALTHY),
+            "agents_dead": health.count(HealthState.DEAD),
             "samples": self._poller.samples_produced,
             "reports": self.reports_emitted,
             "snmp_requests": self.manager.requests_sent,

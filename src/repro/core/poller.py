@@ -22,11 +22,14 @@ Fidelity notes:
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.health import AgentHealthTracker
 from repro.simnet.address import IPv4Address
 from repro.snmp.datatypes import Counter32, TimeTicks
+from repro.snmp.errors import SnmpErrorResponse, SnmpTimeout
 from repro.snmp.manager import SnmpManager
 from repro.snmp.datatypes import Integer
 from repro.snmp.mib import (
@@ -73,6 +76,10 @@ class InterfaceRates:
         """Traffic crossing the interface in both directions."""
         return self.in_bytes_per_s + self.out_bytes_per_s
 
+    def age(self, now: float) -> float:
+        """Seconds elapsed since this sample was computed."""
+        return max(0.0, now - self.time)
+
 
 @dataclass
 class _CounterSnapshot:
@@ -86,18 +93,31 @@ class _CounterSnapshot:
 
 
 class RateTable:
-    """Latest (and historical) rate samples keyed by (node, ifIndex)."""
+    """Latest (and historical) rate samples keyed by (node, ifIndex).
 
-    def __init__(self, keep_history: bool = True) -> None:
+    History is a per-key ring buffer capped at ``max_history`` samples
+    (default 512 ~= 17 minutes at the paper's 2 s interval): a
+    long-running monitor must not grow without bound.  Consumers that
+    need deeper retention (the experiment figures) use
+    :class:`~repro.core.history.MeasurementHistory` instead.
+    """
+
+    def __init__(self, keep_history: bool = True, max_history: int = 512) -> None:
+        if max_history < 1:
+            raise ValueError(f"max_history must be >= 1, got {max_history!r}")
         self._latest: Dict[Tuple[str, int], InterfaceRates] = {}
-        self._history: Dict[Tuple[str, int], List[InterfaceRates]] = {}
+        self._history: Dict[Tuple[str, int], Deque[InterfaceRates]] = {}
         self.keep_history = keep_history
+        self.max_history = max_history
 
     def update(self, sample: InterfaceRates) -> None:
         key = (sample.node, sample.if_index)
         self._latest[key] = sample
         if self.keep_history:
-            self._history.setdefault(key, []).append(sample)
+            ring = self._history.get(key)
+            if ring is None:
+                ring = self._history[key] = deque(maxlen=self.max_history)
+            ring.append(sample)
 
     def latest(self, node: str, if_index: int) -> Optional[InterfaceRates]:
         return self._latest.get((node, if_index))
@@ -149,6 +169,7 @@ class SnmpPoller:
         jitter: float = 0.0,
         seed: int = 0,
         rate_table: Optional[RateTable] = None,
+        health: Optional[AgentHealthTracker] = None,
     ) -> None:
         if interval <= 0:
             raise ValueError(f"non-positive poll interval {interval!r}")
@@ -159,11 +180,21 @@ class SnmpPoller:
         self.jitter = jitter
         self.rng = random.Random(seed)
         self.rates = rate_table if rate_table is not None else RateTable()
+        # Reachability tracking + circuit breaker: DEAD agents are polled
+        # only at the tracker's slow probe cadence (default: every third
+        # cycle) instead of burning a timeout slot every cycle.
+        self.health = (
+            health
+            if health is not None
+            else AgentHealthTracker(probe_interval=interval * 3)
+        )
         self._last: Dict[Tuple[str, int], _CounterSnapshot] = {}
         self._task = None
         self.cycles = 0
-        self.poll_errors = 0
-        self.parse_errors = 0
+        self.poll_errors = 0  # aggregate: every errback, whatever the cause
+        self.timeout_errors = 0  # ... of which: requests that timed out
+        self.error_responses = 0  # ... of which: SNMP error-status responses
+        self.parse_errors = 0  # responses whose varbinds were unusable
         self.samples_produced = 0
         self.agent_restarts = 0
         # An uptime delta beyond this is read as an agent restart (the
@@ -176,6 +207,11 @@ class SnmpPoller:
         # whose target requests oper-status tracking -- the poll-based
         # link-state backstop for when linkDown traps are lost.
         self.on_status: Optional[Callable[[str, int, bool], None]] = None
+
+    @property
+    def polls_suppressed(self) -> int:
+        """Polls skipped because the target's circuit breaker was open."""
+        return self.health.polls_suppressed
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -204,6 +240,8 @@ class SnmpPoller:
     def _poll_cycle(self) -> None:
         self.cycles += 1
         for target in self.targets:
+            if not self.health.should_poll(target.node, self.sim.now):
+                continue  # circuit open: this DEAD agent's probe is not due
             self.manager.get(
                 target.address,
                 target.oids(),
@@ -214,8 +252,17 @@ class SnmpPoller:
 
     def _on_error(self, target: PollTarget, exc: Exception) -> None:
         self.poll_errors += 1
+        if isinstance(exc, SnmpTimeout):
+            self.timeout_errors += 1
+            self.health.record_failure(target.node, self.sim.now)
+        elif isinstance(exc, SnmpErrorResponse):
+            # The agent answered -- it is alive -- but the response is
+            # unusable.  Reachability up, data quality down.
+            self.error_responses += 1
+            self.health.record_success(target.node, self.sim.now)
 
     def _on_response(self, target: PollTarget, varbinds: List[VarBind]) -> None:
+        self.health.record_success(target.node, self.sim.now)
         values: Dict[Oid, object] = {vb.oid: vb.value for vb in varbinds}
         uptime = values.get(SYS_UPTIME)
         if not isinstance(uptime, TimeTicks):

@@ -4,6 +4,16 @@ These are the "network metrics regarding data communication information"
 the paper's monitor provides to the DeSiDeRaTa middleware: per-connection
 used/available bandwidth along a watched path, the path's end-to-end
 available bandwidth (the minimum), and the bottleneck connection.
+
+Every report also carries its **data freshness**: how old the rate
+samples behind it are (``freshness``), a 0..1 ``confidence`` derived
+from those ages and agent health, a ``degraded`` flag when any figure
+rests on stale or missing data, and an ``unavailable`` flag when the
+path's numbers cannot be trusted at all (a fully-dead source).  An
+unavailable report answers ``available_bps`` with NaN rather than
+serving the last rate it happened to see as if it were current --
+consumers driving adaptation must know the difference between "little
+bandwidth" and "no idea".
 """
 
 from __future__ import annotations
@@ -25,6 +35,8 @@ class ConnectionMeasurement:
     rule: str  # "switch" | "hub" | "down" | "unmeasured"
     sample_time: Optional[float] = None  # when the underlying sample landed
     sample_interval: Optional[float] = None  # seconds the sample covers
+    sample_age: Optional[float] = None  # report time minus sample time
+    stale: bool = False  # sample older than the monitor's staleness bound
 
     @property
     def available_bps(self) -> float:
@@ -57,6 +69,12 @@ class PathReport:
     time: float
     connections: Tuple[ConnectionMeasurement, ...]
     name: Optional[str] = None
+    # Data-quality annotations (see the module docstring).  Defaults are
+    # the optimistic ones so hand-built reports behave as before.
+    freshness: Optional[float] = None  # age of the stalest backing sample
+    confidence: float = 1.0  # 1.0 all-fresh .. 0.0 no usable data
+    degraded: bool = False  # some figure rests on stale/missing data
+    unavailable: bool = False  # no trustworthy figures at all
 
     def __post_init__(self) -> None:
         if not self.connections and self.src != self.dst:
@@ -68,7 +86,18 @@ class PathReport:
         return all(m.measured for m in self.connections)
 
     @property
+    def status(self) -> str:
+        """"fresh" | "degraded" | "unavailable" -- the report's trust level."""
+        if self.unavailable:
+            return "unavailable"
+        return "degraded" if self.degraded else "fresh"
+
+    @property
     def available_bps(self) -> float:
+        if self.unavailable:
+            # A dead path has *unknown* availability; NaN refuses to let a
+            # stale minimum masquerade as a live measurement.
+            return float("nan")
         if not self.connections:
             return float("inf")
         return min(m.available_bps for m in self.connections)
@@ -98,6 +127,12 @@ class PathReport:
 
     def summary(self) -> str:
         """One-line human-readable rendering for logs and examples."""
+        if self.unavailable:
+            return (
+                f"[{self.time:9.3f}s] {self.label}: UNAVAILABLE "
+                f"(no fresh data; stalest sample "
+                f"{'never seen' if self.freshness is None else f'{self.freshness:.1f}s old'})"
+            )
         parts = [
             f"[{self.time:9.3f}s] {self.label}:",
             f"used {self.used_bps / 1000:8.1f} KB/s,",
@@ -106,4 +141,6 @@ class PathReport:
         bottleneck = self.bottleneck
         if bottleneck is not None:
             parts.append(f"(bottleneck {bottleneck.connection})")
+        if self.degraded:
+            parts.append(f"[DEGRADED confidence={self.confidence:.2f}]")
         return " ".join(parts)

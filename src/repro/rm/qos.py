@@ -59,7 +59,15 @@ class QosRequirement:
         return f"{self.src}<->{self.dst}"
 
     def satisfied_by(self, report: PathReport) -> bool:
-        """Does ``report`` meet every threshold?"""
+        """Does ``report`` meet every threshold?
+
+        An ``unavailable`` report (the monitor has no fresh data for the
+        path) never satisfies a requirement: "no idea" must be treated
+        conservatively, not as silence.  NaN comparisons would otherwise
+        read as healthy.
+        """
+        if report.unavailable:
+            return False
         if self.min_available_bps is not None and report.available_bps < self.min_available_bps:
             return False
         if self.max_utilization is not None:
@@ -70,6 +78,12 @@ class QosRequirement:
 
     def violation_reason(self, report: PathReport) -> Optional[str]:
         """Human-readable reason, or None when satisfied."""
+        if report.unavailable:
+            age = report.freshness
+            return (
+                "path measurement unavailable "
+                f"({'no data ever' if age is None else f'stalest sample {age:.1f}s old'})"
+            )
         if self.min_available_bps is not None and report.available_bps < self.min_available_bps:
             return (
                 f"available {report.available_bps / 1000:.1f} KB/s below required "

@@ -12,6 +12,13 @@ This module injects the failures a real LAN suffers:
 - :class:`AgentOutage`      -- an SNMP daemon stops answering for a while
   (the process crashed); the manager sees timeouts, exactly what the
   paper's monitor would have experienced.
+- :class:`AgentReboot`      -- the daemon dies *and comes back with
+  sysUpTime and all counters reset* (host reboot / demon restart),
+  exercising the poller's restart-detection and re-baselining path.
+- :class:`ResponseDelay`    -- the agent still answers, just slowly (an
+  overloaded host), exercising the manager's adaptive RTO estimation.
+- :class:`Flap`             -- a link that goes down and up periodically
+  (a half-seated connector), exercising link-state and health hysteresis.
 
 All injections are plain objects driven by the simulation clock and are
 fully deterministic under a seed.
@@ -129,3 +136,153 @@ class AgentOutage:
     def _end(self) -> None:
         self.down = False
         self.agent.socket.on_receive = self._original
+
+
+class AgentReboot:
+    """The SNMP daemon's host reboots: silent during [at, at+outage),
+    then back **with sysUpTime restarted and every counter zeroed**.
+
+    This is the failure mode the poller's ``agent_restarts`` branch
+    exists for: after the reboot the old counter baselines are garbage
+    (they would yield colossal negative-looking deltas), and the first
+    post-reboot poll must only re-establish baselines.  The sysUpTime
+    reset is what gives the restart away, exactly as MIB-II intends.
+    """
+
+    def __init__(self, sim: Simulator, agent, at: float, outage: float = 2.0) -> None:
+        if outage <= 0:
+            raise FaultError(f"non-positive reboot outage {outage!r}")
+        self.sim = sim
+        self.agent = agent
+        self.at = at
+        self.outage = outage
+        self.down = False
+        self.rebooted = False
+        self.requests_ignored = 0
+        self._original = agent.socket.on_receive
+        sim.schedule_at(max(at, sim.now), self._begin)
+        sim.schedule_at(max(at + outage, sim.now), self._come_back)
+
+    def _begin(self) -> None:
+        self.down = True
+
+        def black_hole(payload, size, src_ip, src_port):
+            self.agent.in_packets += 1
+            self.requests_ignored += 1
+
+        self.agent.socket.on_receive = black_hole
+
+    def _come_back(self) -> None:
+        # Local imports: simnet must not depend on snmp at module level.
+        from repro.snmp.mib import CachingMibTree, MibError, build_mib2, register_snmp_group
+
+        device = getattr(self.agent.endpoint, "switch", self.agent.endpoint)
+        for iface in getattr(device, "interfaces", []):
+            counters = iface.counters
+            for name in counters.__slots__:
+                setattr(counters, name, 0)
+        # Rebuild the MIB with boot_time = now, so sysUpTime restarts at
+        # zero; preserve a caching wrapper's refresh interval if present.
+        old_mib = self.agent.mib
+        mib = build_mib2(device, self.sim, boot_time=self.sim.now)
+        try:
+            register_snmp_group(mib, self.agent)
+        except MibError:
+            pass
+        if isinstance(old_mib, CachingMibTree):
+            mib = CachingMibTree(mib, self.sim, old_mib.refresh_interval)
+        self.agent.mib = mib
+        self.agent.socket.on_receive = self._original
+        self.down = False
+        self.rebooted = True
+
+
+class ResponseDelay:
+    """An alive-but-slow agent: responses take ``extra`` seconds longer
+    during [at, until) (or forever, when ``until`` is None).
+
+    Models an overloaded host whose daemon still answers everything.  A
+    fixed-timeout manager would retransmit (or give up on) every poll; an
+    adaptive one should raise that destination's RTO and keep polling
+    cleanly once the estimator converges.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        agent,
+        extra: float,
+        at: float = 0.0,
+        until: Optional[float] = None,
+    ) -> None:
+        if extra <= 0:
+            raise FaultError(f"non-positive extra delay {extra!r}")
+        if until is not None and until <= at:
+            raise FaultError(f"delay end {until!r} must follow start {at!r}")
+        self.sim = sim
+        self.agent = agent
+        self.extra = extra
+        self.active = False
+        sim.schedule_at(max(at, sim.now), self._begin)
+        if until is not None:
+            sim.schedule_at(max(until, sim.now), self._end)
+
+    def _begin(self) -> None:
+        self.active = True
+        self.agent.response_delay += self.extra
+
+    def _end(self) -> None:
+        if self.active:
+            self.agent.response_delay -= self.extra
+            self.active = False
+
+
+class Flap:
+    """A link that cycles down/up: down for ``down_for`` seconds, up for
+    ``up_for``, repeating from ``at`` until ``until`` (inclusive of any
+    cycle in progress -- the link is always restored at the end).
+
+    The classic half-seated connector.  Exercises trap storms, the
+    poller's oper-status backstop, and the health tracker's requirement
+    of *consecutive* successes before declaring recovery.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        at: float,
+        down_for: float,
+        up_for: float,
+        until: Optional[float] = None,
+    ) -> None:
+        if down_for <= 0 or up_for <= 0:
+            raise FaultError(
+                f"flap phases must be positive, got down {down_for!r} / up {up_for!r}"
+            )
+        if until is not None and until <= at:
+            raise FaultError(f"flap end {until!r} must follow start {at!r}")
+        self.sim = sim
+        self.link = link
+        self.at = at
+        self.down_for = down_for
+        self.up_for = up_for
+        self.until = until
+        self.down = False
+        self.flaps = 0  # completed down->up cycles
+        sim.schedule_at(max(at, sim.now), self._go_down)
+
+    def _go_down(self) -> None:
+        if self.until is not None and self.sim.now >= self.until:
+            return  # window closed while we were up: stay up
+        self.down = True
+        self.flaps += 1
+        for iface in self.link.endpoints:
+            iface.set_admin_up(False)
+        self.sim.schedule(self.down_for, self._go_up)
+
+    def _go_up(self) -> None:
+        self.down = False
+        for iface in self.link.endpoints:
+            iface.set_admin_up(True)
+        self.sim.schedule(self.up_for, self._go_down)

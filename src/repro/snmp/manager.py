@@ -5,6 +5,18 @@ Event-driven (the simulator has no threads): each operation takes a
 are matched to responses by request-id; unanswered requests retransmit up
 to ``retries`` times and then fail with :class:`SnmpTimeout`.
 
+Retransmission timeouts are **adaptive, per destination** (RFC 6298
+style): each agent gets an :class:`RtoEstimator` that smooths observed
+round-trip times (SRTT/RTTVAR, Karn's rule: no samples from
+retransmitted requests) into a retransmission timeout, and retries back
+off exponentially within a request.  A slow-but-alive agent therefore
+raises its own timeout instead of tripping spurious retransmits, while a
+fast one is declared lost quickly.  Unlike TCP, a request that fails
+outright does *not* persist its backoff into the next request -- the
+poller's health layer (:mod:`repro.core.health`) owns the give-up policy
+for persistently dead agents, and polls to distinct agents are
+independent.  ``adaptive=False`` restores the legacy fixed ``timeout``.
+
 The manager's packets are real BER bytes travelling the simulated LAN, so
 polling consumes bandwidth that the monitor itself then measures -- the
 paper counts this among its ~2 % systematic overhead.
@@ -13,6 +25,7 @@ paper counts this among its ~2 % systematic overhead.
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.snmp import ber
@@ -30,9 +43,74 @@ ErrorCallback = Callable[[Exception], None]
 DEFAULT_TIMEOUT = 1.0
 DEFAULT_RETRIES = 1
 
+# RFC 6298 smoothing gains and variance multiplier.
+RTO_ALPHA = 0.125
+RTO_BETA = 0.25
+RTO_K = 4.0
+DEFAULT_MIN_RTO = 0.25  # the sim's LAN RTTs are milliseconds; don't go lower
+DEFAULT_MAX_RTO = 30.0
+
+
+class RtoEstimator:
+    """Smoothed-RTT retransmission timeout for one destination.
+
+    Until the first sample the RTO is ``initial``; afterwards it is
+    ``SRTT + K * RTTVAR`` clamped to [min_rto, max_rto].  Exponential
+    backoff is applied per attempt via :meth:`timeout_for`, not stored.
+    """
+
+    __slots__ = ("initial", "min_rto", "max_rto", "srtt", "rttvar", "rto", "samples")
+
+    def __init__(
+        self,
+        initial: float = DEFAULT_TIMEOUT,
+        min_rto: float = DEFAULT_MIN_RTO,
+        max_rto: float = DEFAULT_MAX_RTO,
+    ) -> None:
+        self.initial = initial
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+        self.rto = initial
+        self.samples = 0
+
+    def observe(self, rtt: float) -> None:
+        """Fold one round-trip sample in (caller applies Karn's rule)."""
+        if rtt < 0:
+            return
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            self.rttvar = (1 - RTO_BETA) * self.rttvar + RTO_BETA * abs(self.srtt - rtt)
+            self.srtt = (1 - RTO_ALPHA) * self.srtt + RTO_ALPHA * rtt
+        self.samples += 1
+        self.rto = min(
+            self.max_rto, max(self.min_rto, self.srtt + RTO_K * self.rttvar)
+        )
+
+    def timeout_for(self, attempt: int) -> float:
+        """RTO for the ``attempt``-th transmission (1-based): 2x per retry."""
+        return min(self.max_rto, self.rto * (2 ** max(0, attempt - 1)))
+
+
+@dataclass
+class DestinationStats:
+    """Per-agent request accounting (adaptive-RTO diagnostics)."""
+
+    requests_sent: int = 0
+    retransmissions: int = 0
+    timeouts: int = 0
+    responses: int = 0
+    last_rtt: Optional[float] = None
+
 
 class _Pending:
-    __slots__ = ("payload", "dst", "attempts", "timer", "callback", "errback")
+    __slots__ = (
+        "payload", "dst", "attempts", "timer", "callback", "errback",
+        "sent_at", "first_sent_at",
+    )
 
     def __init__(self, payload, dst, callback, errback) -> None:
         self.payload = payload
@@ -41,6 +119,8 @@ class _Pending:
         self.timer = None
         self.callback = callback
         self.errback = errback
+        self.sent_at = 0.0
+        self.first_sent_at = 0.0
 
 
 class SnmpManager:
@@ -54,18 +134,26 @@ class SnmpManager:
         timeout: float = DEFAULT_TIMEOUT,
         retries: int = DEFAULT_RETRIES,
         agent_port: int = SNMP_PORT,
+        adaptive: bool = True,
+        min_rto: float = DEFAULT_MIN_RTO,
+        max_rto: float = DEFAULT_MAX_RTO,
     ) -> None:
         self.endpoint = endpoint
         self.sim = endpoint.sim
         self.community = community
         self.version = version
-        self.timeout = timeout
+        self.timeout = timeout  # initial RTO (and the fixed one when not adaptive)
         self.retries = retries
         self.agent_port = agent_port
+        self.adaptive = adaptive
+        self.min_rto = min_rto
+        self.max_rto = max_rto
         self.socket = endpoint.create_socket()  # one ephemeral port for all requests
         self.socket.on_receive = self._on_datagram
         self._request_ids = itertools.count(1)
         self._pending: Dict[int, _Pending] = {}
+        self._estimators: Dict[IPv4Address, RtoEstimator] = {}
+        self.destinations: Dict[IPv4Address, DestinationStats] = {}
         # Statistics.
         self.requests_sent = 0
         self.retransmissions = 0
@@ -168,6 +256,27 @@ class SnmpManager:
     def outstanding(self) -> int:
         return len(self._pending)
 
+    def estimator_for(self, dst_ip: IPv4Address) -> RtoEstimator:
+        """The (auto-created) RTO estimator for one destination."""
+        estimator = self._estimators.get(dst_ip)
+        if estimator is None:
+            estimator = self._estimators[dst_ip] = RtoEstimator(
+                initial=self.timeout, min_rto=self.min_rto, max_rto=self.max_rto
+            )
+        return estimator
+
+    def current_rto(self, dst_ip: IPv4Address) -> float:
+        """The first-attempt timeout currently in force for ``dst_ip``."""
+        if not self.adaptive:
+            return self.timeout
+        return self.estimator_for(dst_ip).rto
+
+    def destination_stats(self, dst_ip: IPv4Address) -> DestinationStats:
+        stats = self.destinations.get(dst_ip)
+        if stats is None:
+            stats = self.destinations[dst_ip] = DestinationStats()
+        return stats
+
     def cancel_all(self) -> None:
         """Abort every outstanding request without invoking errbacks."""
         for pending in self._pending.values():
@@ -200,11 +309,22 @@ class SnmpManager:
         if pending is None:
             return
         pending.attempts += 1
+        dst_ip = pending.dst[0]
+        stats = self.destination_stats(dst_ip)
         if pending.attempts > 1:
             self.retransmissions += 1
+            stats.retransmissions += 1
         self.requests_sent += 1
+        stats.requests_sent += 1
+        pending.sent_at = self.sim.now
+        if pending.attempts == 1:
+            pending.first_sent_at = self.sim.now
         self.socket.sendto(pending.payload, pending.dst)
-        pending.timer = self.sim.schedule(self.timeout, self._on_timeout, request_id)
+        if self.adaptive:
+            rto = self.estimator_for(dst_ip).timeout_for(pending.attempts)
+        else:
+            rto = self.timeout
+        pending.timer = self.sim.schedule(rto, self._on_timeout, request_id)
 
     def _on_timeout(self, request_id: int) -> None:
         pending = self._pending.get(request_id)
@@ -215,6 +335,7 @@ class SnmpManager:
             return
         del self._pending[request_id]
         self.timeouts += 1
+        self.destination_stats(pending.dst[0]).timeouts += 1
         if pending.errback is not None:
             pending.errback(SnmpTimeout(str(pending.dst[0]), pending.attempts))
 
@@ -241,6 +362,23 @@ class SnmpManager:
         if pending.timer is not None:
             pending.timer.cancel()
         self.responses_received += 1
+        stats = self.destination_stats(pending.dst[0])
+        stats.responses += 1
+        # Karn's rule: a response after a retransmit is ambiguous about
+        # which copy it answers, so it yields no exact RTT sample.  It
+        # does bound the RTT from above by the time since the *first*
+        # copy went out; feeding that overestimate keeps the estimator
+        # converging upward for an agent slower than the current RTO
+        # (pure Karn would starve it of samples and retransmit forever).
+        if self.adaptive:
+            if pending.attempts == 1:
+                rtt = self.sim.now - pending.sent_at
+                stats.last_rtt = rtt
+                self.estimator_for(pending.dst[0]).observe(rtt)
+            else:
+                self.estimator_for(pending.dst[0]).observe(
+                    self.sim.now - pending.first_sent_at
+                )
         if pdu.error_status != int(ErrorStatus.NO_ERROR):
             exc = SnmpErrorResponse(ErrorStatus(pdu.error_status), pdu.error_index)
             if pending.errback is not None:

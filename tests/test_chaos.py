@@ -1,0 +1,150 @@
+"""The resilience acceptance scenario: combined faults on the paper testbed.
+
+Under ``AgentOutage`` + ``AgentReboot`` + ``PacketLoss`` the monitor must
+keep emitting a report every cycle, mark the affected paths degraded or
+unavailable while the faults are active (never serving stale rates as
+fresh), and return every agent to HEALTHY with fresh reports within a
+bounded number of cycles after the faults clear.
+"""
+
+import math
+
+import pytest
+
+from repro.core.health import HealthState
+from repro.core.monitor import NetworkMonitor
+from repro.core.report import PathReport
+from repro.experiments.testbed import build_testbed
+from repro.rm.detector import QosState, ViolationDetector
+from repro.rm.qos import QosRequirement
+from repro.simnet.faults import AgentOutage, AgentReboot, PacketLoss
+
+POLL = 2.0
+FAULTS_CLEAR = 30.0  # all three faults are over by here
+END = 70.0
+
+
+def uplink(build):
+    """The switch<->hub link (the only path to the NT machines)."""
+    hub = build.network.device("hub")
+    switch_ifaces = set(build.network.device("switch").interfaces)
+    for iface in hub.interfaces:
+        if iface.link is not None:
+            others = [ep for ep in iface.link.endpoints if ep is not iface]
+            if any(ep in switch_ifaces for ep in others):
+                return iface.link
+    raise AssertionError("testbed has no switch<->hub link")
+
+
+@pytest.fixture(scope="module")
+def chaos_run():
+    build = build_testbed()
+    net = build.network
+    monitor = NetworkMonitor(build, "L", poll_interval=POLL, poll_jitter=0.0)
+    s1_label = monitor.watch_path("S1", "S2")
+    n1_label = monitor.watch_path("N1", "L")
+
+    reports = {s1_label: [], n1_label: []}
+    monitor.subscribe(lambda r: reports[r.label].append(r))
+
+    # S1's daemon crashes for 20 s; N1's host reboots (counters + sysUpTime
+    # reset); the hub uplink sheds 30% of frames until t=30.
+    AgentOutage(net.sim, build.agents["S1"], at=6.0, until=28.0)
+    AgentReboot(net.sim, build.agents["N1"], at=10.0, outage=3.0)
+    loss = PacketLoss(uplink(build), loss_rate=0.3, seed=7)
+    net.sim.schedule_at(FAULTS_CLEAR, lambda: setattr(loss, "loss_rate", 0.0))
+
+    monitor.start()
+    net.run(END)
+    return build, monitor, reports, s1_label, n1_label
+
+
+class TestChaosScenario:
+    def test_reports_every_cycle(self, chaos_run):
+        build, monitor, reports, s1_label, n1_label = chaos_run
+        for label, series in reports.items():
+            # One report per poll cycle from start to END, no gaps.
+            assert len(series) >= int(END / POLL) - 2, label
+            gaps = [b.time - a.time for a, b in zip(series, series[1:])]
+            assert all(g == pytest.approx(POLL) for g in gaps), label
+
+    def test_stale_is_never_served_as_fresh(self, chaos_run):
+        build, monitor, reports, *_ = chaos_run
+        for series in reports.values():
+            for report in series:
+                if report.freshness is not None and report.freshness > monitor.stale_after:
+                    assert report.degraded or report.unavailable, report.summary()
+                if report.unavailable:
+                    assert math.isnan(report.available_bps)
+
+    def test_dead_agent_path_goes_unavailable_then_recovers(self, chaos_run):
+        build, monitor, reports, s1_label, _ = chaos_run
+        outage = [r for r in reports[s1_label] if 6.0 < r.time < 28.0]
+        assert any(r.degraded for r in outage)
+        assert any(r.unavailable for r in outage)
+        # Bounded recovery: within 5 cycles of the fault clearing the path
+        # must be fully trusted again, and stay that way.
+        settled = [r for r in reports[s1_label] if r.time >= FAULTS_CLEAR + 5 * POLL]
+        assert settled
+        assert all(r.status == "fresh" and r.confidence == 1.0 for r in settled)
+
+    def test_reboot_detected_not_reported_as_spike(self, chaos_run):
+        build, monitor, reports, _, n1_label = chaos_run
+        assert monitor.stats()["agent_restarts"] >= 1
+        # A counter reset re-baselines; it must never produce an absurd
+        # rate (the raw delta would look like a 4 GB wrap).
+        for report in reports[n1_label]:
+            if report.unavailable:
+                continue
+            for m in report.connections:
+                if m.used_bps is not None:
+                    assert m.used_bps < 10e6  # 10 MB/s >> anything offered
+
+    def test_all_agents_healthy_after_faults_clear(self, chaos_run):
+        build, monitor, *_ = chaos_run
+        assert all(
+            state is HealthState.HEALTHY
+            for state in monitor.health.states().values()
+        )
+        stats = monitor.stats()
+        assert stats["agents_dead"] == 0
+        assert stats["poll_timeout_errors"] > 0  # the faults really bit
+        assert stats["polls_suppressed"] > 0  # the breaker really opened
+
+    def test_detector_reports_unavailable_as_violation(self, chaos_run):
+        """Replaying the chaos reports through the RM detector yields a
+        violation whose reason names the unavailable measurement."""
+        build, monitor, reports, s1_label, _ = chaos_run
+        requirement = QosRequirement(
+            name="s1s2", src="S1", dst="S2", min_available_bps=1.0
+        )
+        detector = ViolationDetector(requirement, breach_count=2, clear_count=2)
+        for report in reports[s1_label]:
+            detector.offer(report)
+        violations = [e for e in detector.events if e.state is QosState.VIOLATED]
+        assert violations
+        assert any("unavailable" in (e.reason or "") for e in violations)
+        assert detector.state is QosState.OK  # cleared after recovery
+
+
+class TestUnavailableReportPolicy:
+    def report(self, **kw):
+        return PathReport(src="A", dst="A", time=0.0, connections=(), **kw)
+
+    def test_unavailable_never_satisfies(self):
+        req = QosRequirement(name="r", src="A", dst="A", min_available_bps=0.0)
+        bad = self.report(unavailable=True, confidence=0.0, freshness=12.0)
+        assert not req.satisfied_by(bad)
+        reason = req.violation_reason(bad)
+        assert reason is not None and "unavailable" in reason
+        assert "12.0s" in reason
+
+    def test_unavailable_with_no_data_ever(self):
+        req = QosRequirement(name="r", src="A", dst="A", min_available_bps=0.0)
+        bad = self.report(unavailable=True, confidence=0.0)
+        assert "no data ever" in req.violation_reason(bad)
+
+    def test_degraded_report_still_evaluated(self):
+        req = QosRequirement(name="r", src="A", dst="A", min_available_bps=0.0)
+        ok = self.report(degraded=True, confidence=0.5, freshness=6.0)
+        assert req.satisfied_by(ok)

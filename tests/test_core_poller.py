@@ -194,3 +194,106 @@ class TestPolling:
         net.run(20.0)
         latest = poller.rates.latest("S1", 1)
         assert latest.in_pkts_per_s == pytest.approx(10.0, rel=0.1)
+
+
+class TestRateTableCap:
+    def test_history_is_a_ring_buffer(self):
+        table = RateTable(max_history=4)
+        for i in range(10):
+            table.update(InterfaceRates("n", 1, float(i), 1.0, float(i), 0, 0, 0))
+        history = table.history("n", 1)
+        assert len(history) == 4
+        assert [s.time for s in history] == [6.0, 7.0, 8.0, 9.0]  # newest kept
+        assert table.latest("n", 1).time == 9.0
+
+    def test_cap_is_per_key(self):
+        table = RateTable(max_history=2)
+        for i in range(5):
+            table.update(InterfaceRates("a", 1, float(i), 1.0, 0, 0, 0, 0))
+        table.update(InterfaceRates("b", 1, 0.0, 1.0, 0, 0, 0, 0))
+        assert len(table.history("a", 1)) == 2
+        assert len(table.history("b", 1)) == 1
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(ValueError):
+            RateTable(max_history=0)
+
+
+class TestIngestEdges:
+    """Direct unit tests of the poller's sample-derivation branches."""
+
+    def snap(self, uptime_s, octets=0):
+        from repro.core.poller import _CounterSnapshot
+        from repro.snmp.datatypes import Counter32, TimeTicks
+
+        c = Counter32.wrap(octets)
+        return _CounterSnapshot(
+            uptime=TimeTicks.from_seconds(uptime_s),
+            octets_in=c, octets_out=c, ucast_in=c, ucast_out=c,
+            nucast_in=Counter32(0), nucast_out=Counter32(0),
+        )
+
+    def test_same_tick_duplicate_dropped(self):
+        net, poller, *_ = polling_net()
+        poller._ingest("S1", 1, self.snap(10.0, octets=100))  # baseline
+        poller._ingest("S1", 1, self.snap(10.0, octets=999))  # same uptime tick
+        assert poller.samples_produced == 0
+        assert poller.rates.latest("S1", 1) is None
+
+    def test_counter32_wrap_yields_positive_rate(self):
+        net, poller, *_ = polling_net()
+        poller._ingest("S1", 1, self.snap(10.0, octets=(1 << 32) - 500))
+        poller._ingest("S1", 1, self.snap(12.0, octets=1500))  # wrapped past 2^32
+        latest = poller.rates.latest("S1", 1)
+        assert latest is not None
+        assert latest.in_bytes_per_s == pytest.approx((500 + 1500) / 2.0)
+
+    def test_uptime_regression_counts_restart_and_rebaselines(self):
+        net, poller, *_ = polling_net()
+        poller._ingest("S1", 1, self.snap(1000.0, octets=5_000_000))
+        poller._ingest("S1", 1, self.snap(1.0, octets=100))  # rebooted agent
+        assert poller.agent_restarts == 1
+        assert poller.samples_produced == 0  # baseline only, no garbage rate
+        poller._ingest("S1", 1, self.snap(3.0, octets=4100))
+        latest = poller.rates.latest("S1", 1)
+        assert latest.in_bytes_per_s == pytest.approx(4000 / 2.0)
+        assert latest.interval == pytest.approx(2.0)
+
+
+class TestErrorClassification:
+    def test_missing_counters_are_parse_errors_agent_stays_healthy(self):
+        from repro.core.health import HealthState
+
+        net, poller, target, peer = polling_net()
+        # Interface 99 does not exist: v2c answers with NoSuchObject
+        # values, so the response arrives but yields no counters.
+        poller.targets[0] = PollTarget("S1", target.primary_ip, [99])
+        poller.start()
+        net.run(10.0)
+        assert poller.parse_errors >= 4
+        assert poller.timeout_errors == 0
+        assert poller.poll_errors == 0  # the agent did answer
+        assert poller.health.state("S1") is HealthState.HEALTHY
+
+    def test_v1_error_status_counted_as_error_response(self):
+        from repro.core.health import HealthState
+        from repro.snmp.message import VERSION_1
+
+        net, poller, target, peer = polling_net()
+        v1_manager = SnmpManager(
+            net.host("L"), timeout=0.5, retries=1, version=VERSION_1
+        )
+        v1_poller = SnmpPoller(
+            v1_manager,
+            [PollTarget("S1", target.primary_ip, [99])],
+            interval=2.0,
+            jitter=0.0,
+        )
+        v1_poller.start()
+        net.run(10.0)
+        # v1 has no per-varbind exceptions: the whole request fails with
+        # noSuchName, which proves the agent alive but the poll useless.
+        assert v1_poller.error_responses >= 4
+        assert v1_poller.poll_errors == v1_poller.error_responses
+        assert v1_poller.timeout_errors == 0
+        assert v1_poller.health.state("S1") is HealthState.HEALTHY

@@ -4,7 +4,15 @@ import pytest
 
 from repro.core.monitor import NetworkMonitor
 from repro.experiments.testbed import build_testbed
-from repro.simnet.faults import AgentOutage, FaultError, LinkFailure, PacketLoss
+from repro.simnet.faults import (
+    AgentOutage,
+    AgentReboot,
+    FaultError,
+    Flap,
+    LinkFailure,
+    PacketLoss,
+    ResponseDelay,
+)
 from repro.simnet.network import Network
 from repro.simnet.sockets import DISCARD_PORT
 from repro.simnet.trafficgen import StaircaseLoad, StepSchedule
@@ -146,3 +154,118 @@ class TestAgentOutage:
         build = build_testbed()
         with pytest.raises(FaultError):
             AgentOutage(build.network.sim, build.agents["S1"], at=5.0, until=4.0)
+
+
+class TestAgentReboot:
+    def rebootable_net(self):
+        from repro.snmp.agent import SnmpAgent
+        from repro.snmp.manager import SnmpManager
+        from repro.snmp.mib import SYS_UPTIME, build_mib2
+
+        net, a, b = small_net()
+        agent = SnmpAgent(b, build_mib2(b, net.sim))
+        manager = SnmpManager(a, timeout=2.0, retries=1)
+        return net, a, b, agent, manager, SYS_UPTIME
+
+    def test_counters_zeroed_and_uptime_reset(self):
+        net, a, b, agent, manager, SYS_UPTIME = self.rebootable_net()
+        StaircaseLoad(
+            a, b.primary_ip, StepSchedule([(0.0, 50_000.0), (25.0, 0.0)])
+        ).start()
+        fault = AgentReboot(net.sim, agent, at=30.0, outage=2.0)
+        net.run(29.0)
+        assert b.interfaces[0].counters.in_octets > 0
+        net.run(33.0)
+        assert fault.rebooted
+        assert b.interfaces[0].counters.in_octets == 0  # wiped by the reboot
+        uptimes = []
+        manager.get(b.primary_ip, [SYS_UPTIME], lambda vbs: uptimes.append(vbs[0].value))
+        net.run(40.0)
+        # ~8 s since the reboot at t=32, nowhere near the 33+ s a
+        # never-rebooted agent would report.
+        assert len(uptimes) == 1
+        assert uptimes[0].to_seconds() < 15.0
+
+    def test_silent_during_outage_window(self):
+        net, a, b, agent, manager, SYS_UPTIME = self.rebootable_net()
+        fault = AgentReboot(net.sim, agent, at=5.0, outage=3.0)
+        errors = []
+        net.sim.schedule_at(
+            5.5,
+            lambda: manager.get(
+                b.primary_ip, [SYS_UPTIME], lambda vbs: None, errors.append
+            ),
+        )
+        net.run(20.0)
+        assert fault.requests_ignored >= 1
+        assert len(errors) == 1  # the request inside the window timed out
+
+    def test_outage_validated(self):
+        net, a, b, agent, manager, _ = self.rebootable_net()
+        with pytest.raises(FaultError):
+            AgentReboot(net.sim, agent, at=1.0, outage=0.0)
+
+
+class TestResponseDelay:
+    def test_delay_applied_then_restored(self):
+        from repro.snmp.agent import SnmpAgent
+        from repro.snmp.manager import SnmpManager
+        from repro.snmp.mib import SYS_UPTIME, build_mib2
+
+        net, a, b = small_net()
+        agent = SnmpAgent(b, build_mib2(b, net.sim))
+        manager = SnmpManager(a, timeout=2.0, retries=1)
+        baseline = agent.response_delay
+        fault = ResponseDelay(net.sim, agent, extra=0.5, at=2.0, until=10.0)
+        arrivals = []
+
+        def ask():
+            sent = net.sim.now
+            manager.get(
+                b.primary_ip, [SYS_UPTIME],
+                lambda vbs: arrivals.append(net.sim.now - sent),
+            )
+
+        net.sim.schedule_at(3.0, ask)   # inside the slow window
+        net.sim.schedule_at(12.0, ask)  # after restoration
+        net.run(20.0)
+        assert len(arrivals) == 2
+        assert arrivals[0] >= 0.5
+        assert arrivals[1] < 0.5
+        assert not fault.active
+        assert agent.response_delay == pytest.approx(baseline)
+
+    def test_parameters_validated(self):
+        net, a, b = small_net()
+        with pytest.raises(FaultError):
+            ResponseDelay(net.sim, object(), extra=0.0)
+        with pytest.raises(FaultError):
+            ResponseDelay(net.sim, object(), extra=0.5, at=5.0, until=4.0)
+
+
+class TestFlap:
+    def test_cycles_down_and_up_then_settles_up(self):
+        net, a, b = small_net()
+        link = b.interfaces[0].link
+        fault = Flap(net.sim, link, at=2.0, down_for=1.0, up_for=2.0, until=12.0)
+        net.run(2.5)
+        assert fault.down
+        assert not b.interfaces[0].admin_up
+        net.run(3.5)
+        assert not fault.down
+        assert b.interfaces[0].admin_up
+        net.run(30.0)
+        # The window closed: whatever the phase, the link ends up.
+        assert not fault.down
+        assert b.interfaces[0].admin_up
+        assert fault.flaps >= 3
+
+    def test_parameters_validated(self):
+        net, a, b = small_net()
+        link = b.interfaces[0].link
+        with pytest.raises(FaultError):
+            Flap(net.sim, link, at=0.0, down_for=0.0, up_for=1.0)
+        with pytest.raises(FaultError):
+            Flap(net.sim, link, at=0.0, down_for=1.0, up_for=0.0)
+        with pytest.raises(FaultError):
+            Flap(net.sim, link, at=5.0, down_for=1.0, up_for=1.0, until=5.0)

@@ -1,0 +1,145 @@
+"""Tests for agent-health tracking and the poll circuit breaker."""
+
+import pytest
+
+from repro.core.health import AgentHealthTracker, HealthState
+from repro.core.monitor import NetworkMonitor
+from repro.experiments.testbed import build_testbed
+from repro.simnet.faults import AgentOutage
+
+
+class TestStateMachine:
+    def tracker(self, **kw):
+        return AgentHealthTracker(
+            suspect_after=3, dead_after=5, recovery_successes=2, probe_interval=6.0, **kw
+        )
+
+    def test_starts_healthy(self):
+        t = self.tracker()
+        assert t.state("a") is HealthState.HEALTHY
+        assert not t.is_dead("a")
+
+    def test_ladder_down(self):
+        t = self.tracker()
+        expected = [
+            HealthState.DEGRADED,  # 1 failure
+            HealthState.DEGRADED,  # 2
+            HealthState.SUSPECT,  # 3
+            HealthState.SUSPECT,  # 4
+            HealthState.DEAD,  # 5
+            HealthState.DEAD,  # 6: stays dead
+        ]
+        for i, state in enumerate(expected):
+            t.record_failure("a", float(i))
+            assert t.state("a") is state
+
+    def test_recovery_needs_consecutive_successes(self):
+        t = self.tracker()
+        for i in range(5):
+            t.record_failure("a", float(i))
+        assert t.is_dead("a")
+        t.record_success("a", 10.0)
+        assert t.state("a") is HealthState.DEGRADED  # one success is not enough
+        t.record_failure("a", 11.0)  # flap: the streak restarts
+        t.record_success("a", 12.0)
+        assert t.state("a") is HealthState.DEGRADED
+        t.record_success("a", 13.0)
+        assert t.state("a") is HealthState.HEALTHY
+
+    def test_healthy_agent_unaffected_by_success(self):
+        t = self.tracker()
+        for i in range(10):
+            t.record_success("a", float(i))
+        assert t.state("a") is HealthState.HEALTHY
+        assert t.transitions == []
+
+    def test_transitions_recorded_and_callbacks_fire(self):
+        t = self.tracker()
+        seen = []
+        t.subscribe(seen.append)
+        for i in range(5):
+            t.record_failure("a", float(i))
+        assert [tr.new for tr in t.transitions] == [
+            HealthState.DEGRADED, HealthState.SUSPECT, HealthState.DEAD
+        ]
+        assert seen == t.transitions
+        assert "dead" in str(t.transitions[-1])
+
+    def test_counts_and_states(self):
+        t = self.tracker()
+        t.record_success("a", 0.0)
+        for i in range(5):
+            t.record_failure("b", float(i))
+        assert t.count(HealthState.HEALTHY) == 1
+        assert t.count(HealthState.DEAD) == 1
+        assert t.states()["b"] is HealthState.DEAD
+        assert t.nodes() == ["a", "b"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AgentHealthTracker(suspect_after=0)
+        with pytest.raises(ValueError):
+            AgentHealthTracker(suspect_after=6, dead_after=5)
+        with pytest.raises(ValueError):
+            AgentHealthTracker(recovery_successes=0)
+        with pytest.raises(ValueError):
+            AgentHealthTracker(probe_interval=0.0)
+
+
+class TestCircuitBreaker:
+    def test_non_dead_always_polls(self):
+        t = AgentHealthTracker()
+        for i in range(4):
+            t.record_failure("a", float(i))  # SUSPECT, not DEAD
+        for now in (4.0, 4.1, 4.2):
+            assert t.should_poll("a", now)
+        assert t.polls_suppressed == 0
+
+    def test_dead_agent_probed_slowly(self):
+        t = AgentHealthTracker(probe_interval=6.0)
+        for i in range(5):
+            t.record_failure("a", float(i))  # DEAD at t=4
+        # Probe clock starts at death: nothing until 4 + 6.
+        assert not t.should_poll("a", 6.0)
+        assert not t.should_poll("a", 9.9)
+        assert t.should_poll("a", 10.0)
+        # The granted probe restarts the clock.
+        assert not t.should_poll("a", 12.0)
+        assert t.should_poll("a", 16.0)
+        assert t.polls_suppressed == 3
+
+
+class TestMonitorIntegration:
+    def test_outage_walks_the_ladder_and_recovers(self):
+        build = build_testbed()
+        monitor = NetworkMonitor(build, "L", poll_jitter=0.0)
+        monitor.watch_path("S1", "N1")
+        AgentOutage(build.network.sim, build.agents["S1"], at=6.0, until=30.0)
+        monitor.start()
+        build.network.run(50.0)
+
+        states = [tr.new for tr in monitor.health.transitions if tr.node == "S1"]
+        assert states[:3] == [
+            HealthState.DEGRADED, HealthState.SUSPECT, HealthState.DEAD
+        ]
+        assert states[-1] is HealthState.HEALTHY
+        # The circuit breaker suppressed at least one routine poll.
+        assert monitor.poller.polls_suppressed > 0
+        # And suppressed polls saved SNMP requests: during the open-circuit
+        # window S1 was probed less often than every cycle.
+        assert monitor.health.states()["S1"] is HealthState.HEALTHY
+        assert monitor.agent_health()["S1"] == "healthy"
+
+    def test_stats_expose_health_and_error_split(self):
+        build = build_testbed()
+        monitor = NetworkMonitor(build, "L", poll_jitter=0.0)
+        AgentOutage(build.network.sim, build.agents["S1"], at=0.0, until=60.0)
+        monitor.start()
+        build.network.run(30.0)
+        stats = monitor.stats()
+        assert stats["poll_timeout_errors"] > 0
+        assert stats["poll_errors"] >= stats["poll_timeout_errors"]
+        assert stats["poll_error_responses"] == 0
+        assert stats["agents_dead"] == 1
+        assert stats["agents_healthy"] == len(monitor.poller.targets) - 1
+        assert stats["polls_suppressed"] > 0
