@@ -1,0 +1,61 @@
+"""Telemetry overhead guard: the monitor watching itself must stay cheap.
+
+Runs the Figure-4 scenario twice -- histograms/spans enabled vs disabled
+-- and asserts the instrumented run costs at most 10 % more wall time.
+Uses plain ``perf_counter`` best-of-rounds rather than the
+pytest-benchmark fixture so CI can run this file with stock pytest.
+"""
+
+import time
+
+import numpy as np
+
+from repro.experiments import fig4
+
+ROUNDS = 3
+MAX_OVERHEAD_RATIO = 1.10
+
+
+def _best_of(fn, rounds=ROUNDS):
+    """Minimum wall time over ``rounds`` runs (noise-robust estimator)."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bench_telemetry_overhead_under_ten_percent():
+    # One warm-up each so import costs and allocator warm-up are excluded.
+    baseline_result = fig4.run(seed=0, telemetry=False)
+    instrumented_result = fig4.run(seed=0, telemetry=True)
+
+    # Telemetry must observe, never perturb: identical measured series.
+    np.testing.assert_array_equal(
+        baseline_result.pair.measured_kbps,
+        instrumented_result.pair.measured_kbps,
+    )
+    assert baseline_result.monitor_stats == instrumented_result.monitor_stats
+
+    off = _best_of(lambda: fig4.run(seed=0, telemetry=False))
+    on = _best_of(lambda: fig4.run(seed=0, telemetry=True))
+    ratio = on / off
+    print(
+        f"\nfig4 wall time: telemetry off {off:.3f}s, on {on:.3f}s, "
+        f"ratio {ratio:.3f} (budget {MAX_OVERHEAD_RATIO:.2f})"
+    )
+    assert ratio <= MAX_OVERHEAD_RATIO, (
+        f"telemetry overhead {ratio:.3f}x exceeds the "
+        f"{MAX_OVERHEAD_RATIO:.2f}x budget"
+    )
+
+
+def test_bench_instrumented_run_populates_registry():
+    """The timed configuration is the real one: metrics actually flow."""
+    result = fig4.run(seed=0, telemetry=True)
+    telemetry = result.scenario.monitor.telemetry
+    assert telemetry.registry.value("poll_cycle_seconds")["count"] > 100
+    rtt = telemetry.registry.get("snmp_rtt_seconds")
+    assert len(rtt.children()) == 6
+    assert telemetry.tracer.spans_finished > 1000

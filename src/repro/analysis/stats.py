@@ -14,13 +14,56 @@ generated-vs-measured :class:`~repro.experiments.scenarios.SeriesPair`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 
 class StatsError(ValueError):
     """Raised when a series lacks the samples a statistic needs."""
+
+
+# ----------------------------------------------------------------------
+# Exact quantiles (ground truth for the telemetry estimators)
+# ----------------------------------------------------------------------
+def exact_quantile(values: Sequence[float], p: float) -> float:
+    """The exact ``p``-quantile of ``values`` (linear interpolation).
+
+    This is the batch answer the streaming estimators in
+    :mod:`repro.telemetry.quantile` approximate in O(1) memory; tests
+    compare the two.  Uses the same definition as ``numpy.quantile``'s
+    default (``linear`` / Hyndman-Fan type 7).
+    """
+    if not 0.0 <= p <= 1.0:
+        raise StatsError(f"quantile {p!r} outside [0, 1]")
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise StatsError("cannot take a quantile of an empty series")
+    return float(np.quantile(arr, p))
+
+
+def exact_quantiles(
+    values: Sequence[float], ps: Sequence[float] = (0.5, 0.9, 0.99)
+) -> Dict[float, float]:
+    """``{p: exact p-quantile}`` for several probabilities at once."""
+    return {p: exact_quantile(values, p) for p in ps}
+
+
+def quantile_rank_error(values: Sequence[float], p: float, estimate: float) -> float:
+    """How far ``estimate`` sits from the true ``p``-quantile, in rank space.
+
+    Returns ``|empirical_rank(estimate) - p|``: 0.01 means the estimate
+    is the 0.51-quantile when the 0.50-quantile was wanted.  Rank error
+    is the right yardstick for streaming quantile estimators -- absolute
+    value error is meaningless across differently-scaled distributions.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise StatsError(f"quantile {p!r} outside [0, 1]")
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise StatsError("cannot rank against an empty series")
+    rank = float(np.count_nonzero(arr <= estimate)) / arr.size
+    return abs(rank - p)
 
 
 def background_estimate(

@@ -66,6 +66,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_mon.add_argument("--interval", type=float, default=2.0, help="poll interval")
     p_mon.add_argument("--chart", action="store_true", help="render ASCII charts")
 
+    p_tel = sub.add_parser(
+        "telemetry",
+        help="run a monitoring scenario and print the monitor's own telemetry",
+    )
+    p_tel.add_argument(
+        "specfile", nargs="?", default=None,
+        help="topology spec (default: the paper's Figure-3 testbed)",
+    )
+    p_tel.add_argument(
+        "--host", default=None,
+        help="host running the monitor (default: L on the built-in testbed)",
+    )
+    p_tel.add_argument(
+        "--watch", action="append", default=[], metavar="SRC:DST",
+        help="host pair to watch (default on the testbed: S1:N1)",
+    )
+    p_tel.add_argument(
+        "--load", action="append", default=[], metavar="SRC:DST:KBPS:T0:T1",
+        help="UDP load to generate (repeatable)",
+    )
+    p_tel.add_argument(
+        "--qos", action="append", default=[], metavar="SRC:DST:MIN_KBPS",
+        help="QoS floor on a path; enables the RM middleware (repeatable)",
+    )
+    p_tel.add_argument("--until", type=float, default=60.0, help="simulated seconds")
+    p_tel.add_argument("--interval", type=float, default=2.0, help="poll interval")
+    p_tel.add_argument(
+        "--format", choices=("text", "prometheus", "json"), default="text",
+        help="output format (text includes a Prometheus section)",
+    )
+
     p_disc = sub.add_parser("discover", help="SNMP topology discovery + verification")
     p_disc.add_argument("specfile")
     p_disc.add_argument("--host", required=True, help="host running discovery")
@@ -195,6 +226,112 @@ def cmd_monitor(args) -> int:
     return 0
 
 
+def _parse_qos(text: str):
+    parts = text.split(":")
+    if len(parts) != 3 or not all(parts):
+        raise ValueError(f"--qos wants SRC:DST:MIN_KBPS, got {text!r}")
+    return parts[0], parts[1], float(parts[2])
+
+
+def _print_histogram_table(family, unit_scale: float, unit: str) -> None:
+    header = (
+        f"{'':>12} {'count':>7} {'p50':>10} {'p90':>10} {'p99':>10} {'max':>10}"
+    )
+    print(header)
+    for label_values, child in family.children():
+        who = label_values[0] if label_values else "(all)"
+        qs = child.quantiles()
+        cells = " ".join(
+            f"{qs[q] * unit_scale:>8.3f}{unit}" for q in (0.5, 0.9, 0.99)
+        )
+        peak = child.max * unit_scale if child.count else float("nan")
+        print(f"{who:>12} {child.count:>7d} {cells} {peak:>8.3f}{unit}")
+
+
+def cmd_telemetry(args) -> int:
+    from repro.experiments.testbed import MONITOR_HOST, build_testbed
+    from repro.rm.middleware import RmMiddleware
+    from repro.rm.qos import QosRequirement
+    from repro.telemetry import json_snapshot, prometheus_text
+
+    try:
+        if args.specfile is None:
+            build = build_testbed()
+            host = args.host or MONITOR_HOST
+            watches = args.watch or ["S1:N1"]
+        else:
+            spec = parse_file(args.specfile)
+            build = build_network(spec)
+            host = args.host
+            watches = args.watch
+            if host is None:
+                print("error: --host is required with a spec file", file=sys.stderr)
+                return 2
+            if not watches and not args.qos:
+                print(
+                    "error: at least one --watch SRC:DST (or --qos) is required",
+                    file=sys.stderr,
+                )
+                return 2
+    except (ParseError, LexError, SpecValidationError, TopologyError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        monitor = NetworkMonitor(build, host, poll_interval=args.interval)
+        for watch in watches:
+            monitor.watch_path(*_parse_watch(watch))
+        requirements = [
+            QosRequirement(
+                name=f"{src}->{dst}", src=src, dst=dst,
+                min_available_bps=kbps * 1000.0,
+            )
+            for src, dst, kbps in (_parse_qos(q) for q in args.qos)
+        ]
+        if requirements:
+            RmMiddleware(monitor, requirements)
+        for load_text in args.load:
+            src, dst, rate, t0, t1 = _parse_load(load_text)
+            StaircaseLoad(
+                build.network.host(src),
+                build.network.ip_of(dst),
+                StepSchedule.pulse(t0, t1, rate * KBPS),
+            ).start()
+    except (ValueError, TopologyError, KeyError, NetworkError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    monitor.start()
+    build.network.run(args.until)
+
+    telemetry = monitor.telemetry
+    if args.format == "prometheus":
+        print(prometheus_text(telemetry.registry), end="")
+        return 0
+    if args.format == "json":
+        print(json_snapshot(telemetry))
+        return 0
+
+    registry = telemetry.registry
+    print(f"telemetry after {build.network.now:.1f} simulated seconds\n")
+    print("SNMP round-trip time per agent:")
+    _print_histogram_table(registry.get("snmp_rtt_seconds"), 1000.0, "ms")
+    print("\nPoll cycle duration:")
+    _print_histogram_table(registry.get("poll_cycle_seconds"), 1000.0, "ms")
+    if "report_staleness_seconds" in registry:
+        print("\nReport staleness:")
+        _print_histogram_table(registry.get("report_staleness_seconds"), 1.0, "s ")
+    print("\nEvent counts:")
+    print(telemetry.events.format_counts())
+    if telemetry.tracer.slow:
+        print("\nSlow spans (> poll interval):")
+        print(telemetry.tracer.format_slow())
+    print("\nMonitor stats:")
+    for key, value in monitor.stats().items():
+        print(f"{key:>24}: {value:.0f}")
+    print("\n--- Prometheus export ---")
+    print(prometheus_text(registry), end="")
+    return 0
+
+
 def cmd_discover(args) -> int:
     from repro.core.discovery import TopologyDiscoverer
     from repro.simnet.network import BROADCAST_IP
@@ -277,6 +414,7 @@ _COMMANDS = {
     "show": cmd_show,
     "experiment": cmd_experiment,
     "monitor": cmd_monitor,
+    "telemetry": cmd_telemetry,
     "discover": cmd_discover,
     "matrix": cmd_matrix,
 }

@@ -34,6 +34,8 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.counters import CounterSource, resolve_counter_source
 from repro.core.poller import InterfaceRates, RateTable
 from repro.core.report import ConnectionMeasurement, PathReport
+from repro.telemetry import Telemetry
+from repro.telemetry.events import REPORT_STATUS
 from repro.topology.model import ConnectionSpec, DeviceKind, TopologySpec
 
 
@@ -56,13 +58,17 @@ class BandwidthCalculator:
         stale_after: Optional[float] = None,
         dead_after: Optional[float] = None,
         health=None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         """``link_state``: optional :class:`~repro.core.linkstate.
         LinkStateRegistry`; connections it marks down report zero
         availability with rule "down".  ``health``: optional
         :class:`~repro.core.health.AgentHealthTracker` consulted for the
         counter-source agents.  ``stale_after``/``dead_after``: sample
-        ages (seconds) beyond which data is degraded / untrustworthy."""
+        ages (seconds) beyond which data is degraded / untrustworthy.
+        ``telemetry``: optional hub; path measurements are then traced,
+        report staleness feeds a histogram, and per-path trust-status
+        changes (fresh/degraded/unavailable) publish events."""
         if (
             stale_after is not None
             and dead_after is not None
@@ -77,6 +83,21 @@ class BandwidthCalculator:
         self.stale_after = stale_after
         self.dead_after = dead_after
         self.health = health
+        self.telemetry = telemetry
+        self._last_status: Dict[str, str] = {}  # path label -> trust status
+        if telemetry is not None:
+            registry = telemetry.registry
+            self._m_reports_degraded = registry.counter(
+                "reports_degraded_total", "path reports resting on stale data"
+            )
+            self._m_reports_unavailable = registry.counter(
+                "reports_unavailable_total",
+                "path reports with no trustworthy figures at all",
+            )
+            self._h_staleness = registry.histogram(
+                "report_staleness_seconds",
+                "age of the stalest sample behind each path report",
+            )
         self._source_cache: Dict[Tuple, Optional[CounterSource]] = {}
         # Hub membership: hub name -> its host-facing connections.
         self._hub_host_conns: Dict[str, List[ConnectionSpec]] = {}
@@ -223,6 +244,13 @@ class BandwidthCalculator:
         NOTE: all figures are in **bytes/second** (the paper reports
         KB/s); capacities are converted from the spec's bits/second.
         """
+        tel = self.telemetry
+        tracing = tel is not None and tel.enabled
+        span = (
+            tel.tracer.begin("measure_path", path=name or f"{src}<->{dst}")
+            if tracing
+            else None
+        )
         measurements = tuple(self.measure_connection(conn, now=time) for conn in path)
         ages = [m.sample_age for m in measurements if m.sample_age is not None]
         confidences = [
@@ -231,7 +259,7 @@ class BandwidthCalculator:
             if c is not None
         ]
         confidence = min(confidences) if confidences else 1.0
-        return PathReport(
+        report = PathReport(
             src=src,
             dst=dst,
             time=time,
@@ -242,3 +270,24 @@ class BandwidthCalculator:
             degraded=confidence < 1.0,
             unavailable=confidence <= 0.0 and bool(confidences),
         )
+        if tracing:
+            if report.freshness is not None:
+                self._h_staleness.observe(report.freshness)
+            if report.unavailable:
+                self._m_reports_unavailable.inc()
+            elif report.degraded:
+                self._m_reports_degraded.inc()
+            span.finish(status=report.status, connections=len(measurements))
+            label = report.label
+            previous = self._last_status.get(label, "fresh")
+            if report.status != previous:
+                self._last_status[label] = report.status
+                tel.events.publish(
+                    REPORT_STATUS,
+                    time,
+                    path=label,
+                    old=previous,
+                    new=report.status,
+                    confidence=round(confidence, 3),
+                )
+        return report

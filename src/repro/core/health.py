@@ -34,9 +34,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 import logging
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.telemetry.events import EventBus
 
 logger = logging.getLogger("repro.monitor")
 
@@ -120,7 +123,11 @@ class AgentHealthTracker:
         dead_after: int = 5,
         recovery_successes: int = 2,
         probe_interval: float = 6.0,
+        events: Optional["EventBus"] = None,
     ) -> None:
+        """``events``: optional :class:`~repro.telemetry.events.EventBus`;
+        every state change is published on it as a ``health_transition``
+        event in addition to the transition list and callbacks."""
         if not 1 <= suspect_after <= dead_after:
             raise ValueError(
                 f"need 1 <= suspect_after <= dead_after, got "
@@ -137,6 +144,7 @@ class AgentHealthTracker:
         self._agents: Dict[str, AgentHealth] = {}
         self.transitions: List[HealthTransition] = []
         self._callbacks: List[TransitionCallback] = []
+        self.events = events
         self.polls_suppressed = 0
 
     # ------------------------------------------------------------------
@@ -251,5 +259,16 @@ class AgentHealthTracker:
             consecutive_failures=record.consecutive_failures,
         )
         self.transitions.append(transition)
+        if self.events is not None:
+            from repro.telemetry.events import HEALTH_TRANSITION
+
+            self.events.publish(
+                HEALTH_TRANSITION,
+                now,
+                node=record.node,
+                old=old.value,
+                new=new_state.value,
+                consecutive_failures=record.consecutive_failures,
+            )
         for callback in self._callbacks:
             callback(transition)

@@ -133,5 +133,7 @@ class BandwidthMatrix:
             if path is None:
                 reports[(a, b)] = None
             else:
-                reports[(a, b)] = self.calculator.measure_path(path, a, b, time=time)
+                reports[(a, b)] = self.calculator.measure_path(
+                    path, a, b, time=time, name=f"matrix:{a}<->{b}"
+                )
         return MatrixSnapshot(hosts=list(self.hosts), time=time, reports=reports)

@@ -21,7 +21,7 @@ cycles, when counter deltas exist.
 from __future__ import annotations
 
 import logging
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.bandwidth import BandwidthCalculator
 from repro.core.counters import required_poll_targets
@@ -32,6 +32,7 @@ from repro.core.report import PathReport
 from repro.core.traversal import find_path
 from repro.snmp.manager import SnmpManager
 from repro.spec.builder import BuildResult
+from repro.telemetry import Telemetry
 from repro.topology.model import ConnectionSpec, TopologySpec
 
 ReportCallback = Callable[[PathReport], None]
@@ -72,6 +73,7 @@ class NetworkMonitor:
         stale_after: Optional[float] = None,
         dead_after: Optional[float] = None,
         seed: int = 0,
+        telemetry: Union[bool, Telemetry] = True,
     ) -> None:
         if not 0 < report_offset < poll_interval:
             raise MonitorError(
@@ -85,11 +87,25 @@ class NetworkMonitor:
         self.poll_interval = poll_interval
         self.report_offset = report_offset
         self.sim = self.network.sim
+        # One telemetry hub for the whole stack: the manager's RTT
+        # quantiles, the poller's cycle spans, the calculator's staleness
+        # figures and the middleware's QoS events all share it.  A span
+        # slower than the poll interval is by definition a slow cycle
+        # (its responses spilled past the next poll).
+        if isinstance(telemetry, Telemetry):
+            self.telemetry = telemetry
+        else:
+            self.telemetry = Telemetry(
+                clock=lambda: self.sim.now,
+                enabled=bool(telemetry),
+                slow_threshold=poll_interval,
+            )
         self.manager = SnmpManager(
             self.monitor_host,
             timeout=snmp_timeout,
             retries=snmp_retries,
             adaptive=snmp_adaptive,
+            telemetry=self.telemetry,
         )
         self.rates = RateTable()
         self.link_state: Optional[LinkStateRegistry] = None
@@ -113,16 +129,47 @@ class NetworkMonitor:
             jitter=poll_jitter,
             seed=seed,
             rate_table=self.rates,
+            telemetry=self.telemetry,
         )
+        # Let the manager label RTT samples by agent name, not IP.
+        for target in self._poller.targets:
+            self.manager.agent_labels[target.address] = target.node
         self.calculator = BandwidthCalculator(
             self.spec,
             self.rates,
             stale_after=stale_after,
             dead_after=dead_after,
             health=self._poller.health,
+            telemetry=self.telemetry,
         )
         self._report_task = None
-        self.reports_emitted = 0
+        self._m_reports = self.telemetry.registry.counter(
+            "reports_total", "path reports emitted"
+        )
+        self._register_health_gauges()
+
+    def _register_health_gauges(self) -> None:
+        """Function-backed gauges sampling the health tracker on read."""
+        from repro.core.health import HealthState
+
+        registry = self.telemetry.registry
+        health = self._poller.health
+        for state in HealthState:
+            gauge = registry.gauge(
+                f"agents_{state.value}",
+                f"polled agents currently in the {state.value} state",
+            )
+            gauge.set_function(lambda s=state: float(health.count(s)))
+        registry.gauge(
+            "polls_suppressed", "routine polls suppressed by the circuit breaker"
+        ).set_function(lambda: float(health.polls_suppressed))
+        registry.gauge(
+            "watched_paths", "path watches currently registered"
+        ).set_function(lambda: float(len(self._watches)))
+
+    @property
+    def reports_emitted(self) -> int:
+        return int(self._m_reports.value)
 
     # ------------------------------------------------------------------
     # Target construction
@@ -296,7 +343,7 @@ class NetworkMonitor:
                 watch.path, watch.src, watch.dst, time=self.sim.now, name=watch.name
             )
             self.history.append(report)
-            self.reports_emitted += 1
+            self._m_reports.inc()
             for callback in self._subscribers:
                 callback(report)
 
@@ -314,23 +361,27 @@ class NetworkMonitor:
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, float]:
-        from repro.core.health import HealthState
+        """Operational counters, sourced from the telemetry registry.
 
-        health = self._poller.health
+        The keys are a stable public surface (tests and operators rely on
+        them); each maps onto the registry metric that now owns the
+        underlying count.
+        """
+        value = self.telemetry.registry.value
         return {
-            "poll_cycles": self._poller.cycles,
-            "poll_errors": self._poller.poll_errors,
-            "poll_timeout_errors": self._poller.timeout_errors,
-            "poll_error_responses": self._poller.error_responses,
-            "poll_parse_errors": self._poller.parse_errors,
-            "polls_suppressed": self._poller.polls_suppressed,
-            "agent_restarts": self._poller.agent_restarts,
-            "agents_healthy": health.count(HealthState.HEALTHY),
-            "agents_dead": health.count(HealthState.DEAD),
-            "samples": self._poller.samples_produced,
-            "reports": self.reports_emitted,
-            "snmp_requests": self.manager.requests_sent,
-            "snmp_responses": self.manager.responses_received,
-            "snmp_timeouts": self.manager.timeouts,
-            "snmp_retransmissions": self.manager.retransmissions,
+            "poll_cycles": value("poll_cycles_total"),
+            "poll_errors": value("poll_errors_total"),
+            "poll_timeout_errors": value("poll_timeout_errors_total"),
+            "poll_error_responses": value("poll_error_responses_total"),
+            "poll_parse_errors": value("poll_parse_errors_total"),
+            "polls_suppressed": value("polls_suppressed"),
+            "agent_restarts": value("agent_restarts_total"),
+            "agents_healthy": value("agents_healthy"),
+            "agents_dead": value("agents_dead"),
+            "samples": value("poll_samples_total"),
+            "reports": value("reports_total"),
+            "snmp_requests": value("snmp_requests_total"),
+            "snmp_responses": value("snmp_responses_total"),
+            "snmp_timeouts": value("snmp_timeouts_total"),
+            "snmp_retransmissions": value("snmp_retransmissions_total"),
         }

@@ -45,6 +45,8 @@ from repro.snmp.mib import (
 )
 from repro.snmp.oid import Oid
 from repro.snmp.pdu import VarBind
+from repro.telemetry import Telemetry
+from repro.telemetry.events import AGENT_RESTART
 
 # The per-interface columns polled each cycle (paper Table 1 uses octets
 # and packet counters in both directions).
@@ -170,6 +172,7 @@ class SnmpPoller:
         seed: int = 0,
         rate_table: Optional[RateTable] = None,
         health: Optional[AgentHealthTracker] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if interval <= 0:
             raise ValueError(f"non-positive poll interval {interval!r}")
@@ -180,23 +183,53 @@ class SnmpPoller:
         self.jitter = jitter
         self.rng = random.Random(seed)
         self.rates = rate_table if rate_table is not None else RateTable()
+        # Sharing the manager's hub keeps poller and manager statistics in
+        # one registry even when no monitor wired an enabled hub through.
+        self.telemetry = telemetry if telemetry is not None else manager.telemetry
         # Reachability tracking + circuit breaker: DEAD agents are polled
         # only at the tracker's slow probe cadence (default: every third
         # cycle) instead of burning a timeout slot every cycle.
         self.health = (
             health
             if health is not None
-            else AgentHealthTracker(probe_interval=interval * 3)
+            else AgentHealthTracker(
+                probe_interval=interval * 3, events=self.telemetry.events
+            )
         )
         self._last: Dict[Tuple[str, int], _CounterSnapshot] = {}
         self._task = None
-        self.cycles = 0
-        self.poll_errors = 0  # aggregate: every errback, whatever the cause
-        self.timeout_errors = 0  # ... of which: requests that timed out
-        self.error_responses = 0  # ... of which: SNMP error-status responses
-        self.parse_errors = 0  # responses whose varbinds were unusable
-        self.samples_produced = 0
-        self.agent_restarts = 0
+        registry = self.telemetry.registry
+        self._m_cycles = registry.counter(
+            "poll_cycles_total", "polling cycles scheduled"
+        )
+        # Aggregate errback count plus its split by cause.
+        self._m_errors = registry.counter(
+            "poll_errors_total", "poll requests that ended in an errback"
+        )
+        self._m_timeout_errors = registry.counter(
+            "poll_timeout_errors_total", "poll requests that timed out"
+        )
+        self._m_error_responses = registry.counter(
+            "poll_error_responses_total", "polls answered with an SNMP error-status"
+        )
+        self._m_parse_errors = registry.counter(
+            "poll_parse_errors_total", "poll responses whose varbinds were unusable"
+        )
+        self._m_samples = registry.counter(
+            "poll_samples_total", "rate samples computed from counter deltas"
+        )
+        self._m_restarts = registry.counter(
+            "agent_restarts_total", "sysUpTime resets read as agent restarts"
+        )
+        self._h_cycle = registry.histogram(
+            "poll_cycle_seconds",
+            "poll cycle duration: requests issued to last outcome landed",
+        )
+        # The open span of the in-flight cycle, plus outstanding-exchange
+        # counts per cycle span id (late responses from a forced-closed
+        # cycle must not leak into the next cycle's accounting).
+        self._cycle_span = None
+        self._exchanges_pending: Dict[int, int] = {}
         # An uptime delta beyond this is read as an agent restart (the
         # counter baselines are then worthless and are re-established).
         # TimeTicks wrap legitimately only every ~497 days; any apparent
@@ -212,6 +245,37 @@ class SnmpPoller:
     def polls_suppressed(self) -> int:
         """Polls skipped because the target's circuit breaker was open."""
         return self.health.polls_suppressed
+
+    # ------------------------------------------------------------------
+    # Statistics (registry-backed; the attribute names are the old API)
+    # ------------------------------------------------------------------
+    @property
+    def cycles(self) -> int:
+        return self._m_cycles.value
+
+    @property
+    def poll_errors(self) -> int:
+        return self._m_errors.value
+
+    @property
+    def timeout_errors(self) -> int:
+        return self._m_timeout_errors.value
+
+    @property
+    def error_responses(self) -> int:
+        return self._m_error_responses.value
+
+    @property
+    def parse_errors(self) -> int:
+        return self._m_parse_errors.value
+
+    @property
+    def samples_produced(self) -> int:
+        return self._m_samples.value
+
+    @property
+    def agent_restarts(self) -> int:
+        return self._m_restarts.value
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -238,35 +302,97 @@ class SnmpPoller:
     # Polling
     # ------------------------------------------------------------------
     def _poll_cycle(self) -> None:
-        self.cycles += 1
+        self._m_cycles.inc()
+        tel = self.telemetry
+        tracing = tel.enabled
+        if tracing:
+            self._force_close_cycle()
+            self._cycle_span = tel.tracer.begin("poll_cycle", cycle=self.cycles)
+            self._exchanges_pending[self._cycle_span.span_id] = 0
         for target in self.targets:
             if not self.health.should_poll(target.node, self.sim.now):
                 continue  # circuit open: this DEAD agent's probe is not due
+            span = None
+            if tracing:
+                span = tel.tracer.begin(
+                    "snmp_exchange", parent=self._cycle_span, agent=target.node
+                )
+                self._exchanges_pending[self._cycle_span.span_id] += 1
             self.manager.get(
                 target.address,
                 target.oids(),
-                callback=lambda vbs, t=target: self._on_response(t, vbs),
-                errback=lambda exc, t=target: self._on_error(t, exc),
+                callback=lambda vbs, t=target, s=span: self._on_response(t, vbs, s),
+                errback=lambda exc, t=target, s=span: self._on_error(t, exc, s),
                 community=target.community,
             )
+        if tracing and self._exchanges_pending.get(self._cycle_span.span_id) == 0:
+            # Every target suppressed: the cycle is over as it begins.
+            self._exchanges_pending.pop(self._cycle_span.span_id, None)
+            self._finish_cycle(self._cycle_span)
 
-    def _on_error(self, target: PollTarget, exc: Exception) -> None:
-        self.poll_errors += 1
+    # -- cycle span management -----------------------------------------
+    def _finish_cycle(self, span) -> None:
+        if span.open:
+            span.finish()
+            if span.duration is not None:
+                self._h_cycle.observe(span.duration)
+        if span is self._cycle_span:
+            self._cycle_span = None
+
+    def _force_close_cycle(self) -> None:
+        """Close the previous cycle's span if responses never drained."""
+        span = self._cycle_span
+        if span is None:
+            return
+        outstanding = self._exchanges_pending.get(span.span_id, 0)
+        if outstanding:
+            # Entry stays so stragglers still balance their decrement.
+            span.attrs["unfinished_exchanges"] = outstanding
+        else:
+            self._exchanges_pending.pop(span.span_id, None)
+        self._finish_cycle(span)
+
+    def _exchange_done(self, span, outcome: str) -> None:
+        if span is None:
+            return
+        span.finish(outcome=outcome)
+        parent = span.parent_id
+        if parent is None:
+            return
+        left = self._exchanges_pending.get(parent)
+        if left is None:
+            return
+        if left <= 1:
+            self._exchanges_pending.pop(parent, None)
+            if self._cycle_span is not None and self._cycle_span.span_id == parent:
+                self._finish_cycle(self._cycle_span)
+        else:
+            self._exchanges_pending[parent] = left - 1
+
+    def _on_error(self, target: PollTarget, exc: Exception, span=None) -> None:
+        self._m_errors.inc()
         if isinstance(exc, SnmpTimeout):
-            self.timeout_errors += 1
+            self._m_timeout_errors.inc()
+            self._exchange_done(span, "timeout")
             self.health.record_failure(target.node, self.sim.now)
         elif isinstance(exc, SnmpErrorResponse):
             # The agent answered -- it is alive -- but the response is
             # unusable.  Reachability up, data quality down.
-            self.error_responses += 1
+            self._m_error_responses.inc()
+            self._exchange_done(span, "error_response")
             self.health.record_success(target.node, self.sim.now)
+        else:
+            self._exchange_done(span, "error")
 
-    def _on_response(self, target: PollTarget, varbinds: List[VarBind]) -> None:
+    def _on_response(
+        self, target: PollTarget, varbinds: List[VarBind], span=None
+    ) -> None:
+        self._exchange_done(span, "ok")
         self.health.record_success(target.node, self.sim.now)
         values: Dict[Oid, object] = {vb.oid: vb.value for vb in varbinds}
         uptime = values.get(SYS_UPTIME)
         if not isinstance(uptime, TimeTicks):
-            self.parse_errors += 1
+            self._m_parse_errors.inc()
             return
         for index in target.if_indexes:
             if target.include_oper_status and self.on_status is not None:
@@ -284,7 +410,7 @@ class SnmpPoller:
                     nucast_out=self._counter(values, IF_OUT_NUCAST_PKTS, index),
                 )
             except KeyError:
-                self.parse_errors += 1
+                self._m_parse_errors.inc()
                 continue
             self._ingest(target.node, index, snapshot)
 
@@ -310,7 +436,10 @@ class SnmpPoller:
             # the network management portion of the system was last
             # re-initialized").  Counters restarted with it; this poll
             # only re-establishes the baseline.
-            self.agent_restarts += 1
+            self._m_restarts.inc()
+            self.telemetry.events.publish(
+                AGENT_RESTART, self.sim.now, node=node, if_index=if_index
+            )
             return
         in_pkts = (
             snapshot.ucast_in.delta(previous.ucast_in)
@@ -330,7 +459,7 @@ class SnmpPoller:
             in_pkts_per_s=in_pkts / seconds,
             out_pkts_per_s=out_pkts / seconds,
         )
-        self.samples_produced += 1
+        self._m_samples.inc()
         self.rates.update(sample)
         if self.on_sample is not None:
             self.on_sample(sample)

@@ -50,6 +50,7 @@ class Scenario:
         seed: int = 0,
         build: Optional[BuildResult] = None,
         poll_jitter: float = 0.25,
+        telemetry: bool = True,
     ) -> None:
         # poll_jitter=0.25 s reproduces the paper's "slight delay in SNMP
         # polling": combined with the agents' timer-refreshed counters it
@@ -63,6 +64,7 @@ class Scenario:
             poll_interval=poll_interval,
             poll_jitter=poll_jitter,
             seed=seed,
+            telemetry=telemetry,
         )
         self.loads: Dict[str, StaircaseLoad] = {}
         self._load_schedules: Dict[str, Tuple[str, StepSchedule]] = {}

@@ -75,7 +75,9 @@ class ReallocationAdvisor:
                 path = find_path(self.spec, src, host)
             except NoPathError:
                 continue
-            report = self.calculator.measure_path(path, src, host, time=time)
+            report = self.calculator.measure_path(
+                path, src, host, time=time, name=f"advise:{src}->{host}"
+            )
             if report.available_bps < min_available_bps:
                 continue
             avoids = bottleneck_conn is None or all(

@@ -19,6 +19,7 @@ from repro.rm.allocator import PlacementAdvice, ReallocationAdvisor
 from repro.rm.detector import QosEvent, QosState, ViolationDetector
 from repro.rm.diagnosis import BottleneckDiagnosis, diagnose
 from repro.rm.qos import QosRequirement
+from repro.telemetry.events import QOS_RECOVERY, QOS_VIOLATION
 
 
 @dataclass
@@ -56,6 +57,7 @@ class RmMiddleware:
     ) -> None:
         self.monitor = monitor
         self.spec = monitor.spec
+        self._events = monitor.telemetry.events
         self.detectors: Dict[str, ViolationDetector] = {}
         self.actions: List[RmAction] = []
         self._advisor = (
@@ -87,10 +89,10 @@ class RmMiddleware:
         if event is None:
             return
         action = RmAction(time=event.time, event=event)
+        requirement = detector.requirement
         if event.state is QosState.VIOLATED:
             action.diagnosis = diagnose(self.spec, report)
             if self._advisor is not None:
-                requirement = detector.requirement
                 action.advice = self._advisor.advise(
                     requirement.src,
                     requirement.dst,
@@ -98,6 +100,16 @@ class RmMiddleware:
                     min_available_bps=requirement.min_available_bps or 0.0,
                     time=event.time,
                 )
+            self._events.publish(
+                QOS_VIOLATION,
+                event.time,
+                reason=event.reason or "",
+                **requirement.event_attrs(),
+            )
+        elif self.actions:  # an OK after earlier events is a recovery
+            self._events.publish(
+                QOS_RECOVERY, event.time, **requirement.event_attrs()
+            )
         self.actions.append(action)
 
     # ------------------------------------------------------------------

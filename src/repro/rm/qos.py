@@ -10,7 +10,7 @@ with :meth:`QosRequirement.from_spec`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Union
 
 from repro.core.report import PathReport
 from repro.topology.model import QosPathSpec, TopologyError
@@ -57,6 +57,22 @@ class QosRequirement:
     def watch_label(self) -> str:
         """The monitor watch label this requirement evaluates against."""
         return f"{self.src}<->{self.dst}"
+
+    def event_attrs(self) -> Dict[str, Union[str, float]]:
+        """Flat attributes identifying this requirement on telemetry events.
+
+        Only thresholds that are actually set appear, so event consumers
+        can distinguish a bandwidth floor from a utilisation ceiling.
+        """
+        attrs: Dict[str, Union[str, float]] = {
+            "requirement": self.name,
+            "path": self.watch_label,
+        }
+        if self.min_available_bps is not None:
+            attrs["min_available_bps"] = self.min_available_bps
+        if self.max_utilization is not None:
+            attrs["max_utilization"] = self.max_utilization
+        return attrs
 
     def satisfied_by(self, report: PathReport) -> bool:
         """Does ``report`` meet every threshold?

@@ -27,15 +27,43 @@ fully deterministic under a seed.
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.simnet.engine import Simulator
 from repro.simnet.link import Link, _Channel
 from repro.simnet.packet import EthernetFrame
 
+if TYPE_CHECKING:  # pragma: no cover - simnet must not import telemetry eagerly
+    from repro.telemetry.events import EventBus
+
 
 class FaultError(RuntimeError):
     """Raised for invalid fault configuration."""
+
+
+def _link_label(link: Link) -> str:
+    return f"{link.end_a.full_name}<->{link.end_b.full_name}"
+
+
+def _publish(
+    events: Optional["EventBus"], injected: bool, now: float, fault: object, **attrs
+) -> None:
+    """Publish a fault lifecycle event when an :class:`EventBus` is wired.
+
+    Every fault class takes an optional ``events`` bus (normally the
+    monitor's ``telemetry.events``) so experiments can correlate injected
+    failures with the monitor's reaction on one timeline.
+    """
+    if events is None:
+        return
+    from repro.telemetry.events import FAULT_CLEARED, FAULT_INJECTED
+
+    events.publish(
+        FAULT_INJECTED if injected else FAULT_CLEARED,
+        now,
+        fault=type(fault).__name__,
+        **attrs,
+    )
 
 
 class LinkFailure:
@@ -52,6 +80,7 @@ class LinkFailure:
         link: Link,
         at: float,
         until: Optional[float] = None,
+        events: Optional["EventBus"] = None,
     ) -> None:
         if until is not None and until <= at:
             raise FaultError(f"restore time {until!r} must follow failure time {at!r}")
@@ -59,6 +88,7 @@ class LinkFailure:
         self.link = link
         self.at = at
         self.until = until
+        self.events = events
         self.failed = False
         sim.schedule_at(max(at, sim.now), self._fail)
         if until is not None:
@@ -68,11 +98,13 @@ class LinkFailure:
         self.failed = True
         for iface in self.link.endpoints:
             iface.set_admin_up(False)
+        _publish(self.events, True, self.sim.now, self, link=_link_label(self.link))
 
     def _restore(self) -> None:
         self.failed = False
         for iface in self.link.endpoints:
             iface.set_admin_up(True)
+        _publish(self.events, False, self.sim.now, self, link=_link_label(self.link))
 
 
 class PacketLoss:
@@ -83,7 +115,13 @@ class PacketLoss:
     counted in the channel's drop statistics.
     """
 
-    def __init__(self, link: Link, loss_rate: float, seed: int = 0) -> None:
+    def __init__(
+        self,
+        link: Link,
+        loss_rate: float,
+        seed: int = 0,
+        events: Optional["EventBus"] = None,
+    ) -> None:
         if not 0.0 <= loss_rate <= 1.0:
             raise FaultError(f"loss rate {loss_rate!r} outside [0, 1]")
         self.link = link
@@ -92,6 +130,12 @@ class PacketLoss:
         self.frames_lost = 0
         self._wrap(link._a_to_b)
         self._wrap(link._b_to_a)
+        # PacketLoss is permanent from construction; the injection event
+        # fires immediately and there is no matching cleared event.
+        _publish(
+            events, True, link.sim.now, self,
+            link=_link_label(link), loss_rate=loss_rate,
+        )
 
     def _wrap(self, channel: _Channel) -> None:
         def should_drop(frame: EthernetFrame) -> bool:
@@ -111,13 +155,21 @@ class AgentOutage:
     timeout/retry machinery.
     """
 
-    def __init__(self, sim: Simulator, agent, at: float, until: float) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        agent,
+        at: float,
+        until: float,
+        events: Optional["EventBus"] = None,
+    ) -> None:
         if until <= at:
             raise FaultError(f"outage end {until!r} must follow start {at!r}")
         self.sim = sim
         self.agent = agent
         self.at = at
         self.until = until
+        self.events = events
         self.down = False
         self.requests_ignored = 0
         self._original = agent.socket.on_receive
@@ -132,10 +184,12 @@ class AgentOutage:
             self.requests_ignored += 1
 
         self.agent.socket.on_receive = black_hole
+        _publish(self.events, True, self.sim.now, self, agent=self.agent.name)
 
     def _end(self) -> None:
         self.down = False
         self.agent.socket.on_receive = self._original
+        _publish(self.events, False, self.sim.now, self, agent=self.agent.name)
 
 
 class AgentReboot:
@@ -149,13 +203,21 @@ class AgentReboot:
     reset is what gives the restart away, exactly as MIB-II intends.
     """
 
-    def __init__(self, sim: Simulator, agent, at: float, outage: float = 2.0) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        agent,
+        at: float,
+        outage: float = 2.0,
+        events: Optional["EventBus"] = None,
+    ) -> None:
         if outage <= 0:
             raise FaultError(f"non-positive reboot outage {outage!r}")
         self.sim = sim
         self.agent = agent
         self.at = at
         self.outage = outage
+        self.events = events
         self.down = False
         self.rebooted = False
         self.requests_ignored = 0
@@ -171,6 +233,7 @@ class AgentReboot:
             self.requests_ignored += 1
 
         self.agent.socket.on_receive = black_hole
+        _publish(self.events, True, self.sim.now, self, agent=self.agent.name)
 
     def _come_back(self) -> None:
         # Local imports: simnet must not depend on snmp at module level.
@@ -195,6 +258,10 @@ class AgentReboot:
         self.agent.socket.on_receive = self._original
         self.down = False
         self.rebooted = True
+        _publish(
+            self.events, False, self.sim.now, self,
+            agent=self.agent.name, rebooted=True,
+        )
 
 
 class ResponseDelay:
@@ -214,6 +281,7 @@ class ResponseDelay:
         extra: float,
         at: float = 0.0,
         until: Optional[float] = None,
+        events: Optional["EventBus"] = None,
     ) -> None:
         if extra <= 0:
             raise FaultError(f"non-positive extra delay {extra!r}")
@@ -222,6 +290,7 @@ class ResponseDelay:
         self.sim = sim
         self.agent = agent
         self.extra = extra
+        self.events = events
         self.active = False
         sim.schedule_at(max(at, sim.now), self._begin)
         if until is not None:
@@ -230,11 +299,16 @@ class ResponseDelay:
     def _begin(self) -> None:
         self.active = True
         self.agent.response_delay += self.extra
+        _publish(
+            self.events, True, self.sim.now, self,
+            agent=self.agent.name, extra=self.extra,
+        )
 
     def _end(self) -> None:
         if self.active:
             self.agent.response_delay -= self.extra
             self.active = False
+            _publish(self.events, False, self.sim.now, self, agent=self.agent.name)
 
 
 class Flap:
@@ -255,6 +329,7 @@ class Flap:
         down_for: float,
         up_for: float,
         until: Optional[float] = None,
+        events: Optional["EventBus"] = None,
     ) -> None:
         if down_for <= 0 or up_for <= 0:
             raise FaultError(
@@ -268,6 +343,7 @@ class Flap:
         self.down_for = down_for
         self.up_for = up_for
         self.until = until
+        self.events = events
         self.down = False
         self.flaps = 0  # completed down->up cycles
         sim.schedule_at(max(at, sim.now), self._go_down)
@@ -279,10 +355,18 @@ class Flap:
         self.flaps += 1
         for iface in self.link.endpoints:
             iface.set_admin_up(False)
+        _publish(
+            self.events, True, self.sim.now, self,
+            link=_link_label(self.link), flap=self.flaps,
+        )
         self.sim.schedule(self.down_for, self._go_up)
 
     def _go_up(self) -> None:
         self.down = False
         for iface in self.link.endpoints:
             iface.set_admin_up(True)
+        _publish(
+            self.events, False, self.sim.now, self,
+            link=_link_label(self.link), flap=self.flaps,
+        )
         self.sim.schedule(self.up_for, self._go_down)

@@ -36,6 +36,7 @@ from repro.snmp.oid import Oid
 from repro.snmp.pdu import Pdu, VarBind
 from repro.simnet.address import IPv4Address
 from repro.simnet.sockets import SNMP_PORT
+from repro.telemetry import Telemetry
 
 SuccessCallback = Callable[[List[VarBind]], None]
 ErrorCallback = Callable[[Exception], None]
@@ -137,6 +138,7 @@ class SnmpManager:
         adaptive: bool = True,
         min_rto: float = DEFAULT_MIN_RTO,
         max_rto: float = DEFAULT_MAX_RTO,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.endpoint = endpoint
         self.sim = endpoint.sim
@@ -154,13 +156,71 @@ class SnmpManager:
         self._pending: Dict[int, _Pending] = {}
         self._estimators: Dict[IPv4Address, RtoEstimator] = {}
         self.destinations: Dict[IPv4Address, DestinationStats] = {}
-        # Statistics.
-        self.requests_sent = 0
-        self.retransmissions = 0
-        self.timeouts = 0
-        self.responses_received = 0
-        self.responses_unmatched = 0
-        self.decode_errors = 0
+        # Statistics live in the telemetry registry (a standalone manager
+        # gets a private disabled hub: counters still count, the optional
+        # extras -- per-agent RTT quantiles -- stay off until a monitor
+        # wires in its enabled hub and fills ``agent_labels``).
+        if telemetry is None:
+            telemetry = Telemetry.disabled(clock=lambda: self.sim.now)
+        self.telemetry = telemetry
+        self.agent_labels: Dict[IPv4Address, str] = {}
+        registry = telemetry.registry
+        self._m_requests = registry.counter(
+            "snmp_requests_total",
+            "SNMP requests transmitted, retransmissions included",
+        )
+        self._m_retransmissions = registry.counter(
+            "snmp_retransmissions_total", "SNMP requests retransmitted"
+        )
+        self._m_timeouts = registry.counter(
+            "snmp_timeouts_total", "SNMP requests abandoned after all retries"
+        )
+        self._m_responses = registry.counter(
+            "snmp_responses_total", "SNMP responses matched to a request"
+        )
+        self._m_unmatched = registry.counter(
+            "snmp_responses_unmatched_total",
+            "SNMP responses with no pending request (late duplicates)",
+        )
+        self._m_decode_errors = registry.counter(
+            "snmp_decode_errors_total", "datagrams that failed BER decoding"
+        )
+        self._h_rtt = registry.histogram(
+            "snmp_rtt_seconds",
+            "round-trip time of first-transmission SNMP exchanges",
+            labelnames=("agent",),
+        )
+
+    # ------------------------------------------------------------------
+    # Statistics (registry-backed; the attribute names are the old API)
+    # ------------------------------------------------------------------
+    @property
+    def requests_sent(self) -> int:
+        return self._m_requests.value
+
+    @property
+    def retransmissions(self) -> int:
+        return self._m_retransmissions.value
+
+    @property
+    def timeouts(self) -> int:
+        return self._m_timeouts.value
+
+    @property
+    def responses_received(self) -> int:
+        return self._m_responses.value
+
+    @property
+    def responses_unmatched(self) -> int:
+        return self._m_unmatched.value
+
+    @property
+    def decode_errors(self) -> int:
+        return self._m_decode_errors.value
+
+    def _agent_label(self, dst_ip: IPv4Address) -> str:
+        label = self.agent_labels.get(dst_ip)
+        return label if label is not None else str(dst_ip)
 
     # ------------------------------------------------------------------
     # Public operations
@@ -312,9 +372,9 @@ class SnmpManager:
         dst_ip = pending.dst[0]
         stats = self.destination_stats(dst_ip)
         if pending.attempts > 1:
-            self.retransmissions += 1
+            self._m_retransmissions.inc()
             stats.retransmissions += 1
-        self.requests_sent += 1
+        self._m_requests.inc()
         stats.requests_sent += 1
         pending.sent_at = self.sim.now
         if pending.attempts == 1:
@@ -334,7 +394,7 @@ class SnmpManager:
             self._transmit(request_id)
             return
         del self._pending[request_id]
-        self.timeouts += 1
+        self._m_timeouts.inc()
         self.destination_stats(pending.dst[0]).timeouts += 1
         if pending.errback is not None:
             pending.errback(SnmpTimeout(str(pending.dst[0]), pending.attempts))
@@ -343,25 +403,25 @@ class SnmpManager:
         self, payload: Optional[bytes], size: int, src_ip: IPv4Address, src_port: int
     ) -> None:
         if payload is None:
-            self.decode_errors += 1
+            self._m_decode_errors.inc()
             return
         try:
             message = Message.decode(payload)
         except ber.BerError:
-            self.decode_errors += 1
+            self._m_decode_errors.inc()
             return
         pdu = message.pdu
         if pdu.kind != "response":
-            self.responses_unmatched += 1
+            self._m_unmatched.inc()
             return
         pending = self._pending.pop(pdu.request_id, None)
         if pending is None:
             # Late duplicate after a retransmit already succeeded.
-            self.responses_unmatched += 1
+            self._m_unmatched.inc()
             return
         if pending.timer is not None:
             pending.timer.cancel()
-        self.responses_received += 1
+        self._m_responses.inc()
         stats = self.destination_stats(pending.dst[0])
         stats.responses += 1
         # Karn's rule: a response after a retransmit is ambiguous about
@@ -375,10 +435,20 @@ class SnmpManager:
                 rtt = self.sim.now - pending.sent_at
                 stats.last_rtt = rtt
                 self.estimator_for(pending.dst[0]).observe(rtt)
+                if self.telemetry.enabled:
+                    self._h_rtt.labels(
+                        agent=self._agent_label(pending.dst[0])
+                    ).observe(rtt)
             else:
                 self.estimator_for(pending.dst[0]).observe(
                     self.sim.now - pending.first_sent_at
                 )
+        elif pending.attempts == 1 and self.telemetry.enabled:
+            # Karn's rule still applies without adaptive RTO: only
+            # unambiguous first-transmission RTTs feed the histogram.
+            self._h_rtt.labels(agent=self._agent_label(pending.dst[0])).observe(
+                self.sim.now - pending.sent_at
+            )
         if pdu.error_status != int(ErrorStatus.NO_ERROR):
             exc = SnmpErrorResponse(ErrorStatus(pdu.error_status), pdu.error_index)
             if pending.errback is not None:

@@ -1,0 +1,230 @@
+"""Exporters: Prometheus text, JSON snapshot, and sim-time series.
+
+Three consumers, three formats:
+
+- :func:`prometheus_text` renders the registry in the Prometheus
+  exposition format (v0.0.4).  Histograms export as *summaries* --
+  ``name{quantile="0.99"}`` plus ``_sum``/``_count`` -- because the
+  registry tracks streaming quantiles, not fixed buckets.  Output is
+  fully sorted, so it is stable for golden-file tests.
+- :func:`json_snapshot` bundles metrics, event counts/ring, and the
+  span rings into one dict for programmatic consumers.
+- :class:`TimeSeriesRecorder` samples chosen metrics every ``interval``
+  simulated seconds into rows, rendering to the line-oriented CSV the
+  :mod:`repro.analysis` layer ingests.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.telemetry.hub import Telemetry
+from repro.telemetry.metrics import Histogram, MetricsRegistry
+
+
+# ----------------------------------------------------------------------
+# Prometheus text format
+# ----------------------------------------------------------------------
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return format(value, ".10g")
+
+
+def _labels_text(names: Sequence[str], values: Sequence[str], extra: str = "") -> str:
+    parts = [f'{n}="{_escape_label(v)}"' for n, v in zip(names, values)]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus exposition format (sorted, stable)."""
+    lines: List[str] = []
+    for family in registry.families():
+        kind = "summary" if family.kind == "histogram" else family.kind
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {kind}")
+        for label_values, child in family.children():
+            if isinstance(child, Histogram):
+                for q, estimate in child.quantiles().items():
+                    labels = _labels_text(
+                        family.labelnames, label_values, f'quantile="{_fmt(q)}"'
+                    )
+                    lines.append(f"{family.name}{labels} {_fmt(estimate)}")
+                labels = _labels_text(family.labelnames, label_values)
+                lines.append(f"{family.name}_sum{labels} {_fmt(child.sum)}")
+                lines.append(f"{family.name}_count{labels} {_fmt(child.count)}")
+            else:
+                labels = _labels_text(family.labelnames, label_values)
+                lines.append(f"{family.name}{labels} {_fmt(child.value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# ----------------------------------------------------------------------
+# JSON snapshot
+# ----------------------------------------------------------------------
+def snapshot_dict(telemetry: Telemetry, time: Optional[float] = None) -> Dict[str, object]:
+    """Metrics + events + spans as one JSON-ready dict."""
+    return {
+        "time": telemetry.clock() if time is None else time,
+        "metrics": telemetry.registry.snapshot(),
+        "events": telemetry.events.snapshot(),
+        "spans": {
+            "started": telemetry.tracer.spans_started,
+            "finished": telemetry.tracer.spans_finished,
+            "recent": [
+                {
+                    "name": s.name,
+                    "id": s.span_id,
+                    "parent": s.parent_id,
+                    "start": s.start,
+                    "end": s.end,
+                    "duration": s.duration,
+                    "attrs": dict(s.attrs),
+                }
+                for s in telemetry.tracer.finished
+            ],
+            "slow": [
+                {"name": s.name, "start": s.start, "duration": s.duration,
+                 "attrs": dict(s.attrs)}
+                for s in telemetry.tracer.slow
+            ],
+        },
+    }
+
+
+class _NanSafeEncoder(json.JSONEncoder):
+    """NaN/Inf are not JSON; encode them as strings, not bare tokens."""
+
+    def iterencode(self, o, _one_shot=False):  # noqa: N802 (stdlib name)
+        return super().iterencode(_sanitise(o), _one_shot)
+
+
+def _sanitise(obj):
+    if isinstance(obj, float) and (math.isnan(obj) or math.isinf(obj)):
+        return str(obj)
+    if isinstance(obj, dict):
+        return {str(k): _sanitise(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_sanitise(v) for v in obj]
+    return obj
+
+
+def json_snapshot(
+    telemetry: Telemetry, time: Optional[float] = None, indent: Optional[int] = 2
+) -> str:
+    return json.dumps(
+        snapshot_dict(telemetry, time=time), indent=indent, cls=_NanSafeEncoder
+    )
+
+
+# ----------------------------------------------------------------------
+# Periodic sim-time series
+# ----------------------------------------------------------------------
+class TimeSeriesRecorder:
+    """Samples metric values every ``interval`` simulated seconds.
+
+    ``metrics`` names the families to record; labelled families expand
+    to one column per child (``name{a=b}``), histograms to one column
+    per tracked quantile plus the count.  Unspecified means "whatever
+    the registry holds at each sample", with columns unioned at render
+    time -- convenient for exploration, fixed ``metrics`` for pipelines.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        sim,
+        interval: float = 2.0,
+        metrics: Optional[Sequence[str]] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"non-positive sample interval {interval!r}")
+        self.registry = registry
+        self.sim = sim
+        self.interval = interval
+        self.metrics = list(metrics) if metrics is not None else None
+        self.rows: List[Dict[str, float]] = []
+        self._task = None
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self, at: Optional[float] = None) -> "TimeSeriesRecorder":
+        if self._task is not None:
+            raise RuntimeError("recorder already started")
+        self._task = self.sim.call_every(
+            self.interval, self.sample, start=at if at is not None else self.sim.now
+        )
+        return self
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    # -- sampling ------------------------------------------------------
+    def _columns_of(self, family) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for label_values, child in family.children():
+            suffix = ""
+            if family.labelnames:
+                inner = ",".join(
+                    f"{n}={v}" for n, v in zip(family.labelnames, label_values)
+                )
+                suffix = "{" + inner + "}"
+            if isinstance(child, Histogram):
+                for q, estimate in child.quantiles().items():
+                    out[f"{family.name}{suffix}:p{int(round(q * 100))}"] = estimate
+                out[f"{family.name}{suffix}:count"] = child.count
+            else:
+                out[f"{family.name}{suffix}"] = child.value
+        return out
+
+    def sample(self) -> Dict[str, float]:
+        """Take one sample row now (also the periodic callback)."""
+        row: Dict[str, float] = {"time": self.sim.now}
+        if self.metrics is None:
+            families = self.registry.families()
+        else:
+            families = [self.registry.get(name) for name in self.metrics]
+        for family in families:
+            row.update(self._columns_of(family))
+        self.rows.append(row)
+        return row
+
+    # -- rendering -----------------------------------------------------
+    def columns(self) -> List[str]:
+        seen = {"time"}
+        order = ["time"]
+        for row in self.rows:
+            for key in row:
+                if key not in seen:
+                    seen.add(key)
+                    order.append(key)
+        return order
+
+    def to_csv(self) -> str:
+        """Line-oriented series: header row then one line per sample."""
+        cols = self.columns()
+        lines = [",".join(cols)]
+        for row in self.rows:
+            lines.append(
+                ",".join(_fmt(row[c]) if c in row else "" for c in cols)
+            )
+        return "\n".join(lines) + "\n"

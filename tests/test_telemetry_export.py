@@ -1,0 +1,145 @@
+"""Tests for the telemetry exporters: Prometheus text, JSON, time series."""
+
+import json
+import os
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.telemetry import (
+    MetricsRegistry,
+    Telemetry,
+    TimeSeriesRecorder,
+    json_snapshot,
+    prometheus_text,
+    snapshot_dict,
+)
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "data", "telemetry_golden.prom")
+
+
+def build_reference_registry() -> MetricsRegistry:
+    """A hand-constructed, fully deterministic registry for golden tests."""
+    reg = MetricsRegistry()
+    reqs = reg.counter("snmp_requests_total", "SNMP requests sent", ("agent",))
+    reqs.labels(agent="S1").inc(30)
+    reqs.labels(agent="N1").inc(28)
+    reg.gauge("agents_healthy", "agents currently healthy").set(6)
+    rtt = reg.histogram(
+        "snmp_rtt_seconds", "poll round-trip time", ("agent",), quantiles=(0.5, 0.99)
+    )
+    for i in range(1, 21):
+        rtt.labels(agent="S1").observe(i / 1000.0)
+    esc = reg.gauge("odd_label_gauge", 'help with "quotes"\nand newline', ("path",))
+    esc.labels(path='a"b\\c\nd').set(1.5)
+    reg.gauge("empty_gauge", "never set")
+    return reg
+
+
+class TestPrometheusText:
+    def test_matches_golden_file(self):
+        text = prometheus_text(build_reference_registry())
+        with open(GOLDEN, encoding="utf-8") as fh:
+            assert text == fh.read()
+
+    def test_structure(self):
+        text = prometheus_text(build_reference_registry())
+        assert "# TYPE snmp_requests_total counter" in text
+        # Histograms render as summaries: quantile series + _sum/_count.
+        assert "# TYPE snmp_rtt_seconds summary" in text
+        assert 'snmp_rtt_seconds{agent="S1",quantile="0.5"}' in text
+        assert 'snmp_rtt_seconds_count{agent="S1"} 20' in text
+        assert 'snmp_rtt_seconds_sum{agent="S1"} 0.21' in text
+
+    def test_label_escaping(self):
+        text = prometheus_text(build_reference_registry())
+        assert 'path="a\\"b\\\\c\\nd"' in text
+
+    def test_empty_registry(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_every_line_well_formed(self):
+        for line in prometheus_text(build_reference_registry()).splitlines():
+            assert line.startswith("#") or " " in line
+
+    def test_nan_renders_as_nan_token(self):
+        reg = MetricsRegistry()
+        reg.histogram("empty_h", "no samples")
+        text = prometheus_text(reg)
+        assert "empty_h{quantile=" in text
+        assert "NaN" in text
+
+
+class TestJsonSnapshot:
+    def test_roundtrips_through_json(self):
+        tel = Telemetry(clock=lambda: 42.0)
+        tel.registry.counter("c_total").inc()
+        tel.registry.histogram("h_seconds")  # empty: NaN quantiles
+        tel.events.publish("qos_violation", 41.0, path="S1<->N1")
+        with tel.tracer.span("poll_cycle", cycle=1):
+            pass
+        data = json.loads(json_snapshot(tel))
+        assert data["time"] == 42.0
+        assert data["metrics"]["c_total"]["values"][0]["value"] == 1
+        assert data["events"]["counts"]["qos_violation"] == 1
+        assert data["spans"]["finished"] == 1
+        assert data["spans"]["recent"][0]["name"] == "poll_cycle"
+        # NaN must arrive as a string, not an invalid bare token.
+        q = data["metrics"]["h_seconds"]["values"][0]["value"]["quantiles"]
+        assert q["0.5"] == "nan"
+
+    def test_snapshot_dict_time_override(self):
+        tel = Telemetry(clock=lambda: 5.0)
+        assert snapshot_dict(tel, time=9.0)["time"] == 9.0
+
+
+class TestTimeSeriesRecorder:
+    def test_periodic_sampling_on_sim_time(self):
+        sim = Simulator()
+        reg = MetricsRegistry()
+        counter = reg.counter("ticks_total")
+        sim.call_every(1.0, counter.inc, start=0.5)
+        rec = TimeSeriesRecorder(reg, sim, interval=2.0).start(at=2.0)
+        sim.run(7.0)
+        rec.stop()
+        sim.run(9.0)  # no rows after stop
+        times = [row["time"] for row in rec.rows]
+        assert times == [2.0, 4.0, 6.0]
+        assert [row["ticks_total"] for row in rec.rows] == [2, 4, 6]
+
+    def test_histogram_columns_and_csv(self):
+        sim = Simulator()
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", quantiles=(0.5,), labelnames=("agent",))
+        h.labels(agent="S1").observe(1.0)
+        rec = TimeSeriesRecorder(reg, sim, metrics=["lat"])
+        rec.sample()
+        row = rec.rows[0]
+        assert row["lat{agent=S1}:p50"] == 1.0
+        assert row["lat{agent=S1}:count"] == 1
+        csv = rec.to_csv()
+        assert csv.splitlines()[0] == "time,lat{agent=S1}:p50,lat{agent=S1}:count"
+        assert csv.splitlines()[1] == "0,1,1"
+
+    def test_column_union_over_late_families(self):
+        sim = Simulator()
+        reg = MetricsRegistry()
+        reg.counter("a_total").inc()
+        rec = TimeSeriesRecorder(reg, sim)
+        rec.sample()
+        reg.counter("b_total").inc(2)
+        rec.sample()
+        cols = rec.columns()
+        assert cols == ["time", "a_total", "b_total"]
+        lines = rec.to_csv().splitlines()
+        assert lines[1].endswith(",")  # b_total blank in the first row
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            TimeSeriesRecorder(MetricsRegistry(), Simulator(), interval=0.0)
+
+    def test_double_start_rejected(self):
+        rec = TimeSeriesRecorder(MetricsRegistry(), Simulator())
+        rec.start()
+        with pytest.raises(RuntimeError):
+            rec.start()
