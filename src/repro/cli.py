@@ -7,6 +7,7 @@ Installed as the ``repro`` console script::
     repro experiment fig4 --seed 1           # regenerate a paper artefact
     repro monitor topology.net --host L --watch S1:N1 \\
           --load L:N1:200:10:40 --until 60 --chart
+    repro tsdb --load L:N1:200:10:40         # storage stats + range queries
     repro discover topology.net --host L     # SNMP topology discovery
 
 Every subcommand works on simulated time and returns a conventional exit
@@ -20,7 +21,7 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.charts import render_pair
-from repro.core.monitor import NetworkMonitor
+from repro.core.monitor import MonitorError, NetworkMonitor
 from repro.simnet.network import NetworkError
 from repro.simnet.trafficgen import KBPS, StaircaseLoad, StepSchedule
 from repro.spec.builder import build_network
@@ -95,6 +96,55 @@ def build_parser() -> argparse.ArgumentParser:
     p_tel.add_argument(
         "--format", choices=("text", "prometheus", "json"), default="text",
         help="output format (text includes a Prometheus section)",
+    )
+
+    p_tsdb = sub.add_parser(
+        "tsdb",
+        help="run a monitoring scenario and inspect the embedded time-series store",
+    )
+    p_tsdb.add_argument(
+        "specfile", nargs="?", default=None,
+        help="topology spec (default: the paper's Figure-3 testbed)",
+    )
+    p_tsdb.add_argument(
+        "--host", default=None,
+        help="host running the monitor (default: L on the built-in testbed)",
+    )
+    p_tsdb.add_argument(
+        "--watch", action="append", default=[], metavar="SRC:DST",
+        help="host pair to watch (default on the testbed: S1:N1)",
+    )
+    p_tsdb.add_argument(
+        "--load", action="append", default=[], metavar="SRC:DST:KBPS:T0:T1",
+        help="UDP load to generate (repeatable)",
+    )
+    p_tsdb.add_argument("--until", type=float, default=60.0, help="simulated seconds")
+    p_tsdb.add_argument("--interval", type=float, default=2.0, help="poll interval")
+    p_tsdb.add_argument(
+        "--retention", type=float, default=None, metavar="S",
+        help="drop raw history older than S simulated seconds",
+    )
+    p_tsdb.add_argument(
+        "--downsample", type=float, default=None, metavar="S",
+        help="downsample aged-out chunks into S-second windows (needs --retention)",
+    )
+    p_tsdb.add_argument(
+        "--range", dest="range_", default=None, metavar="SRC:DST",
+        help="print the stored samples for one watched path",
+    )
+    p_tsdb.add_argument("--start", type=float, default=None, help="range start time")
+    p_tsdb.add_argument("--end", type=float, default=None, help="range end time")
+    p_tsdb.add_argument(
+        "--field", default="used_bps",
+        help="column for --window aggregation (default used_bps)",
+    )
+    p_tsdb.add_argument(
+        "--window", type=float, default=None, metavar="S",
+        help="aggregate the --range query into S-second windows",
+    )
+    p_tsdb.add_argument(
+        "--agg", choices=("min", "max", "mean", "last"), default="mean",
+        help="aggregate for --window (default mean)",
     )
 
     p_disc = sub.add_parser("discover", help="SNMP topology discovery + verification")
@@ -332,6 +382,103 @@ def cmd_telemetry(args) -> int:
     return 0
 
 
+def cmd_tsdb(args) -> int:
+    from repro.experiments.testbed import MONITOR_HOST, build_testbed
+
+    try:
+        if args.specfile is None:
+            build = build_testbed()
+            host = args.host or MONITOR_HOST
+            watches = args.watch or ["S1:N1"]
+        else:
+            spec = parse_file(args.specfile)
+            build = build_network(spec)
+            host = args.host
+            watches = args.watch
+            if host is None:
+                print("error: --host is required with a spec file", file=sys.stderr)
+                return 2
+            if not watches:
+                print("error: at least one --watch SRC:DST is required",
+                      file=sys.stderr)
+                return 2
+    except (ParseError, LexError, SpecValidationError, TopologyError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        monitor = NetworkMonitor(
+            build, host, poll_interval=args.interval,
+            history_retention_s=args.retention,
+            history_downsample_s=args.downsample,
+        )
+        for watch in watches:
+            monitor.watch_path(*_parse_watch(watch))
+        for load_text in args.load:
+            src, dst, rate, t0, t1 = _parse_load(load_text)
+            StaircaseLoad(
+                build.network.host(src),
+                build.network.ip_of(dst),
+                StepSchedule.pulse(t0, t1, rate * KBPS),
+            ).start()
+    except (ValueError, TopologyError, KeyError, NetworkError, MonitorError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    monitor.start()
+    build.network.run(args.until)
+
+    db = monitor.history.db
+    db.flush()  # seal head chunks so the byte counts reflect compression
+    print(f"storage after {build.network.now:.1f} simulated seconds\n")
+    header = (f"{'series':>14} {'samples':>8} {'dropped':>8} {'chunks':>7} "
+              f"{'bytes':>9} {'raw':>9} {'ratio':>7}")
+    print(header)
+
+    def _row(name: str, s) -> None:
+        print(f"{name:>14} {s.samples:>8d} {s.samples_dropped:>8d} "
+              f"{s.chunks:>7d} {s.nbytes:>9d} {s.raw_nbytes:>9d} "
+              f"{s.compression_ratio:>6.1f}x")
+
+    for label in db.labels():
+        _row(label, db.series_stats(label))
+    total = db.stats()
+    _row("(total)", total)
+    down = total.downsampled_windows
+    if down:
+        print(f"\n{down} downsampled window(s) retained from "
+              f"{total.samples_dropped} dropped sample(s)")
+
+    if args.range_ is not None:
+        label = args.range_
+        if label not in db and ":" in label:
+            src, dst = _parse_watch(label)
+            label = f"{src}<->{dst}"
+        if label not in db:
+            print(f"error: no series {label!r} (have {db.labels()})",
+                  file=sys.stderr)
+            return 2
+        if args.field not in db.fields:
+            print(f"error: no field {args.field!r} (have {list(db.fields)})",
+                  file=sys.stderr)
+            return 2
+        print(f"\n{label}:")
+        if args.window is not None:
+            starts, values = db.aggregate(
+                label, args.field, args.window, args.agg,
+                t_start=args.start, t_end=args.end,
+            )
+            print(f"{'window':>10} {args.agg + '(' + args.field + ')':>24}")
+            for t, v in zip(starts, values):
+                print(f"{t:>10.1f} {v:>24.1f}")
+        else:
+            times, columns = db.range(label, args.start, args.end)
+            names = list(db.fields)
+            print(f"{'time':>10} " + " ".join(f"{n:>14}" for n in names))
+            for i, t in enumerate(times):
+                cells = " ".join(f"{columns[n][i]:>14.1f}" for n in names)
+                print(f"{t:>10.2f} {cells}")
+    return 0
+
+
 def cmd_discover(args) -> int:
     from repro.core.discovery import TopologyDiscoverer
     from repro.simnet.network import BROADCAST_IP
@@ -415,6 +562,7 @@ _COMMANDS = {
     "experiment": cmd_experiment,
     "monitor": cmd_monitor,
     "telemetry": cmd_telemetry,
+    "tsdb": cmd_tsdb,
     "discover": cmd_discover,
     "matrix": cmd_matrix,
 }

@@ -74,6 +74,8 @@ class NetworkMonitor:
         dead_after: Optional[float] = None,
         seed: int = 0,
         telemetry: Union[bool, Telemetry] = True,
+        history_retention_s: Optional[float] = None,
+        history_downsample_s: Optional[float] = None,
     ) -> None:
         if not 0 < report_offset < poll_interval:
             raise MonitorError(
@@ -119,7 +121,18 @@ class NetworkMonitor:
             dead_after = max(poll_interval * 6.0, stale_after * 2.0)
         self.stale_after = stale_after
         self.dead_after = dead_after
-        self.history = MeasurementHistory()
+        # History storage: compressed tsdb columns (always) plus the full
+        # report objects.  ``history_retention_s`` bounds both -- chunks
+        # older than the horizon are downsampled (when configured) and
+        # dropped, keeping hour-scale runs memory-flat.
+        if history_retention_s is not None and history_retention_s <= 0:
+            raise MonitorError(
+                f"history_retention_s must be positive, got {history_retention_s!r}"
+            )
+        self.history = MeasurementHistory(
+            retention_s=history_retention_s,
+            downsample_s=history_downsample_s,
+        )
         self._watches: Dict[str, _Watch] = {}
         self._subscribers: List[ReportCallback] = []
         self._poller = SnmpPoller(
@@ -166,6 +179,15 @@ class NetworkMonitor:
         registry.gauge(
             "watched_paths", "path watches currently registered"
         ).set_function(lambda: float(len(self._watches)))
+        registry.gauge(
+            "history_samples", "report samples held in the history tsdb"
+        ).set_function(lambda: float(self.history.storage_stats().samples))
+        registry.gauge(
+            "history_dropped_samples", "history samples dropped by retention"
+        ).set_function(lambda: float(self.history.dropped_samples))
+        registry.gauge(
+            "history_bytes", "compressed bytes held by the history tsdb"
+        ).set_function(lambda: float(self.history.storage_stats().nbytes))
 
     @property
     def reports_emitted(self) -> int:
@@ -380,6 +402,8 @@ class NetworkMonitor:
             "agents_dead": value("agents_dead"),
             "samples": value("poll_samples_total"),
             "reports": value("reports_total"),
+            "history_samples": value("history_samples"),
+            "history_dropped": value("history_dropped_samples"),
             "snmp_requests": value("snmp_requests_total"),
             "snmp_responses": value("snmp_responses_total"),
             "snmp_timeouts": value("snmp_timeouts_total"),

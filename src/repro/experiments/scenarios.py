@@ -51,6 +51,8 @@ class Scenario:
         build: Optional[BuildResult] = None,
         poll_jitter: float = 0.25,
         telemetry: bool = True,
+        history_retention_s: Optional[float] = None,
+        history_downsample_s: Optional[float] = None,
     ) -> None:
         # poll_jitter=0.25 s reproduces the paper's "slight delay in SNMP
         # polling": combined with the agents' timer-refreshed counters it
@@ -65,6 +67,8 @@ class Scenario:
             poll_jitter=poll_jitter,
             seed=seed,
             telemetry=telemetry,
+            history_retention_s=history_retention_s,
+            history_downsample_s=history_downsample_s,
         )
         self.loads: Dict[str, StaircaseLoad] = {}
         self._load_schedules: Dict[str, Tuple[str, StepSchedule]] = {}

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.telemetry.hub import Telemetry
 from repro.telemetry.metrics import Histogram, MetricsRegistry
+from repro.tsdb import TSDB
 
 
 # ----------------------------------------------------------------------
@@ -146,6 +147,12 @@ class TimeSeriesRecorder:
     per tracked quantile plus the count.  Unspecified means "whatever
     the registry holds at each sample", with columns unioned at render
     time -- convenient for exploration, fixed ``metrics`` for pipelines.
+
+    Samples land in an embedded compressed :class:`~repro.tsdb.TSDB`
+    (one single-field series per column, keyed by sample index so
+    late-appearing columns stay aligned), not in Python row dicts --
+    long recordings cost bits per sample, not objects.  ``rows`` and
+    ``to_csv()`` decode on demand and are unchanged observably.
     """
 
     def __init__(
@@ -161,7 +168,12 @@ class TimeSeriesRecorder:
         self.sim = sim
         self.interval = interval
         self.metrics = list(metrics) if metrics is not None else None
-        self.rows: List[Dict[str, float]] = []
+        # Column store: series "t" maps sample index -> sim time; every
+        # other column is one series of (sample index, value).
+        self._db = TSDB(fields=("value",), chunk_size=512)
+        self._count = 0
+        self._columns: List[str] = []  # first-appearance order
+        self._rows_cache: Optional[tuple] = None  # (count, rows)
         self._task = None
 
     # -- lifecycle -----------------------------------------------------
@@ -205,19 +217,42 @@ class TimeSeriesRecorder:
             families = [self.registry.get(name) for name in self.metrics]
         for family in families:
             row.update(self._columns_of(family))
-        self.rows.append(row)
+        index = float(self._count)
+        self._db.append("t", index, (row["time"],))
+        for name, value in row.items():
+            if name == "time":
+                continue
+            if "c:" + name not in self._db:
+                self._columns.append(name)
+            self._db.append("c:" + name, index, (float(value),))
+        self._count += 1
+        self._rows_cache = None
         return row
 
     # -- rendering -----------------------------------------------------
+    @property
+    def rows(self) -> List[Dict[str, float]]:
+        """All sample rows, decoded from the column store."""
+        if self._rows_cache is not None and self._rows_cache[0] == self._count:
+            return self._rows_cache[1]
+        if self._count == 0:
+            rows: List[Dict[str, float]] = []
+        else:
+            _, tvals = self._db.range("t")
+            rows = [{"time": float(t)} for t in tvals["value"]]
+            for name in self._columns:
+                indexes, vals = self._db.range("c:" + name)
+                for i, v in zip(indexes, vals["value"]):
+                    rows[int(i)][name] = float(v)
+        self._rows_cache = (self._count, rows)
+        return rows
+
     def columns(self) -> List[str]:
-        seen = {"time"}
-        order = ["time"]
-        for row in self.rows:
-            for key in row:
-                if key not in seen:
-                    seen.add(key)
-                    order.append(key)
-        return order
+        return ["time"] + list(self._columns)
+
+    def storage_stats(self):
+        """Compressed column-store accounting (a tsdb SeriesStats)."""
+        return self._db.stats()
 
     def to_csv(self) -> str:
         """Line-oriented series: header row then one line per sample."""

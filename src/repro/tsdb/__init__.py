@@ -1,0 +1,61 @@
+"""Embedded compressed time-series storage (the monitor's history engine).
+
+A dependency-free, in-process TSDB in the spirit of Facebook's Gorilla
+(Pelkonen et al., VLDB 2015): samples stream into one open *head chunk*
+per series and are periodically sealed into immutable, bit-packed chunks
+-- delta-of-delta timestamps, XOR-compressed float64 values -- indexed
+by min/max time.  Decoding is exact to the bit (NaN payloads, signed
+zeros and denormals survive), so figures drawn from the compressed
+history are identical to ones drawn from raw sample lists.
+
+Layers, bottom up:
+
+- :mod:`repro.tsdb.bits`   -- bit-granular writer/reader
+- :mod:`repro.tsdb.codec`  -- timestamp + value codecs over those bits
+- :mod:`repro.tsdb.chunk`  -- open head chunk and sealed chunks
+- :mod:`repro.tsdb.series` -- one multi-field series (chunk list + head)
+- :mod:`repro.tsdb.db`     -- named series, retention, stats
+- :mod:`repro.tsdb.downsample` -- windowed min/max/mean/last aggregates
+
+:class:`~repro.core.history.MeasurementHistory` is a thin view over a
+:class:`TSDB`; the ``repro tsdb`` CLI subcommand surfaces the same stats.
+"""
+
+from repro.tsdb.bits import BitReader, BitWriter
+from repro.tsdb.chunk import HeadChunk, SealedChunk
+from repro.tsdb.codec import (
+    TimestampDecoder,
+    TimestampEncoder,
+    ValueDecoder,
+    ValueEncoder,
+    decode_column,
+    encode_column,
+    decode_timestamps,
+    encode_timestamps,
+)
+from repro.tsdb.db import Retention, SeriesStats, TSDB, TsdbError
+from repro.tsdb.downsample import AGGREGATES, DownsampledSeries, window_aggregate
+from repro.tsdb.series import Series
+
+__all__ = [
+    "AGGREGATES",
+    "BitReader",
+    "BitWriter",
+    "DownsampledSeries",
+    "HeadChunk",
+    "Retention",
+    "SealedChunk",
+    "Series",
+    "SeriesStats",
+    "TSDB",
+    "TimestampDecoder",
+    "TimestampEncoder",
+    "TsdbError",
+    "ValueDecoder",
+    "ValueEncoder",
+    "decode_column",
+    "decode_timestamps",
+    "encode_column",
+    "encode_timestamps",
+    "window_aggregate",
+]

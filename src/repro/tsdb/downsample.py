@@ -1,0 +1,152 @@
+"""Windowed downsampling: min/max/mean/last aggregates over time windows.
+
+Two uses:
+
+- **Queries**: :func:`window_aggregate` turns any (times, values) pair
+  into per-window aggregates -- the ``repro tsdb`` CLI and the analysis
+  layer call it on decoded arrays.
+- **Retention**: when a retention policy ages a sealed chunk out of a
+  series, :class:`DownsampledSeries` absorbs it first, so hours-old
+  history survives as one row per window instead of one per sample.
+
+Windows are aligned to multiples of the window length (``floor(t/w)``),
+so aggregates from different chunks of the same series land in the same
+buckets and merge associatively (min/max/mean-via-sum/last all do).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.tsdb.chunk import SealedChunk
+
+AGGREGATES = ("min", "max", "mean", "last")
+
+
+def window_aggregate(
+    times: np.ndarray,
+    values: np.ndarray,
+    window: float,
+    agg: str = "mean",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Aggregate ``values`` into ``window``-second buckets.
+
+    Returns ``(window_starts, aggregates)``.  Empty windows are absent
+    rather than NaN-filled; NaN samples propagate into their window
+    (a degraded report taints its bucket, deliberately).
+    """
+    if agg not in AGGREGATES:
+        raise ValueError(f"unknown aggregate {agg!r}, want one of {AGGREGATES}")
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window!r}")
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if len(times) == 0:
+        empty = np.empty(0, dtype=float)
+        return empty, empty.copy()
+    buckets = np.floor(times / window).astype(np.int64)
+    # Samples are time-ordered, so each bucket is one contiguous run.
+    starts = np.flatnonzero(np.r_[True, buckets[1:] != buckets[:-1]])
+    ends = np.r_[starts[1:], len(buckets)]
+    window_starts = buckets[starts] * window
+    out = np.empty(len(starts), dtype=float)
+    for i, (lo, hi) in enumerate(zip(starts, ends)):
+        chunk = values[lo:hi]
+        if agg == "min":
+            out[i] = chunk.min()
+        elif agg == "max":
+            out[i] = chunk.max()
+        elif agg == "mean":
+            out[i] = chunk.mean()
+        else:  # last
+            out[i] = chunk[-1]
+    return window_starts.astype(float), out
+
+
+class DownsampledSeries:
+    """Per-window min/max/mean/last for every field of aged-out chunks.
+
+    Rows are keyed by window start; absorbing two chunks that touch the
+    same window merges their aggregates exactly (the mean carries its
+    sample count).
+    """
+
+    __slots__ = ("fields", "window", "_rows")
+
+    def __init__(self, fields: Sequence[str], window: float) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window!r}")
+        self.fields = tuple(fields)
+        self.window = window
+        # window_start -> field -> [min, max, sum, count, last, last_t]
+        self._rows: Dict[float, Dict[str, List[float]]] = {}
+
+    def absorb(self, chunk: SealedChunk, predictors=None) -> None:
+        """Fold one sealed chunk's samples into the window rows."""
+        times, values = chunk.arrays(predictors)
+        buckets = np.floor(times / self.window) * self.window
+        for name in self.fields:
+            column = values[name]
+            for t, start, v in zip(times, buckets, column):
+                row = self._rows.setdefault(float(start), {})
+                acc = row.get(name)
+                if acc is None:
+                    row[name] = [v, v, v, 1, v, t]
+                else:
+                    # NaN-poisoning min/max/sum is intentional: a window
+                    # holding any untrusted sample reads as untrusted.
+                    acc[0] = min(acc[0], v)
+                    acc[1] = max(acc[1], v)
+                    acc[2] += v
+                    acc[3] += 1
+                    if t >= acc[5]:
+                        acc[4] = v
+                        acc[5] = t
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def samples_absorbed(self) -> int:
+        if not self._rows:
+            return 0
+        first_field = self.fields[0]
+        return int(sum(row[first_field][3] for row in self._rows.values()))
+
+    def arrays(
+        self,
+        field: str,
+        agg: str = "mean",
+        t_start: Optional[float] = None,
+        t_end: Optional[float] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(window_starts, aggregate)`` for one field over a window range."""
+        if agg not in AGGREGATES:
+            raise ValueError(f"unknown aggregate {agg!r}, want one of {AGGREGATES}")
+        if field not in self.fields:
+            raise KeyError(f"no field {field!r} (have {self.fields})")
+        starts = sorted(
+            s for s in self._rows
+            if (t_start is None or s + self.window > t_start)
+            and (t_end is None or s < t_end)
+        )
+        out = np.empty(len(starts), dtype=float)
+        for i, s in enumerate(starts):
+            acc = self._rows[s][field]
+            if agg == "min":
+                out[i] = acc[0]
+            elif agg == "max":
+                out[i] = acc[1]
+            elif agg == "mean":
+                out[i] = acc[2] / acc[3]
+            else:
+                out[i] = acc[4]
+        return np.array(starts, dtype=float), out
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate footprint: 6 floats per field per window row."""
+        return len(self._rows) * len(self.fields) * 6 * 8

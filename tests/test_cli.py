@@ -149,6 +149,69 @@ class TestMatrix:
         assert main(["matrix", good_spec, "--host", "zzz"]) == 1
 
 
+class TestTsdb:
+    def test_default_testbed_prints_storage_stats(self, capsys):
+        assert main(["tsdb", "--until", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "storage after 30.0 simulated seconds" in out
+        assert "S1<->N1" in out
+        assert "(total)" in out
+        assert "ratio" in out
+
+    def test_range_query_prints_samples(self, capsys):
+        code = main([
+            "tsdb", "--until", "20", "--load", "L:N1:200:5:15",
+            "--range", "S1:N1", "--start", "5", "--end", "15",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "used_bps" in out and "available_bps" in out
+
+    def test_windowed_aggregate_query(self, capsys):
+        code = main([
+            "tsdb", "--until", "30", "--range", "S1:N1",
+            "--window", "10", "--agg", "max", "--field", "used_bps",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "max(used_bps)" in out
+
+    def test_retention_flags_accepted(self, capsys):
+        code = main([
+            "tsdb", "--until", "30", "--retention", "10", "--downsample", "5",
+        ])
+        assert code == 0
+        assert "storage after" in capsys.readouterr().out
+
+    def test_unknown_range_series_fails(self, capsys):
+        code = main(["tsdb", "--until", "10", "--range", "S2:N9"])
+        assert code == 2
+        assert "no series" in capsys.readouterr().err
+
+    def test_unknown_field_fails(self, capsys):
+        code = main([
+            "tsdb", "--until", "10", "--range", "S1:N1", "--field", "bogus",
+        ])
+        assert code == 2
+        assert "no field" in capsys.readouterr().err
+
+    def test_spec_file_requires_host_and_watch(self, good_spec, capsys):
+        assert main(["tsdb", good_spec]) == 2
+        assert main(["tsdb", good_spec, "--host", "L"]) == 2
+
+    def test_spec_file_end_to_end(self, good_spec, capsys):
+        code = main([
+            "tsdb", good_spec, "--host", "L", "--watch", "S1:N1",
+            "--until", "20",
+        ])
+        assert code == 0
+        assert "S1<->N1" in capsys.readouterr().out
+
+    def test_negative_retention_rejected(self, capsys):
+        assert main(["tsdb", "--until", "10", "--retention", "-5"]) == 2
+        assert "history_retention_s" in capsys.readouterr().err
+
+
 class TestExperiment:
     def test_unknown_experiment_rejected(self, capsys):
         with pytest.raises(SystemExit):

@@ -108,3 +108,82 @@ def test_campus_soak(seed):
     series = monitor.history.series(watches[0])
     mid = series.between(30.0, 100.0)
     assert mid.used().mean() > 200_000
+
+
+@pytest.mark.parametrize("seed", [0])
+def test_campus_soak_bounded_history_under_retention(seed):
+    """Retention keeps history memory bounded without touching QoS results.
+
+    Two identical campus runs, one with unlimited history and one with a
+    40-second retention window: inside the retained window every series
+    must decode to exactly the same arrays (so QoS conclusions are
+    unchanged), while total storage stays bounded and the monitor
+    reports the dropped samples it spilled.
+    """
+    spec = campus_spec()
+    results = {}
+    for retention in (None, 40.0):
+        build = build_network(spec)
+        net = build.network
+        monitor = NetworkMonitor(
+            build, "h0_0", poll_interval=2.0, seed=seed,
+            history_retention_s=retention,
+            # Small chunks so retention actually gets sealed chunks to
+            # drop within a two-minute run.
+            )
+        monitor.history.db.chunk_size = 16
+        watches = [
+            monitor.watch_path("h0_1", "h3_1"),
+            monitor.watch_path("h1_3", "h3_7"),
+            monitor.watch_path("h2_0", "h3_0"),
+        ]
+        for src, dst, rate in [
+            ("h0_1", "h3_1", 200), ("h1_3", "h3_7", 100), ("h2_0", "h3_0", 180),
+        ]:
+            StaircaseLoad(
+                net.host(src), net.ip_of(dst),
+                StepSchedule.pulse(10.0, 110.0, rate * KBPS),
+            ).start()
+        monitor.start()
+        net.run(120.0)
+        results[retention] = (monitor, watches)
+
+    unlimited, watches = results[None]
+    retained, _ = results[40.0]
+
+    # Retention actually dropped data, and the monitor accounts for it.
+    dropped = retained.history.dropped_samples
+    assert dropped > 0
+    assert retained.stats()["history_dropped"] == dropped
+    assert unlimited.history.dropped_samples == 0
+
+    # Memory is bounded: the retained run stores strictly less, and no
+    # series holds more than retention-window + one-chunk of samples.
+    assert (retained.history.storage_stats().nbytes
+            < unlimited.history.storage_stats().nbytes)
+    max_samples = int(40.0 / 2.0) + 16 + 1  # window + straddling chunk slack
+    for label in watches:
+        series = retained.history.series(label)
+        assert len(series) <= max_samples
+        assert len(series.reports) == len(series)  # pruned in lockstep
+
+    # QoS detection is unchanged: within the surviving window both runs
+    # decode bit-identical measurement arrays.
+    for label in watches:
+        full = unlimited.history.series(label)
+        trimmed = retained.history.series(label)
+        floor = trimmed.times()[0]
+        window_full = full.between(floor, 1e9)
+        window_trim = trimmed.between(floor, 1e9)
+        assert (window_full.times() == window_trim.times()).all()
+        assert (
+            window_full.used().view("uint64")
+            == window_trim.used().view("uint64")
+        ).all()
+        assert (
+            window_full.available().view("uint64")
+            == window_trim.available().view("uint64")
+        ).all()
+        # The latest report -- what the RM middleware acts on -- agrees.
+        assert trimmed.latest().available_bps == full.latest().available_bps
+        assert trimmed.latest().status == full.latest().status

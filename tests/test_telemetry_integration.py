@@ -66,7 +66,8 @@ class TestMonitorTelemetry:
             "poll_cycles", "poll_errors", "poll_timeout_errors",
             "poll_error_responses", "poll_parse_errors", "polls_suppressed",
             "agent_restarts", "agents_healthy", "agents_dead", "samples",
-            "reports", "snmp_requests", "snmp_responses", "snmp_timeouts",
+            "reports", "history_samples", "history_dropped",
+            "snmp_requests", "snmp_responses", "snmp_timeouts",
             "snmp_retransmissions",
         }
         registry = monitor.telemetry.registry
