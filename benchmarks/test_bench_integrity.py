@@ -1,0 +1,66 @@
+"""Integrity-pipeline overhead guard on the Figure-4 poll cycle.
+
+Runs the Figure-4 scenario with the measurement-integrity pipeline
+enabled vs disabled and asserts the validated run costs at most 10 %
+more wall time.  On a fault-free run the pipeline must also be
+invisible: every sample admitted, identical measured series.
+"""
+
+import time
+
+import numpy as np
+
+from repro.experiments import fig4
+
+ROUNDS = 3
+MAX_OVERHEAD_RATIO = 1.10
+
+
+def _best_of(fn, rounds=ROUNDS):
+    """Minimum wall time over ``rounds`` runs (noise-robust estimator)."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bench_integrity_overhead_under_ten_percent():
+    baseline_result = fig4.run(seed=0, integrity=False)
+    validated_result = fig4.run(seed=0, integrity=True)
+
+    # Validation must observe, never perturb: identical measured series
+    # and no sample withheld on a clean run.
+    np.testing.assert_array_equal(
+        baseline_result.pair.measured_kbps,
+        validated_result.pair.measured_kbps,
+    )
+    stats = validated_result.monitor_stats
+    assert stats["integrity_violations"] == 0
+    assert stats["integrity_rejected"] == 0
+    assert stats["samples"] == baseline_result.monitor_stats["samples"]
+
+    off = _best_of(lambda: fig4.run(seed=0, integrity=False))
+    on = _best_of(lambda: fig4.run(seed=0, integrity=True))
+    ratio = on / off
+    print(
+        f"\nfig4 wall time: integrity off {off:.3f}s, on {on:.3f}s, "
+        f"ratio {ratio:.3f} (budget {MAX_OVERHEAD_RATIO:.2f})"
+    )
+    assert ratio <= MAX_OVERHEAD_RATIO, (
+        f"integrity overhead {ratio:.3f}x exceeds the "
+        f"{MAX_OVERHEAD_RATIO:.2f}x budget"
+    )
+
+
+def test_bench_validated_run_really_validates():
+    """The timed configuration is the real one: every sample inspected."""
+    result = fig4.run(seed=0, integrity=True)
+    pipeline = result.scenario.monitor.integrity
+    assert pipeline is not None
+    # Every polled interface earned a (fully trusted) record.
+    records = pipeline.quarantine.records()
+    assert len(records) >= 10
+    assert all(rec.score == 1.0 for rec in records.values())
+    assert pipeline.quarantined_keys() == []

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""A byzantine agent: S1 starts lying about ifOutOctets mid-run.
+
+The paper's monitor believes whatever the SNMP agents report.  This
+example shows the measurement-integrity pipeline withdrawing that trust
+when an agent turns dishonest:
+
+1. S1 streams 300 KB/s to L, watched on the S1 <-> L path;
+2. at t=19 s, S1's agent begins under-reporting ifOutOctets by 70%
+   (scaled, size-preserving on the wire -- only the value lies);
+3. the onset makes the counter appear to run backwards, the per-sample
+   validators flag it, and the switch's port-2 counters (cross-check
+   mode) contradict S1 on the very next report cycle: within two poll
+   cycles of the first lie, trust has fallen 1.0 -> 0.5 -> 0.25 < 0.3
+   and S1:1 is quarantined;
+4. the cross-checker keeps blaming S1 -- and only S1 -- every report
+   cycle while the lie persists;
+5. the S1 <-> L path is reported degraded/unavailable -- never trusted --
+   until the agent comes clean at t=45 s and earns its trust back
+   (six clean polls per 0.1 of score, then release at 0.8).
+
+Run:  python examples/byzantine_agent.py
+"""
+
+from repro import NetworkMonitor, build_testbed
+from repro.integrity import IntegrityConfig
+from repro.simnet.faults import CounterCorruption
+from repro.simnet.trafficgen import KBPS, StaircaseLoad, StepSchedule
+from repro.snmp.mib import IF_OUT_OCTETS
+from repro.telemetry.events import (
+    CROSS_CHECK_MISMATCH,
+    INTEGRITY_VIOLATION,
+    QUARANTINE_ENTER,
+    QUARANTINE_EXIT,
+)
+
+POLL = 2.0
+LIE_AT, LIE_UNTIL = 19.0, 45.0
+RUN_UNTIL = 78.0
+
+
+def main() -> None:
+    build = build_testbed()
+    net = build.network
+    # The default cross-check debounce (2 consecutive report cycles)
+    # absorbs sampling noise during load transitions; this demo's load is
+    # steady, so one round of corroborated disagreement is evidence enough.
+    monitor = NetworkMonitor(
+        build, "L", poll_interval=POLL, poll_jitter=0.0, cross_check=True,
+        integrity=IntegrityConfig(cross_breach_count=1),
+    )
+    label = monitor.watch_path("S1", "L")
+    reports = []
+    monitor.subscribe(reports.append)
+
+    StaircaseLoad(
+        net.host("S1"), net.ip_of("L"),
+        StepSchedule.pulse(5.0, RUN_UNTIL - 5.0, 300 * KBPS),
+    ).start()
+    CounterCorruption(
+        net.sim, build.agents["S1"], at=LIE_AT, until=LIE_UNTIL,
+        mode="scaled", scale=0.3, columns=(IF_OUT_OCTETS,),
+        events=monitor.telemetry.events,
+    )
+
+    monitor.start()
+    print(f"t={LIE_AT:.0f}s: S1's agent begins scaling ifOutOctets by 0.3; "
+          f"t={LIE_UNTIL:.0f}s: it stops lying\n")
+    net.run(RUN_UNTIL)
+
+    bus = monitor.telemetry.events
+    print("=== integrity timeline ===")
+    for event in bus.events():
+        if event.kind == INTEGRITY_VIOLATION:
+            print(f"t={event.time:6.3f}s  violation  {event.attrs['node']}:"
+                  f"{event.attrs['if_index']}  {event.attrs['check']}")
+        elif event.kind == CROSS_CHECK_MISMATCH:
+            print(f"t={event.time:6.3f}s  mismatch   {event.attrs['pair']}"
+                  f"  blamed={event.attrs['blamed']}")
+        elif event.kind == QUARANTINE_ENTER:
+            print(f"t={event.time:6.3f}s  QUARANTINE {event.attrs['node']}:"
+                  f"{event.attrs['if_index']}  trust={event.attrs['trust']}")
+        elif event.kind == QUARANTINE_EXIT:
+            print(f"t={event.time:6.3f}s  release    {event.attrs['node']}:"
+                  f"{event.attrs['if_index']}  after "
+                  f"{event.attrs['held_seconds']:.1f}s held")
+
+    entered = bus.events(QUARANTINE_ENTER)[0]
+    cycles = (entered.time - LIE_AT) / POLL
+    print(f"\nquarantined {entered.time - LIE_AT:.1f}s after the lie began "
+          f"({cycles:.1f} poll cycles)")
+
+    print("\n=== trust scores at the end of the run ===")
+    for row in monitor.integrity.status()["interfaces"]:
+        state = "QUARANTINED" if row["quarantined"] else "ok"
+        print(f"{row['node']:>8}:{row['if_index']}  trust={row['trust']:.2f}"
+              f"  violations={row['violations']:3d}  {state}")
+
+    released = bus.events(QUARANTINE_EXIT)
+    print(f"\n=== what the monitor reported on {label} ===")
+    lying = [r for r in reports if LIE_AT + 2 * POLL < r.time < LIE_UNTIL]
+    recovered_at = released[0].time if released else RUN_UNTIL
+    after = [r for r in reports if r.time >= recovered_at + 2 * POLL]
+    print(f"while S1 lied:   {len(lying)} reports, "
+          f"trusted in {sum(r.trusted for r in lying)} of them")
+    print(f"after it stopped: {len(after)} reports, "
+          f"trusted in {sum(r.trusted for r in after)} of them")
+    stats = monitor.stats()
+    print(f"\nsamples withheld from the rate table: "
+          f"{stats['integrity_rejected']:.0f} of {stats['samples']:.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,7 @@ Installed as the ``repro`` console script::
     repro monitor topology.net --host L --watch S1:N1 \\
           --load L:N1:200:10:40 --until 60 --chart
     repro tsdb --load L:N1:200:10:40         # storage stats + range queries
+    repro integrity --corrupt S1:random:10 --until 30   # trust + quarantine
     repro discover topology.net --host L     # SNMP topology discovery
 
 Every subcommand works on simulated time and returns a conventional exit
@@ -145,6 +146,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_tsdb.add_argument(
         "--agg", choices=("min", "max", "mean", "last"), default="mean",
         help="aggregate for --window (default mean)",
+    )
+
+    p_int = sub.add_parser(
+        "integrity",
+        help="run a monitoring scenario and report measurement-integrity state",
+    )
+    p_int.add_argument(
+        "specfile", nargs="?", default=None,
+        help="topology spec (default: the paper's Figure-3 testbed)",
+    )
+    p_int.add_argument(
+        "--host", default=None,
+        help="host running the monitor (default: L on the built-in testbed)",
+    )
+    p_int.add_argument(
+        "--watch", action="append", default=[], metavar="SRC:DST",
+        help="host pair to watch (default on the testbed: S1:N1)",
+    )
+    p_int.add_argument(
+        "--load", action="append", default=[], metavar="SRC:DST:KBPS:T0:T1",
+        help="UDP load to generate (repeatable)",
+    )
+    p_int.add_argument(
+        "--corrupt", action="append", default=[], metavar="AGENT:MODE:T0[:T1]",
+        help="inject counter corruption on an agent "
+             "(mode: random, stuck, or scaled; repeatable)",
+    )
+    p_int.add_argument(
+        "--cross-check", action="store_true",
+        help="poll both ends of two-ended connections and compare",
+    )
+    p_int.add_argument("--until", type=float, default=60.0, help="simulated seconds")
+    p_int.add_argument("--interval", type=float, default=2.0, help="poll interval")
+    p_int.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format",
     )
 
     p_disc = sub.add_parser("discover", help="SNMP topology discovery + verification")
@@ -479,6 +516,137 @@ def cmd_tsdb(args) -> int:
     return 0
 
 
+def _parse_corrupt(text: str):
+    parts = text.split(":")
+    if len(parts) not in (3, 4) or not all(parts):
+        raise ValueError(f"--corrupt wants AGENT:MODE:T0[:T1], got {text!r}")
+    agent, mode = parts[0], parts[1]
+    t0 = float(parts[2])
+    t1 = float(parts[3]) if len(parts) == 4 else None
+    return agent, mode, t0, t1
+
+
+def cmd_integrity(args) -> int:
+    import json as json_module
+
+    from repro.experiments.testbed import MONITOR_HOST, build_testbed
+    from repro.simnet.faults import CounterCorruption, FaultError, StuckCounters
+    from repro.telemetry.events import (
+        COUNTER_WRAP_RISK,
+        CROSS_CHECK_MISMATCH,
+        INTEGRITY_VIOLATION,
+        QUARANTINE_ENTER,
+        QUARANTINE_EXIT,
+    )
+
+    try:
+        if args.specfile is None:
+            build = build_testbed()
+            host = args.host or MONITOR_HOST
+            watches = args.watch or ["S1:N1"]
+        else:
+            spec = parse_file(args.specfile)
+            build = build_network(spec)
+            host = args.host
+            watches = args.watch
+            if host is None:
+                print("error: --host is required with a spec file", file=sys.stderr)
+                return 2
+            if not watches:
+                print("error: at least one --watch SRC:DST is required",
+                      file=sys.stderr)
+                return 2
+    except (ParseError, LexError, SpecValidationError, TopologyError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        monitor = NetworkMonitor(
+            build, host, poll_interval=args.interval,
+            cross_check=args.cross_check,
+        )
+        for watch in watches:
+            monitor.watch_path(*_parse_watch(watch))
+        for load_text in args.load:
+            src, dst, rate, t0, t1 = _parse_load(load_text)
+            StaircaseLoad(
+                build.network.host(src),
+                build.network.ip_of(dst),
+                StepSchedule.pulse(t0, t1, rate * KBPS),
+            ).start()
+        for corrupt_text in args.corrupt:
+            agent_name, mode, t0, t1 = _parse_corrupt(corrupt_text)
+            if agent_name not in build.agents:
+                raise ValueError(f"no SNMP agent on {agent_name!r}")
+            agent = build.agents[agent_name]
+            if mode == "stuck":
+                StuckCounters(
+                    build.network.sim, agent, at=t0, until=t1,
+                    events=monitor.telemetry.events,
+                )
+            else:
+                CounterCorruption(
+                    build.network.sim, agent, at=t0, until=t1, mode=mode,
+                    events=monitor.telemetry.events,
+                )
+    except (ValueError, TopologyError, KeyError, NetworkError,
+            FaultError, MonitorError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    monitor.start()
+    build.network.run(args.until)
+
+    pipeline = monitor.integrity
+    if pipeline is None:
+        print("error: integrity pipeline is disabled", file=sys.stderr)
+        return 1
+    status = pipeline.status()
+    bus = monitor.telemetry.events
+    event_counts = {
+        kind: bus.count(kind)
+        for kind in (INTEGRITY_VIOLATION, CROSS_CHECK_MISMATCH,
+                     QUARANTINE_ENTER, QUARANTINE_EXIT, COUNTER_WRAP_RISK)
+    }
+    stats = monitor.stats()
+    integrity_stats = {
+        key: stats[key]
+        for key in ("integrity_violations", "integrity_rejected",
+                    "integrity_quarantined", "cross_check_mismatches", "samples")
+    }
+
+    if args.format == "json":
+        print(json_module.dumps(
+            {"status": status, "events": event_counts, "stats": integrity_stats},
+            indent=2,
+        ))
+        return 0
+
+    print(f"integrity after {build.network.now:.1f} simulated seconds\n")
+    if status["interfaces"]:
+        print(f"{'interface':>14} {'trust':>7} {'state':>12} "
+              f"{'violations':>11} {'suspects':>9}")
+        for row in status["interfaces"]:
+            name = f"{row['node']}:{row['if_index']}"
+            state = "QUARANTINED" if row["quarantined"] else (
+                "wrap-risk" if row["wrap_risk"] else "ok")
+            print(f"{name:>14} {row['trust']:>7.2f} {state:>12} "
+                  f"{row['violations']:>11d} {row['suspects']:>9d}")
+    else:
+        print("no integrity verdicts recorded (all samples clean)")
+    if status["pairs"]:
+        print("\ncross-checked pairs:")
+        for row in status["pairs"]:
+            streak = row["mismatch_streak"]
+            tail = f"  [mismatch streak {streak}]" if streak else ""
+            print(f"  {row['pair']}{tail}")
+    print("\nintegrity events:")
+    for kind, count in event_counts.items():
+        print(f"{kind:>24}: {count}")
+    print("\nintegrity stats:")
+    for key, value in integrity_stats.items():
+        print(f"{key:>24}: {value:.0f}")
+    return 0
+
+
 def cmd_discover(args) -> int:
     from repro.core.discovery import TopologyDiscoverer
     from repro.simnet.network import BROADCAST_IP
@@ -563,6 +731,7 @@ _COMMANDS = {
     "monitor": cmd_monitor,
     "telemetry": cmd_telemetry,
     "tsdb": cmd_tsdb,
+    "integrity": cmd_integrity,
     "discover": cmd_discover,
     "matrix": cmd_matrix,
 }

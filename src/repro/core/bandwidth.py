@@ -59,6 +59,7 @@ class BandwidthCalculator:
         dead_after: Optional[float] = None,
         health=None,
         telemetry: Optional[Telemetry] = None,
+        integrity=None,
     ) -> None:
         """``link_state``: optional :class:`~repro.core.linkstate.
         LinkStateRegistry`; connections it marks down report zero
@@ -68,7 +69,12 @@ class BandwidthCalculator:
         ages (seconds) beyond which data is degraded / untrustworthy.
         ``telemetry``: optional hub; path measurements are then traced,
         report staleness feeds a histogram, and per-path trust-status
-        changes (fresh/degraded/unavailable) publish events."""
+        changes (fresh/degraded/unavailable) publish events.
+        ``integrity``: optional
+        :class:`~repro.integrity.IntegrityPipeline`; connections whose
+        counter source it quarantines are flagged on the measurement and
+        capped at 0.5 confidence (their withheld samples then age into
+        the ordinary staleness decay)."""
         if (
             stale_after is not None
             and dead_after is not None
@@ -84,6 +90,7 @@ class BandwidthCalculator:
         self.dead_after = dead_after
         self.health = health
         self.telemetry = telemetry
+        self.integrity = integrity
         self._last_status: Dict[str, str] = {}  # path label -> trust status
         if telemetry is not None:
             registry = telemetry.registry
@@ -186,6 +193,11 @@ class BandwidthCalculator:
             and self.stale_after is not None
             and age > self.stale_after
         )
+        quarantined = (
+            self.integrity is not None
+            and source is not None
+            and self.integrity.is_quarantined(source.node, source.if_index)
+        )
         return ConnectionMeasurement(
             connection=conn,
             capacity_bps=capacity_bytes,
@@ -196,6 +208,7 @@ class BandwidthCalculator:
             sample_interval=sample.interval if sample is not None else None,
             sample_age=age,
             stale=stale,
+            quarantined=quarantined,
         )
 
     # ------------------------------------------------------------------
@@ -210,6 +223,10 @@ class BandwidthCalculator:
         - Source agent DEAD, or sample older than ``dead_after``: 0.0.
         - Sample between ``stale_after`` and ``dead_after``: linear decay.
         - Expected source but no sample yet: 0.5 (degraded, not dead).
+        - Quarantined counter source: capped at 0.5 -- whatever its age
+          says, a source the integrity pipeline distrusts is never fully
+          believed, and as its withheld samples age the ordinary decay
+          below takes it the rest of the way down.
         """
         if m.rule == "down":
             return 1.0
@@ -218,15 +235,16 @@ class BandwidthCalculator:
         if self.health is not None and self.health.is_dead(m.source.node):
             return 0.0
         if m.sample_age is None:
-            return 0.5
+            return 0.25 if m.quarantined else 0.5
         if self.stale_after is None or m.sample_age <= self.stale_after:
-            return 1.0
+            return 0.5 if m.quarantined else 1.0
         if self.dead_after is None:
             return 0.5
         if m.sample_age >= self.dead_after:
             return 0.0
         span = self.dead_after - self.stale_after
-        return max(0.0, 1.0 - (m.sample_age - self.stale_after) / span)
+        decayed = max(0.0, 1.0 - (m.sample_age - self.stale_after) / span)
+        return min(decayed, 0.5) if m.quarantined else decayed
 
     # ------------------------------------------------------------------
     # Paths

@@ -86,6 +86,8 @@ class AgentHealth:
         "last_success_time",
         "last_failure_time",
         "last_probe_time",
+        "data_violations",
+        "last_data_violation_time",
     )
 
     def __init__(self, node: str) -> None:
@@ -98,6 +100,12 @@ class AgentHealth:
         self.last_success_time: Optional[float] = None
         self.last_failure_time: Optional[float] = None
         self.last_probe_time: Optional[float] = None
+        # Data-*quality* strikes recorded by the integrity pipeline.
+        # These never move the reachability state machine -- a lying
+        # agent answers promptly -- but they feed cross-check suspicion
+        # attribution and the status surfaces.
+        self.data_violations = 0
+        self.last_data_violation_time: Optional[float] = None
 
 
 TransitionCallback = Callable[[HealthTransition], None]
@@ -219,6 +227,18 @@ class AgentHealthTracker:
         ):
             new_state = HealthState.HEALTHY
         self._move(record, new_state, now)
+
+    def record_data_violation(self, node: str, now: float) -> None:
+        """The integrity pipeline rejected data from ``node``.
+
+        Deliberately does *not* touch the reachability state machine
+        (the agent is alive -- it answered); it only annotates the
+        record so cross-check attribution and operators can see which
+        agents have a history of serving bad numbers.
+        """
+        record = self.agent(node)
+        record.data_violations += 1
+        record.last_data_violation_time = now
 
     def record_failure(self, node: str, now: float) -> None:
         """A request to ``node`` timed out after all retransmissions."""

@@ -26,6 +26,13 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 from repro.core.bandwidth import BandwidthCalculator
 from repro.core.counters import required_poll_targets
 from repro.core.history import MeasurementHistory
+from repro.integrity import (
+    IntegrityConfig,
+    IntegrityPipeline,
+    extra_poll_indexes,
+    register_integrity_metrics,
+    two_ended_pairs,
+)
 from repro.core.linkstate import LinkStateRegistry
 from repro.core.poller import PollTarget, RateTable, SnmpPoller
 from repro.core.report import PathReport
@@ -76,7 +83,17 @@ class NetworkMonitor:
         telemetry: Union[bool, Telemetry] = True,
         history_retention_s: Optional[float] = None,
         history_downsample_s: Optional[float] = None,
+        integrity: Union[bool, IntegrityConfig] = True,
+        cross_check: bool = False,
     ) -> None:
+        """``integrity``: run every sample through the measurement-
+        integrity pipeline (True: default knobs; an
+        :class:`~repro.integrity.IntegrityConfig` tunes them; False:
+        trust the agents like the paper did).  ``cross_check``: also
+        poll the *secondary* end of every two-ended connection (plus
+        ifSpeed) and compare both ends' octet rates each report cycle.
+        Off by default because the extra polling itself adds SNMP
+        traffic to the measured links."""
         if not 0 < report_offset < poll_interval:
             raise MonitorError(
                 f"report_offset must lie inside the poll interval, got "
@@ -135,6 +152,8 @@ class NetworkMonitor:
         )
         self._watches: Dict[str, _Watch] = {}
         self._subscribers: List[ReportCallback] = []
+        self.cross_check = cross_check
+        self._cross_pairs = two_ended_pairs(self.spec) if cross_check else []
         self._poller = SnmpPoller(
             self.manager,
             targets=self._build_targets(),
@@ -147,6 +166,24 @@ class NetworkMonitor:
         # Let the manager label RTT samples by agent name, not IP.
         for target in self._poller.targets:
             self.manager.agent_labels[target.address] = target.node
+        # Measurement-integrity pipeline: validates every sample before
+        # it reaches the rate table and quarantines untrustworthy
+        # interfaces.  The metric families are registered either way so
+        # ``stats()`` keys resolve even with the pipeline disabled.
+        register_integrity_metrics(self.telemetry.registry)
+        self.integrity: Optional[IntegrityPipeline] = None
+        if integrity:
+            config = integrity if isinstance(integrity, IntegrityConfig) else None
+            self.integrity = IntegrityPipeline(
+                speeds=self._interface_speeds(),
+                poll_interval=poll_interval,
+                config=config,
+                pairs=self._cross_pairs,
+                health=self._poller.health,
+                telemetry=self.telemetry,
+                now=self.sim.now,
+            )
+            self._poller.integrity = self.integrity
         self.calculator = BandwidthCalculator(
             self.spec,
             self.rates,
@@ -154,6 +191,7 @@ class NetworkMonitor:
             dead_after=dead_after,
             health=self._poller.health,
             telemetry=self.telemetry,
+            integrity=self.integrity,
         )
         self._report_task = None
         self._m_reports = self.telemetry.registry.counter(
@@ -197,8 +235,21 @@ class NetworkMonitor:
     # Target construction
     # ------------------------------------------------------------------
     def _build_targets(self) -> List[PollTarget]:
-        """One target per SNMP node, covering every measurable connection."""
+        """One target per SNMP node, covering every measurable connection.
+
+        In cross-check mode the secondary end of every two-ended
+        connection is polled too (the redundancy the cross-checker
+        compares), and every target also reads ifSpeed so the
+        speed-mismatch validator has the agent's own claim.
+        """
         needed = required_poll_targets(self.spec, list(self.spec.connections))
+        if self._cross_pairs:
+            for node_name, extra in extra_poll_indexes(self._cross_pairs).items():
+                indexes = needed.setdefault(node_name, [])
+                for if_index in extra:
+                    if if_index not in indexes:
+                        indexes.append(if_index)
+                indexes.sort()
         targets: List[PollTarget] = []
         for node_name, if_indexes in sorted(needed.items()):
             node = self.spec.node(node_name)
@@ -208,9 +259,19 @@ class NetworkMonitor:
                     address=self.network.ip_of(node_name),
                     if_indexes=if_indexes,
                     community=node.snmp_community,
+                    include_speed=self.cross_check,
                 )
             )
         return targets
+
+    def _interface_speeds(self) -> Dict[tuple, float]:
+        """Topology-declared speed per polled (node, ifIndex)."""
+        speeds: Dict[tuple, float] = {}
+        for target in self._poller.targets:
+            node = self.spec.node(target.node)
+            for if_index in target.if_indexes:
+                speeds[(target.node, if_index)] = node.interfaces[if_index - 1].speed_bps
+        return speeds
 
     @property
     def poller(self) -> SnmpPoller:
@@ -358,6 +419,11 @@ class NetworkMonitor:
     # Reporting
     # ------------------------------------------------------------------
     def _emit_reports(self) -> None:
+        # Cross-checks run first so a mismatch discovered this cycle is
+        # already reflected (trust decay, quarantine) in the reports
+        # computed just below.
+        if self.integrity is not None:
+            self.integrity.run_cross_checks(self.sim.now)
         # Subscribers may add/remove watches in reaction to a report (the
         # application runtime rebinds paths on reallocation); iterate a copy.
         for watch in list(self._watches.values()):
@@ -408,4 +474,8 @@ class NetworkMonitor:
             "snmp_responses": value("snmp_responses_total"),
             "snmp_timeouts": value("snmp_timeouts_total"),
             "snmp_retransmissions": value("snmp_retransmissions_total"),
+            "integrity_violations": value("integrity_violations_total"),
+            "integrity_rejected": value("integrity_samples_rejected_total"),
+            "integrity_quarantined": value("quarantined_interfaces"),
+            "cross_check_mismatches": value("integrity_cross_check_mismatches_total"),
         }

@@ -28,7 +28,7 @@ from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.health import AgentHealthTracker
 from repro.simnet.address import IPv4Address
-from repro.snmp.datatypes import Counter32, TimeTicks
+from repro.snmp.datatypes import Counter32, Gauge32, TimeTicks
 from repro.snmp.errors import SnmpErrorResponse, SnmpTimeout
 from repro.snmp.manager import SnmpManager
 from repro.snmp.datatypes import Integer
@@ -40,6 +40,7 @@ from repro.snmp.mib import (
     IF_OUT_OCTETS,
     IF_OUT_UCAST_PKTS,
     IF_IN_NUCAST_PKTS,
+    IF_SPEED,
     IF_STATUS_UP,
     SYS_UPTIME,
 )
@@ -143,6 +144,7 @@ class PollTarget:
     if_indexes: List[int]
     community: str = "public"
     include_oper_status: bool = False  # also read ifOperStatus per interface
+    include_speed: bool = False  # also read ifSpeed (integrity cross-check mode)
 
     def oids(self) -> List[Oid]:
         out: List[Oid] = [SYS_UPTIME]
@@ -151,6 +153,8 @@ class PollTarget:
                 out.append(column + str(index))
             if self.include_oper_status:
                 out.append(IF_OPER_STATUS + str(index))
+            if self.include_speed:
+                out.append(IF_SPEED + str(index))
         return out
 
 
@@ -235,6 +239,11 @@ class SnmpPoller:
         # TimeTicks wrap legitimately only every ~497 days; any apparent
         # backward jump that "wraps" into a huge interval is a restart.
         self.max_plausible_interval = max(3600.0, interval * 100)
+        # Optional measurement-integrity pipeline (repro.integrity): when
+        # set, every computed sample passes through ``inspect`` and only
+        # admitted samples reach the rate table.  Duck-typed so the
+        # poller stays usable without the integrity package.
+        self.integrity = None
         self.on_sample: Optional[Callable[[InterfaceRates], None]] = None
         # Invoked as (node, if_index, up: bool) for every polled interface
         # whose target requests oper-status tracking -- the poll-based
@@ -412,7 +421,12 @@ class SnmpPoller:
             except KeyError:
                 self._m_parse_errors.inc()
                 continue
-            self._ingest(target.node, index, snapshot)
+            polled_speed = None
+            if target.include_speed:
+                speed_value = values.get(IF_SPEED + str(index))
+                if isinstance(speed_value, Gauge32):
+                    polled_speed = float(speed_value.value)
+            self._ingest(target.node, index, snapshot, polled_speed)
 
     @staticmethod
     def _counter(values: Dict[Oid, object], column: Oid, index: int) -> Counter32:
@@ -421,7 +435,13 @@ class SnmpPoller:
             raise KeyError(str(column))
         return value
 
-    def _ingest(self, node: str, if_index: int, snapshot: _CounterSnapshot) -> None:
+    def _ingest(
+        self,
+        node: str,
+        if_index: int,
+        snapshot: _CounterSnapshot,
+        polled_speed: Optional[float] = None,
+    ) -> None:
         key = (node, if_index)
         previous = self._last.get(key)
         self._last[key] = snapshot
@@ -440,6 +460,8 @@ class SnmpPoller:
             self.telemetry.events.publish(
                 AGENT_RESTART, self.sim.now, node=node, if_index=if_index
             )
+            if self.integrity is not None:
+                self.integrity.note_restart(node, if_index)
             return
         in_pkts = (
             snapshot.ucast_in.delta(previous.ucast_in)
@@ -460,6 +482,12 @@ class SnmpPoller:
             out_pkts_per_s=out_pkts / seconds,
         )
         self._m_samples.inc()
+        if self.integrity is not None and not self.integrity.inspect(
+            sample, previous, snapshot, polled_speed_bps=polled_speed
+        ):
+            # Withheld: the table keeps its last admitted sample, which
+            # ages into staleness -- bad data degrades like missing data.
+            return
         self.rates.update(sample)
         if self.on_sample is not None:
             self.on_sample(sample)

@@ -37,6 +37,7 @@ class ConnectionMeasurement:
     sample_interval: Optional[float] = None  # seconds the sample covers
     sample_age: Optional[float] = None  # report time minus sample time
     stale: bool = False  # sample older than the monitor's staleness bound
+    quarantined: bool = False  # counter source held by the integrity pipeline
 
     @property
     def available_bps(self) -> float:
@@ -93,6 +94,25 @@ class PathReport:
         return "degraded" if self.degraded else "fresh"
 
     @property
+    def trusted(self) -> bool:
+        """True only for a fully-fresh report free of quarantined sources.
+
+        This is the flag QoS consumers should gate adaptation on: a
+        degraded or unavailable report, or one whose figures lean on an
+        interface the integrity pipeline quarantined, is not evidence.
+        """
+        return not self.degraded and not self.unavailable and not self.any_quarantined
+
+    @property
+    def any_quarantined(self) -> bool:
+        """True when any connection's counter source sits in quarantine."""
+        return any(m.quarantined for m in self.connections)
+
+    @property
+    def quarantined_connections(self) -> Tuple[ConnectionMeasurement, ...]:
+        return tuple(m for m in self.connections if m.quarantined)
+
+    @property
     def available_bps(self) -> float:
         if self.unavailable:
             # A dead path has *unknown* availability; NaN refuses to let a
@@ -143,4 +163,6 @@ class PathReport:
             parts.append(f"(bottleneck {bottleneck.connection})")
         if self.degraded:
             parts.append(f"[DEGRADED confidence={self.confidence:.2f}]")
+        if self.any_quarantined:
+            parts.append(f"[QUARANTINED x{len(self.quarantined_connections)}]")
         return " ".join(parts)

@@ -65,13 +65,22 @@ class Fig4Result:
     scenario: Scenario
 
 
-def run(seed: int = 0, poll_interval: float = 2.0, telemetry: bool = True) -> Fig4Result:
+def run(
+    seed: int = 0,
+    poll_interval: float = 2.0,
+    telemetry: bool = True,
+    integrity=True,
+) -> Fig4Result:
     """Run the Figure 4 experiment; deterministic for a given seed.
 
     ``telemetry=False`` turns off histogram/span collection (counters and
     events stay on) -- the overhead benchmark compares the two.
+    ``integrity=False`` bypasses the measurement-integrity pipeline --
+    its overhead benchmark compares the two the same way.
     """
-    scenario = Scenario(poll_interval=poll_interval, seed=seed, telemetry=telemetry)
+    scenario = Scenario(
+        poll_interval=poll_interval, seed=seed, telemetry=telemetry, integrity=integrity
+    )
     label = scenario.watch(PATH_SRC, PATH_DST)
     scenario.add_load(LOAD_SRC, LOAD_DST, LOAD_SCHEDULE)
     scenario.run(RUN_UNTIL)

@@ -53,6 +53,8 @@ class Scenario:
         telemetry: bool = True,
         history_retention_s: Optional[float] = None,
         history_downsample_s: Optional[float] = None,
+        integrity=True,
+        cross_check: bool = False,
     ) -> None:
         # poll_jitter=0.25 s reproduces the paper's "slight delay in SNMP
         # polling": combined with the agents' timer-refreshed counters it
@@ -69,6 +71,8 @@ class Scenario:
             telemetry=telemetry,
             history_retention_s=history_retention_s,
             history_downsample_s=history_downsample_s,
+            integrity=integrity,
+            cross_check=cross_check,
         )
         self.loads: Dict[str, StaircaseLoad] = {}
         self._load_schedules: Dict[str, Tuple[str, StepSchedule]] = {}

@@ -1,0 +1,52 @@
+"""repro.integrity -- measurement validation, cross-checks, quarantine.
+
+The trust layer between the SNMP poller and the bandwidth calculator:
+per-sample plausibility validators, a two-ended cross-checker exploiting
+the topology's 1-to-1 connections, and a quarantine manager whose trust
+scores decide which interfaces' samples may enter the rate table.
+"""
+
+from repro.integrity.crosscheck import (
+    CrossChecker,
+    CrossCheckFinding,
+    CrossPair,
+    extra_poll_indexes,
+    two_ended_pairs,
+)
+from repro.integrity.pipeline import (
+    IntegrityConfig,
+    IntegrityPipeline,
+    register_integrity_metrics,
+)
+from repro.integrity.quarantine import QuarantineManager, TrustRecord
+from repro.integrity.validators import (
+    IntegrityVerdict,
+    RateBoundValidator,
+    SampleContext,
+    Severity,
+    SpeedValidator,
+    StuckCounterValidator,
+    WrapRiskValidator,
+    wrap_period_seconds,
+)
+
+__all__ = [
+    "CrossChecker",
+    "CrossCheckFinding",
+    "CrossPair",
+    "IntegrityConfig",
+    "IntegrityPipeline",
+    "IntegrityVerdict",
+    "QuarantineManager",
+    "RateBoundValidator",
+    "SampleContext",
+    "Severity",
+    "SpeedValidator",
+    "StuckCounterValidator",
+    "TrustRecord",
+    "WrapRiskValidator",
+    "extra_poll_indexes",
+    "register_integrity_metrics",
+    "two_ended_pairs",
+    "wrap_period_seconds",
+]

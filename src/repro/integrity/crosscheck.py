@@ -1,0 +1,249 @@
+"""Two-ended cross-checking of 1-to-1 connections (natural redundancy).
+
+Every ``HostPairConnection`` in the paper's topology joins exactly two
+interfaces, so whenever *both* ends run SNMP agents the same wire is
+measured twice: A's ifOutOctets rate should track B's ifInOctets rate
+(and vice versa).  The codebase normally polls only the preferred end
+(host over switch, see :mod:`repro.core.counters`); cross-check mode
+additionally polls the secondary end and compares the two.
+
+A disagreement beyond tolerance on either direction is a *mismatch*.
+Mismatches are debounced (``breach_count`` consecutive checks) because
+the two ends are sampled at slightly different instants through
+timer-refreshed counter caches, so a single-step disagreement during a
+load transition is expected noise.
+
+Attribution: a mismatch proves the wire's two observers disagree, not
+who lies.  Suspicion is scored per end from (a) corroboration -- an end
+whose *other* pairs agree is probably honest, an end disagreeing
+everywhere is probably the liar; (b) recent per-sample verdicts against
+that end; (c) the end's :class:`~repro.core.health.AgentHealth` record.
+A clear margin blames one end (VIOLATION); a tie suspects both
+(SUSPECT) -- trusting neither is the conservative reading of
+contradictory evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.counters import CounterSource, if_index_of, resolve_counter_source
+from repro.core.health import AgentHealthTracker, HealthState
+from repro.core.poller import InterfaceRates
+from repro.integrity.validators import IntegrityVerdict, Severity
+from repro.topology.model import DeviceKind, TopologySpec
+
+Key = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class CrossPair:
+    """One connection observable from both ends."""
+
+    primary: CounterSource  # the end the monitor polls anyway
+    secondary: CounterSource  # the extra end polled for cross-checking
+
+    @property
+    def label(self) -> str:
+        a, b = self.primary.endpoint, self.secondary.endpoint
+        return f"{a.node}.{a.interface}<->{b.node}.{b.interface}"
+
+    def ends(self) -> Tuple[CounterSource, CounterSource]:
+        return (self.primary, self.secondary)
+
+
+def two_ended_pairs(spec: TopologySpec) -> List[CrossPair]:
+    """Connections whose both ends are SNMP-enabled non-hub nodes."""
+    pairs: List[CrossPair] = []
+    for conn in spec.connections:
+        primary = resolve_counter_source(spec, conn)
+        if primary is None:
+            continue
+        secondary: Optional[CounterSource] = None
+        for end in conn.endpoints():
+            if end == primary.endpoint:
+                continue
+            node = spec.node(end.node)
+            if not node.snmp_enabled or node.kind is DeviceKind.HUB:
+                continue
+            secondary = CounterSource(
+                node=node.name, if_index=if_index_of(node, end.interface), endpoint=end
+            )
+        if secondary is not None:
+            pairs.append(CrossPair(primary=primary, secondary=secondary))
+    return pairs
+
+
+def extra_poll_indexes(pairs: Sequence[CrossPair]) -> Dict[str, List[int]]:
+    """(node -> ifIndexes) of the secondary ends cross-checking polls."""
+    extra: Dict[str, List[int]] = {}
+    for pair in pairs:
+        indexes = extra.setdefault(pair.secondary.node, [])
+        if pair.secondary.if_index not in indexes:
+            indexes.append(pair.secondary.if_index)
+    for indexes in extra.values():
+        indexes.sort()
+    return extra
+
+
+@dataclass(frozen=True)
+class CrossCheckFinding:
+    """Outcome of checking one pair at one instant."""
+
+    pair: CrossPair
+    time: float
+    mismatch: bool
+    blamed: Optional[str] = None  # node name, when attribution is clear
+    detail: str = ""
+
+
+class CrossChecker:
+    """Compares out/in octet rates across each pair every report cycle."""
+
+    def __init__(
+        self,
+        pairs: Sequence[CrossPair],
+        rel_tolerance: float = 0.35,
+        abs_floor_bps: float = 4096.0,
+        max_sample_age: float = 4.0,
+        breach_count: int = 2,
+        health: Optional[AgentHealthTracker] = None,
+    ) -> None:
+        if rel_tolerance <= 0:
+            raise ValueError(f"rel_tolerance must be > 0, got {rel_tolerance!r}")
+        if breach_count < 1:
+            raise ValueError(f"breach_count must be >= 1, got {breach_count!r}")
+        self.pairs = list(pairs)
+        self.rel_tolerance = rel_tolerance
+        self.abs_floor_bps = abs_floor_bps
+        self.max_sample_age = max_sample_age
+        self.breach_count = breach_count
+        self.health = health
+        self._streaks: Dict[str, int] = {}  # pair label -> consecutive raw mismatches
+        self.mismatches = 0  # debounced mismatches flagged over the run
+
+    # ------------------------------------------------------------------
+    def _disagree(self, a: float, b: float) -> bool:
+        return abs(a - b) > max(self.abs_floor_bps, self.rel_tolerance * max(a, b))
+
+    def _raw_mismatch(
+        self, sa: InterfaceRates, sb: InterfaceRates
+    ) -> Optional[str]:
+        """A human-readable mismatch description, or None when they agree."""
+        if self._disagree(sa.out_bytes_per_s, sb.in_bytes_per_s):
+            return (
+                f"out {sa.out_bytes_per_s:.0f} B/s vs far-end in"
+                f" {sb.in_bytes_per_s:.0f} B/s"
+            )
+        if self._disagree(sa.in_bytes_per_s, sb.out_bytes_per_s):
+            return (
+                f"in {sa.in_bytes_per_s:.0f} B/s vs far-end out"
+                f" {sb.out_bytes_per_s:.0f} B/s"
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    def check(
+        self,
+        samples: Dict[Key, InterfaceRates],
+        now: float,
+        recent_offender: Optional[Callable[[str, int], bool]] = None,
+    ) -> List[CrossCheckFinding]:
+        """Evaluate every pair against the given per-interface samples.
+
+        ``samples`` should include withheld (quarantined) interfaces --
+        the pipeline keeps a shadow table for exactly this reason --
+        otherwise a quarantined liar stops being observed and quietly
+        recovers trust while still lying.
+        """
+        findings: List[CrossCheckFinding] = []
+        raw: List[Tuple[CrossPair, str]] = []
+        agree: Dict[str, int] = {}
+        disagree: Dict[str, int] = {}
+        for pair in self.pairs:
+            sa = samples.get(pair.primary.key())
+            sb = samples.get(pair.secondary.key())
+            if sa is None or sb is None:
+                continue
+            if sa.age(now) > self.max_sample_age or sb.age(now) > self.max_sample_age:
+                continue  # one end stale: nothing comparable this cycle
+            detail = self._raw_mismatch(sa, sb)
+            if detail is None:
+                self._streaks[pair.label] = 0
+                for source in pair.ends():
+                    agree[source.node] = agree.get(source.node, 0) + 1
+                findings.append(CrossCheckFinding(pair=pair, time=now, mismatch=False))
+                continue
+            streak = self._streaks.get(pair.label, 0) + 1
+            self._streaks[pair.label] = streak
+            for source in pair.ends():
+                disagree[source.node] = disagree.get(source.node, 0) + 1
+            if streak >= self.breach_count:
+                raw.append((pair, detail))
+            else:
+                findings.append(CrossCheckFinding(pair=pair, time=now, mismatch=False))
+        for pair, detail in raw:
+            blamed = self._attribute(pair, agree, disagree, recent_offender)
+            self.mismatches += 1
+            findings.append(
+                CrossCheckFinding(
+                    pair=pair, time=now, mismatch=True, blamed=blamed, detail=detail
+                )
+            )
+        return findings
+
+    # ------------------------------------------------------------------
+    def _attribute(
+        self,
+        pair: CrossPair,
+        agree: Dict[str, int],
+        disagree: Dict[str, int],
+        recent_offender: Optional[Callable[[str, int], bool]],
+    ) -> Optional[str]:
+        scores: Dict[str, float] = {}
+        for source in pair.ends():
+            node = source.node
+            n_agree = agree.get(node, 0)
+            n_disagree = disagree.get(node, 0)
+            # Corroboration: fraction of this end's comparable pairs that
+            # disagree, minus credit for each pair where it checks out.
+            score = n_disagree / max(1, n_agree + n_disagree) - float(n_agree)
+            if recent_offender is not None and recent_offender(node, source.if_index):
+                score += 2.0
+            if self.health is not None:
+                if self.health.state(node) is not HealthState.HEALTHY:
+                    score += 1.0
+                if self.health.agent(node).data_violations > 0:
+                    score += 0.5
+            scores[node] = score
+        (node_a, score_a), (node_b, score_b) = scores.items()
+        if score_a > score_b:
+            return node_a
+        if score_b > score_a:
+            return node_b
+        return None
+
+    def verdicts_for(self, finding: CrossCheckFinding) -> List[IntegrityVerdict]:
+        """Translate a mismatch finding into per-end trust verdicts."""
+        if not finding.mismatch:
+            return []
+        out: List[IntegrityVerdict] = []
+        for source in finding.pair.ends():
+            if finding.blamed is None:
+                severity = Severity.SUSPECT
+            elif source.node == finding.blamed:
+                severity = Severity.VIOLATION
+            else:
+                continue  # exonerated by corroboration
+            out.append(
+                IntegrityVerdict(
+                    check="cross_check",
+                    severity=severity,
+                    node=source.node,
+                    if_index=source.if_index,
+                    time=finding.time,
+                    detail=f"{finding.pair.label}: {finding.detail}",
+                )
+            )
+        return out

@@ -62,6 +62,7 @@ class ViolationDetector:
         self.events: List[QosEvent] = []
         self._callbacks: List[EventCallback] = []
         self.reports_seen = 0
+        self.reports_suppressed = 0
 
     def subscribe(self, callback: EventCallback) -> None:
         self._callbacks.append(callback)
@@ -71,6 +72,11 @@ class ViolationDetector:
         if report.label != self.requirement.watch_label and report.name != self.requirement.name:
             return None  # not ours
         self.reports_seen += 1
+        if self.requirement.suppresses(report):
+            # Untrusted numbers are not evidence: hold both streaks
+            # where they are rather than counting a breach or a clear.
+            self.reports_suppressed += 1
+            return None
         reason = self.requirement.violation_reason(report)
         if reason is not None:
             self._consecutive_breaches += 1

@@ -25,8 +25,19 @@ class QosRequirement:
     dst: str
     min_available_bps: Optional[float] = None  # bytes/second
     max_utilization: Optional[float] = None  # fraction of bottleneck capacity
+    # Reports below this confidence are *suppressed* -- not judged at
+    # all -- rather than counted as breaches or clears.  A quarantined
+    # or stale-but-breathing path should neither trigger adaptation nor
+    # mask a real violation with untrustworthy numbers.  Unavailable
+    # reports are always judged (and always breach): total ignorance is
+    # itself actionable.  0.0 disables suppression.
+    min_confidence: float = 0.0
 
     def __post_init__(self) -> None:
+        if not 0.0 <= self.min_confidence <= 1.0:
+            raise TopologyError(
+                f"min_confidence for {self.name!r} must be in [0, 1]"
+            )
         if self.min_available_bps is None and self.max_utilization is None:
             raise TopologyError(
                 f"QoS requirement {self.name!r} needs at least one threshold"
@@ -73,6 +84,20 @@ class QosRequirement:
         if self.max_utilization is not None:
             attrs["max_utilization"] = self.max_utilization
         return attrs
+
+    def suppresses(self, report: PathReport) -> bool:
+        """Should this report be withheld from violation judgement?
+
+        True for degraded-but-not-unavailable reports whose confidence
+        falls below ``min_confidence`` and for reports leaning on a
+        quarantined counter source: their numbers are not evidence in
+        either direction.  Unavailable reports are never suppressed.
+        """
+        if report.unavailable:
+            return False
+        if self.min_confidence > 0.0 and report.confidence < self.min_confidence:
+            return True
+        return self.min_confidence > 0.0 and report.any_quarantined
 
     def satisfied_by(self, report: PathReport) -> bool:
         """Does ``report`` meet every threshold?

@@ -19,9 +19,25 @@ This module injects the failures a real LAN suffers:
   overloaded host), exercising the manager's adaptive RTO estimation.
 - :class:`Flap`             -- a link that goes down and up periodically
   (a half-seated connector), exercising link-state and health hysteresis.
+- :class:`CounterCorruption` -- the agent *answers normally but lies*:
+  octet counters come back random, frozen or scaled (firmware bugs,
+  memory corruption, byzantine agents), exercising the measurement-
+  integrity pipeline end to end.
+- :class:`StuckCounters`    -- CounterCorruption specialised to frozen
+  traffic counters (octets and packets), the classic wedged-driver bug.
+- :class:`SpeedMisreport`   -- the agent claims a wrong ifSpeed,
+  exercising the integrity pipeline's speed cross-validation.
 
 All injections are plain objects driven by the simulation clock and are
 fully deterministic under a seed.
+
+The lying faults are **size-preserving**: a corrupted value is re-encoded
+padded with leading zero octets to the genuine value's BER content
+length (a legal encoding the decoder accepts), so response datagrams
+keep their exact original size and timing.  That matters here because
+SNMP responses are real bytes on the simulated wire and count into the
+measured octet rates -- a fault that changed message sizes would perturb
+measurements on every shared link, not just lie about one interface.
 """
 
 from __future__ import annotations
@@ -309,6 +325,310 @@ class ResponseDelay:
             self.agent.response_delay -= self.extra
             self.active = False
             _publish(self.events, False, self.sim.now, self, agent=self.agent.name)
+
+
+class _TamperedMib:
+    """Delegating MIB view that rewrites selected values on the way out.
+
+    Wraps whatever the agent currently serves (a plain ``MibTree`` or a
+    ``CachingMibTree``) and applies ``rewrite(oid, value)`` to every GET
+    and GETNEXT result.  Everything else -- subtree checks, attributes
+    like ``refresh_interval`` -- delegates to the wrapped tree, so the
+    agent cannot tell the difference and neither can a reboot fault that
+    later replaces ``agent.mib`` wholesale.
+    """
+
+    def __init__(self, inner, rewrite) -> None:
+        self.inner = inner
+        self._rewrite = rewrite
+
+    def get(self, oid):
+        value = self.inner.get(oid)
+        return None if value is None else self._rewrite(oid, value)
+
+    def get_next(self, oid):
+        hit = self.inner.get_next(oid)
+        if hit is None:
+            return None
+        next_oid, value = hit
+        return next_oid, self._rewrite(next_oid, value)
+
+    def has_subtree(self, oid):
+        return self.inner.has_subtree(oid)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+def _padded_unsigned(prototype, value: int):
+    """Re-encode ``value`` as ``prototype``'s type, padded to its length.
+
+    Returns an instance whose ``encode()`` output is byte-for-byte the
+    same *length* as the prototype's: the content is left-padded with
+    zero octets up to the prototype's minimal content length (BER
+    permits redundant leading zeros for unsigned types and the decoder
+    accepts them).  ``value`` must fit in the prototype's length; use
+    :func:`_fit_to_length` first.
+    """
+    from repro.snmp import ber
+
+    target_len = len(ber.encode_unsigned_content(prototype.value, prototype.bits))
+
+    class _Padded(type(prototype)):
+        def encode(self) -> bytes:
+            content = ber.encode_unsigned_content(self.value, self.bits)
+            if len(content) < target_len:
+                content = b"\x00" * (target_len - len(content)) + content
+            return ber.encode_tlv(self.tag, content)
+
+    _Padded.__name__ = f"Padded{type(prototype).__name__}"
+    return _Padded(value)
+
+
+def _fit_to_length(value: int, prototype) -> int:
+    """Shrink ``value`` until its minimal encoding fits the prototype's."""
+    from repro.snmp import ber
+
+    target_len = len(ber.encode_unsigned_content(prototype.value, prototype.bits))
+    while len(ber.encode_unsigned_content(value, prototype.bits)) > target_len:
+        value >>= 8
+    return value
+
+
+class CounterCorruption:
+    """An agent that answers normally but serves corrupted octet counters.
+
+    Modes (all size-preserving, see the module docstring):
+
+    - ``"random"`` -- every read of a targeted counter returns a fresh
+      seeded-random value.  Deltas become garbage; derived rates blow
+      through the line-rate bound almost every poll, so the per-sample
+      validators catch this without any cross-checking.
+    - ``"stuck"``  -- the first value read after injection is frozen and
+      served forever.  Deltas are zero: individually plausible, only
+      suspicious after activity, conclusively caught by the two-ended
+      cross-check.
+    - ``"scaled"`` -- the true value is multiplied by ``scale`` (mod
+      2^32).  Rates scale accordingly and stay under line rate for
+      ``scale < 1``: invisible to per-sample validation, this is the
+      byzantine case the two-ended cross-check exists for.
+
+    ``if_index`` limits corruption to one interface (None: all).  The
+    corrupted columns default to ifInOctets/ifOutOctets; pass ``columns``
+    to widen (see :class:`StuckCounters`).
+    """
+
+    MODES = ("random", "stuck", "scaled")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        agent,
+        at: float,
+        until: Optional[float] = None,
+        mode: str = "random",
+        scale: float = 0.5,
+        if_index: Optional[int] = None,
+        seed: int = 0,
+        columns=None,
+        events: Optional["EventBus"] = None,
+    ) -> None:
+        if mode not in self.MODES:
+            raise FaultError(f"unknown corruption mode {mode!r}; pick from {self.MODES}")
+        if until is not None and until <= at:
+            raise FaultError(f"corruption end {until!r} must follow start {at!r}")
+        if mode == "scaled" and scale < 0:
+            raise FaultError(f"negative scale {scale!r}")
+        self.sim = sim
+        self.agent = agent
+        self.at = at
+        self.until = until
+        self.mode = mode
+        self.scale = scale
+        self.if_index = if_index
+        self.rng = random.Random(seed)
+        self.events = events
+        self.active = False
+        self.values_corrupted = 0
+        self._frozen = {}  # oid -> first value served while stuck
+        self._proxy = None
+        self._columns = columns  # resolved lazily (simnet must not import snmp here)
+        sim.schedule_at(max(at, sim.now), self._begin)
+        if until is not None:
+            sim.schedule_at(max(until, sim.now), self._end)
+
+    def _column_oids(self):
+        from repro.snmp.mib import IF_IN_OCTETS, IF_OUT_OCTETS
+
+        return (IF_IN_OCTETS, IF_OUT_OCTETS)
+
+    def _begin(self) -> None:
+        if self._columns is None:
+            self._columns = self._column_oids()
+        self._proxy = _TamperedMib(self.agent.mib, self._rewrite)
+        self.agent.mib = self._proxy
+        self.active = True
+        _publish(
+            self.events, True, self.sim.now, self,
+            agent=self.agent.name, mode=self.mode,
+            if_index=self.if_index if self.if_index is not None else "*",
+        )
+
+    def _end(self) -> None:
+        if not self.active:
+            return
+        self.active = False
+        # Unwrap only our own proxy; an AgentReboot may have replaced
+        # agent.mib since, in which case the corruption died with it.
+        if self.agent.mib is self._proxy:
+            self.agent.mib = self._proxy.inner
+        self._frozen.clear()
+        _publish(
+            self.events, False, self.sim.now, self,
+            agent=self.agent.name, mode=self.mode,
+        )
+
+    def _targets(self, oid) -> bool:
+        for column in self._columns:
+            if oid.startswith(column):
+                if self.if_index is None or oid.arcs[-1] == self.if_index:
+                    return True
+        return False
+
+    def _rewrite(self, oid, value):
+        from repro.snmp.datatypes import Counter32
+
+        if not isinstance(value, Counter32) or not self._targets(oid):
+            return value
+        if self.mode == "random":
+            corrupt = self.rng.randrange(1 << 32)
+        elif self.mode == "stuck":
+            corrupt = self._frozen.setdefault(oid, value.value)
+        else:  # scaled
+            corrupt = int(value.value * self.scale) % (1 << 32)
+        corrupt = _fit_to_length(corrupt, value)
+        self.values_corrupted += 1
+        return _padded_unsigned(value, corrupt)
+
+
+class StuckCounters(CounterCorruption):
+    """All of an interface's traffic counters freeze (wedged driver).
+
+    :class:`CounterCorruption` in ``"stuck"`` mode widened to the packet
+    counters too, so the served ifTable row is self-consistent -- octets
+    and packets stop together, exactly like a driver that stopped
+    updating its statistics block.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        agent,
+        at: float,
+        until: Optional[float] = None,
+        if_index: Optional[int] = None,
+        events: Optional["EventBus"] = None,
+    ) -> None:
+        super().__init__(
+            sim, agent, at, until=until, mode="stuck",
+            if_index=if_index, events=events,
+        )
+
+    def _column_oids(self):
+        from repro.snmp.mib import (
+            IF_IN_NUCAST_PKTS,
+            IF_IN_OCTETS,
+            IF_IN_UCAST_PKTS,
+            IF_OUT_NUCAST_PKTS,
+            IF_OUT_OCTETS,
+            IF_OUT_UCAST_PKTS,
+        )
+
+        return (
+            IF_IN_OCTETS,
+            IF_OUT_OCTETS,
+            IF_IN_UCAST_PKTS,
+            IF_OUT_UCAST_PKTS,
+            IF_IN_NUCAST_PKTS,
+            IF_OUT_NUCAST_PKTS,
+        )
+
+
+class SpeedMisreport:
+    """The agent claims a wrong ifSpeed for one interface.
+
+    Models a misnegotiated NIC or buggy firmware: the monitor's
+    rate-vs-capacity reasoning silently skews unless the integrity
+    pipeline's speed validator compares the claim against the topology
+    declaration.  Size-preserving only when the claimed value's minimal
+    encoding is no longer than the true one (it is padded up); a longer
+    claim raises at injection time rather than silently perturbing the
+    wire.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        agent,
+        if_index: int,
+        claimed_bps: float,
+        at: float,
+        until: Optional[float] = None,
+        events: Optional["EventBus"] = None,
+    ) -> None:
+        if until is not None and until <= at:
+            raise FaultError(f"misreport end {until!r} must follow start {at!r}")
+        if claimed_bps <= 0:
+            raise FaultError(f"non-positive claimed speed {claimed_bps!r}")
+        self.sim = sim
+        self.agent = agent
+        self.if_index = if_index
+        self.claimed_bps = int(claimed_bps)
+        self.events = events
+        self.active = False
+        self.values_corrupted = 0
+        self._proxy = None
+        sim.schedule_at(max(at, sim.now), self._begin)
+        if until is not None:
+            sim.schedule_at(max(until, sim.now), self._end)
+
+    def _begin(self) -> None:
+        self._proxy = _TamperedMib(self.agent.mib, self._rewrite)
+        self.agent.mib = self._proxy
+        self.active = True
+        _publish(
+            self.events, True, self.sim.now, self,
+            agent=self.agent.name, if_index=self.if_index,
+            claimed_bps=self.claimed_bps,
+        )
+
+    def _end(self) -> None:
+        if not self.active:
+            return
+        self.active = False
+        if self.agent.mib is self._proxy:
+            self.agent.mib = self._proxy.inner
+        _publish(
+            self.events, False, self.sim.now, self,
+            agent=self.agent.name, if_index=self.if_index,
+        )
+
+    def _rewrite(self, oid, value):
+        from repro.snmp.datatypes import Gauge32
+        from repro.snmp.mib import IF_SPEED
+
+        if not isinstance(value, Gauge32):
+            return value
+        if not (oid.startswith(IF_SPEED) and oid.arcs[-1] == self.if_index):
+            return value
+        claimed = min(self.claimed_bps, (1 << 32) - 1)
+        if _fit_to_length(claimed, value) != claimed:
+            raise FaultError(
+                f"claimed speed {claimed} encodes longer than the true"
+                f" ifSpeed {value.value}; this would change response sizes"
+            )
+        self.values_corrupted += 1
+        return _padded_unsigned(value, claimed)
 
 
 class Flap:

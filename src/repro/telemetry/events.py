@@ -26,6 +26,11 @@ FAULT_INJECTED = "fault_injected"
 FAULT_CLEARED = "fault_cleared"
 REPORT_STATUS = "report_status_change"
 AGENT_RESTART = "agent_restart"
+INTEGRITY_VIOLATION = "integrity_violation"
+CROSS_CHECK_MISMATCH = "cross_check_mismatch"
+QUARANTINE_ENTER = "quarantine"
+QUARANTINE_EXIT = "quarantine_release"
+COUNTER_WRAP_RISK = "counter_wrap_risk"
 
 KNOWN_KINDS = (
     HEALTH_TRANSITION,
@@ -35,6 +40,11 @@ KNOWN_KINDS = (
     FAULT_CLEARED,
     REPORT_STATUS,
     AGENT_RESTART,
+    INTEGRITY_VIOLATION,
+    CROSS_CHECK_MISMATCH,
+    QUARANTINE_ENTER,
+    QUARANTINE_EXIT,
+    COUNTER_WRAP_RISK,
 )
 
 

@@ -17,7 +17,13 @@ from repro.core.report import PathReport
 from repro.experiments.testbed import build_testbed
 from repro.rm.detector import QosState, ViolationDetector
 from repro.rm.qos import QosRequirement
-from repro.simnet.faults import AgentOutage, AgentReboot, PacketLoss
+from repro.simnet.faults import (
+    AgentOutage,
+    AgentReboot,
+    CounterCorruption,
+    PacketLoss,
+)
+from repro.telemetry.events import QUARANTINE_ENTER
 
 POLL = 2.0
 FAULTS_CLEAR = 30.0  # all three faults are over by here
@@ -125,6 +131,96 @@ class TestChaosScenario:
         assert violations
         assert any("unavailable" in (e.reason or "") for e in violations)
         assert detector.state is QosState.OK  # cleared after recovery
+
+
+@pytest.fixture(scope="module")
+def mixed_integrity_run():
+    """Reboot + counter corruption + packet loss, all at once.
+
+    N1 reboots (honest counter reset), S1's agent serves corrupted
+    counters (dishonest data), and the hub uplink drops 20% of frames
+    (absent data).  The integrity pipeline must separate the three: the
+    reboot re-baselines without quarantine, the corruption quarantines
+    S1, and no quarantined interface may ever contribute to a report the
+    monitor presents as trusted.
+    """
+    build = build_testbed()
+    net = build.network
+    monitor = NetworkMonitor(build, "L", poll_interval=POLL, poll_jitter=0.0)
+    labels = [
+        monitor.watch_path("S1", "S2"),
+        monitor.watch_path("N1", "L"),
+        monitor.watch_path("S4", "S5"),
+    ]
+    reports = {label: [] for label in labels}
+    monitor.subscribe(lambda r: reports[r.label].append(r))
+
+    AgentReboot(net.sim, build.agents["N1"], at=8.0, outage=3.0)
+    CounterCorruption(
+        net.sim, build.agents["S1"], at=10.0, until=26.0, seed=3,
+        events=monitor.telemetry.events,
+    )
+    loss = PacketLoss(uplink(build), loss_rate=0.2, seed=11)
+    net.sim.schedule_at(FAULTS_CLEAR, lambda: setattr(loss, "loss_rate", 0.0))
+
+    monitor.start()
+    net.run(END)
+    return build, monitor, reports
+
+
+class TestMixedIntegrityChaos:
+    def test_corruption_quarantines_only_the_liar(self, mixed_integrity_run):
+        build, monitor, reports = mixed_integrity_run
+        entries = monitor.telemetry.events.events(QUARANTINE_ENTER)
+        assert entries and {e.attrs["node"] for e in entries} == {"S1"}
+        # The honest reboot was recognised as a restart, not corruption.
+        assert monitor.stats()["agent_restarts"] >= 1
+        assert ("N1", 1) not in [
+            (e.attrs["node"], e.attrs["if_index"]) for e in entries
+        ]
+
+    def test_no_quarantined_interface_feeds_a_trusted_report(
+        self, mixed_integrity_run
+    ):
+        """The acceptance property: trusted => nothing quarantined in it."""
+        build, monitor, reports = mixed_integrity_run
+        quarantined_spans = {}  # node -> [enter, exit) times
+        bus = monitor.telemetry.events
+        for e in bus.events(QUARANTINE_ENTER):
+            quarantined_spans.setdefault(e.attrs["node"], []).append(e.time)
+        assert quarantined_spans  # the scenario really quarantined someone
+        for series in reports.values():
+            for report in series:
+                if report.trusted:
+                    assert not report.any_quarantined, report.summary()
+                    assert not report.quarantined_connections
+                for m in report.connections:
+                    # A measurement flagged quarantined must drag the
+                    # whole report out of the trusted state.
+                    if m.quarantined:
+                        assert not report.trusted
+
+    def test_affected_path_flagged_while_corruption_active(
+        self, mixed_integrity_run
+    ):
+        build, monitor, reports = mixed_integrity_run
+        s1_reports = reports["S1<->S2"]
+        during = [r for r in s1_reports if 14.0 < r.time < 26.0]
+        assert during
+        assert all(not r.trusted for r in during)
+        assert any(r.any_quarantined for r in during)
+
+    def test_everything_recovers_after_faults_clear(self, mixed_integrity_run):
+        build, monitor, reports = mixed_integrity_run
+        assert monitor.integrity.quarantined_keys() == []
+        for label, series in reports.items():
+            settled = [r for r in series if r.time >= FAULTS_CLEAR + 10 * POLL]
+            assert settled, label
+            assert all(r.trusted for r in settled), label
+        assert all(
+            state is HealthState.HEALTHY
+            for state in monitor.health.states().values()
+        )
 
 
 class TestUnavailableReportPolicy:

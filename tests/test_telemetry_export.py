@@ -33,6 +33,22 @@ def build_reference_registry() -> MetricsRegistry:
     esc = reg.gauge("odd_label_gauge", 'help with "quotes"\nand newline', ("path",))
     esc.labels(path='a"b\\c\nd').set(1.5)
     reg.gauge("empty_gauge", "never set")
+    viol = reg.counter(
+        "integrity_violations_by_check_total",
+        "integrity violations split by failing check",
+        ("check",),
+    )
+    viol.labels(check="rate_bound").inc(3)
+    viol.labels(check="cross_check").inc(2)
+    reg.counter(
+        "integrity_samples_rejected_total",
+        "samples withheld from the rate table (violating or quarantined)",
+    ).inc(5)
+    reg.gauge("quarantined_interfaces", "interfaces currently quarantined").set(1)
+    trust = reg.gauge(
+        "interface_trust", "per-interface trust score (1 = pristine)", ("interface",)
+    )
+    trust.labels(interface="S1:1").set(0.25)
     return reg
 
 

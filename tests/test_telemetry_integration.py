@@ -68,7 +68,9 @@ class TestMonitorTelemetry:
             "agent_restarts", "agents_healthy", "agents_dead", "samples",
             "reports", "history_samples", "history_dropped",
             "snmp_requests", "snmp_responses", "snmp_timeouts",
-            "snmp_retransmissions",
+            "snmp_retransmissions", "integrity_violations",
+            "integrity_rejected", "integrity_quarantined",
+            "cross_check_mismatches",
         }
         registry = monitor.telemetry.registry
         assert stats["poll_cycles"] == registry.value("poll_cycles_total")
