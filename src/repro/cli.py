@@ -200,6 +200,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_matrix.add_argument(
         "--metric", choices=("available", "used", "utilization"), default="available"
     )
+    p_matrix.add_argument(
+        "--incremental",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="epoch-cached recomputation (--no-incremental recomputes "
+        "every pair from the raw tables; the outputs must match)",
+    )
     return parser
 
 
@@ -414,6 +421,12 @@ def cmd_telemetry(args) -> int:
     print("\nMonitor stats:")
     for key, value in monitor.stats().items():
         print(f"{key:>24}: {value:.0f}")
+    hits = monitor.calculator.cache_hits
+    recomputes = monitor.calculator.recomputes
+    total = hits + recomputes
+    if total:
+        print(f"\nDataflow cache: {hits}/{total} measurement(s) served "
+              f"from cache ({hits / total * 100.0:.1f}% hit rate)")
     print("\n--- Prometheus export ---")
     print(prometheus_text(registry), end="")
     return 0
@@ -707,7 +720,13 @@ def cmd_matrix(args) -> int:
                 build.network.ip_of(dst),
                 StepSchedule.pulse(t0, t1, rate * KBPS),
             ).start()
-        matrix = BandwidthMatrix(spec, monitor.calculator)
+        monitor.calculator.incremental = args.incremental
+        matrix = BandwidthMatrix(
+            spec,
+            monitor.calculator,
+            incremental=args.incremental,
+            graph=monitor.graph,
+        )
     except (ParseError, LexError, SpecValidationError, TopologyError,
             NetworkError, MatrixError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -721,6 +740,13 @@ def cmd_matrix(args) -> int:
         a, b, available = worst
         print(f"\ntightest pair: {a} <-> {b} "
               f"({available / 1000:.1f} KB/s available)")
+    if args.incremental:
+        calc = monitor.calculator
+        total = calc.cache_hits + calc.recomputes
+        rate = (calc.cache_hits / total * 100.0) if total else 0.0
+        print(f"\ndataflow: {calc.cache_hits} cache hit(s), "
+              f"{calc.recomputes} recompute(s) ({rate:.1f}% hit rate), "
+              f"{matrix.dirty_pairs_last} dirty pair(s) in last snapshot")
     return 0
 
 

@@ -29,9 +29,11 @@ segment along the path).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.counters import CounterSource, resolve_counter_source
+from repro.core.counters import CounterSource, hub_host_connections, resolve_counter_source
+from repro.core.dataflow import ConnCacheEntry
 from repro.core.poller import InterfaceRates, RateTable
 from repro.core.report import ConnectionMeasurement, PathReport
 from repro.telemetry import Telemetry
@@ -48,6 +50,17 @@ class BandwidthCalculator:
     agent the health tracker says is DEAD) they stop counting as data at
     all, and a path left without trustworthy figures reports
     ``unavailable`` instead of a stale number.
+
+    **Incremental mode** (the default): measurements are memoized per
+    connection on an epoch token drawn from every input -- rate-table
+    ingest, link-state flips, quarantine enter/release, health
+    transitions (see :mod:`repro.core.dataflow`).  A request whose token
+    matches the cached one reuses the measurement; when only the report
+    instant moved, the time-independent core is kept and just the age
+    fields are re-derived.  Hub aggregates are computed once per hub per
+    epoch and shared by every leg.  The cache may only ever change how
+    much work is done: outputs are bit-identical to ``incremental=False``
+    (enforced by ``tests/test_dataflow.py``).
     """
 
     def __init__(
@@ -60,6 +73,7 @@ class BandwidthCalculator:
         health=None,
         telemetry: Optional[Telemetry] = None,
         integrity=None,
+        incremental: bool = True,
     ) -> None:
         """``link_state``: optional :class:`~repro.core.linkstate.
         LinkStateRegistry`; connections it marks down report zero
@@ -107,15 +121,21 @@ class BandwidthCalculator:
             )
         self._source_cache: Dict[Tuple, Optional[CounterSource]] = {}
         # Hub membership: hub name -> its host-facing connections.
-        self._hub_host_conns: Dict[str, List[ConnectionSpec]] = {}
-        for node in spec.nodes:
-            if node.kind is DeviceKind.HUB:
-                host_conns = [
-                    conn
-                    for conn in spec.connections_of(node.name)
-                    if spec.node(conn.other_end(node.name).node).kind is DeviceKind.HOST
-                ]
-                self._hub_host_conns[node.name] = host_conns
+        self._hub_host_conns: Dict[str, List[ConnectionSpec]] = hub_host_connections(spec)
+        # --- incremental dataflow state ---------------------------------
+        self.incremental = incremental
+        self.cache_hits = 0
+        self.recomputes = 0
+        self._entries: Dict[Tuple, ConnCacheEntry] = {}
+        self._hub_by_conn: Dict[Tuple, Optional[str]] = {}
+        self._hub_leg_keys: Dict[str, Tuple] = {}
+        # hub -> (rates token, total, newest sample, any_measured)
+        self._hub_cache: Dict[str, Tuple] = {}
+        # Validation stamp: entries checked during the current cycle (one
+        # combination of report instant + all global input clocks) skip
+        # even the per-connection token comparison.
+        self._cycle_token: Optional[Tuple] = None
+        self._stamp = 0
 
     # ------------------------------------------------------------------
     # Per-connection traffic
@@ -135,10 +155,97 @@ class BandwidthCalculator:
 
     def hub_of(self, conn: ConnectionSpec) -> Optional[str]:
         """The hub this connection touches, if any."""
-        for end in conn.endpoints():
+        key = conn.endpoints()
+        try:
+            return self._hub_by_conn[key]
+        except KeyError:
+            pass
+        hub: Optional[str] = None
+        for end in key:
             if self.spec.node(end.node).kind is DeviceKind.HUB:
-                return end.node
-        return None
+                hub = end.node
+                break
+        self._hub_by_conn[key] = hub
+        return hub
+
+    # ------------------------------------------------------------------
+    # Epoch tokens (incremental dataflow)
+    # ------------------------------------------------------------------
+    def _hub_rates_token(self, hub: str) -> Tuple:
+        """Per-leg rate-table epochs of a hub's host legs, in sum order."""
+        keys = self._hub_leg_keys.get(hub)
+        if keys is None:
+            resolved = []
+            for leg in self._hub_host_conns.get(hub, []):
+                source = self.counter_source(leg)
+                resolved.append(source.key() if source is not None else None)
+            keys = self._hub_leg_keys[hub] = tuple(resolved)
+        return tuple(self.rates.epoch(*k) if k is not None else 0 for k in keys)
+
+    def connection_token(self, conn: ConnectionSpec) -> Tuple:
+        """The epochs of every input ``measure_connection`` reads.
+
+        A measurement computed under one token is valid exactly as long
+        as the token is unchanged.  Collaborators that predate the epoch
+        surface (test doubles) fall back to the raw boolean state, which
+        still flips whenever the answer would.
+        """
+        source = self.counter_source(conn)
+        hub = self.hub_of(conn)
+        if hub is not None:
+            rates_part: object = self._hub_rates_token(hub)
+        elif source is not None:
+            rates_part = self.rates.epoch(source.node, source.if_index)
+        else:
+            rates_part = 0
+        ls = self.link_state
+        if ls is None:
+            ls_part: object = 0
+        else:
+            epoch_of = getattr(ls, "epoch_of", None)
+            ls_part = epoch_of(conn) if epoch_of is not None else ls.is_down(conn)
+        integ = self.integrity
+        if integ is None or source is None:
+            integ_part: object = 0
+        else:
+            epoch_of = getattr(integ, "epoch_of", None)
+            integ_part = (
+                epoch_of(source.node, source.if_index)
+                if epoch_of is not None
+                else integ.is_quarantined(source.node, source.if_index)
+            )
+        health = self.health
+        if health is None or source is None:
+            health_part: object = 0
+        else:
+            epoch_of = getattr(health, "epoch_of", None)
+            health_part = (
+                epoch_of(source.node)
+                if epoch_of is not None
+                else health.is_dead(source.node)
+            )
+        return (rates_part, ls_part, integ_part, health_part)
+
+    def _revalidate(self, now: Optional[float]) -> None:
+        """Advance the validation stamp when any global input clock moved.
+
+        When every collaborator exposes a clock, an unchanged cycle token
+        proves *nothing anywhere changed* and cached entries validated
+        this cycle are reusable on a single int compare.  A collaborator
+        without a clock (a test double) yields None, which never equals
+        itself across calls here -- the stamp then bumps every time and
+        each entry falls back to its full token comparison.
+        """
+        token = (
+            now,
+            getattr(self.rates, "clock", None),
+            getattr(self.link_state, "clock", None) if self.link_state is not None else 0,
+            getattr(self.health, "clock", None) if self.health is not None else 0,
+            getattr(self.integrity, "clock", None) if self.integrity is not None else 0,
+        )
+        if None in token[1:] or token != self._cycle_token:
+            self._cycle_token = token
+            self._stamp += 1
 
     # ------------------------------------------------------------------
     # The two rules
@@ -172,8 +279,102 @@ class BandwidthCalculator:
         hub_speed_bytes = self.spec.node(hub).interfaces[0].speed_bps / 8.0
         return min(total, hub_speed_bytes), "hub", newest
 
+    def _used_bandwidth_cached(
+        self, conn: ConnectionSpec
+    ) -> Tuple[Optional[float], str, Optional[InterfaceRates]]:
+        """Like :meth:`used_bandwidth`, sharing hub sums across legs.
+
+        The hub aggregate is computed once per hub per rates epoch and
+        reused by every connection touching that hub; summation order is
+        the naive method's, so the float result is bit-identical.
+        """
+        hub = self.hub_of(conn)
+        if hub is None:
+            return self.used_bandwidth(conn)
+        token = self._hub_rates_token(hub)
+        cached = self._hub_cache.get(hub)
+        if cached is not None and cached[0] == token:
+            _, total, newest, any_measured = cached
+        else:
+            total = 0.0
+            newest = None
+            any_measured = False
+            for leg in self._hub_host_conns.get(hub, []):
+                sample = self.raw_traffic(leg)
+                if sample is None:
+                    continue
+                any_measured = True
+                total += sample.total_bytes_per_s
+                if newest is None or sample.time > newest.time:
+                    newest = sample
+            self._hub_cache[hub] = (token, total, newest, any_measured)
+        if not any_measured:
+            return None, "unmeasured", None
+        hub_speed_bytes = self.spec.node(hub).interfaces[0].speed_bps / 8.0
+        return min(total, hub_speed_bytes), "hub", newest
+
     def measure_connection(
-        self, conn: ConnectionSpec, now: Optional[float] = None
+        self, conn: ConnectionSpec, now: Optional[float] = None, fresh: bool = False
+    ) -> ConnectionMeasurement:
+        """The connection's measurement at instant ``now``.
+
+        ``fresh=True`` bypasses every cache and recomputes from the raw
+        tables (the naive baseline the benchmarks and property tests
+        compare against).
+        """
+        if fresh or not self.incremental:
+            return self._compute_measurement(conn, now, cached=False)
+        self._revalidate(now)
+        key = conn.endpoints()
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = self._entries[key] = ConnCacheEntry()
+        elif entry.stamp == self._stamp:
+            self.cache_hits += 1
+            return entry.measurement  # validated this very cycle
+        token = self.connection_token(conn)
+        if entry.token == token and entry.measurement is not None:
+            if entry.now != now:
+                # Same inputs, different instant: only the age-derived
+                # fields can differ, so re-derive just those.
+                entry.measurement = self._refresh_measurement(entry.measurement, now)
+                entry.now = now
+                entry.has_confidence = False
+            self.cache_hits += 1
+        else:
+            entry.measurement = self._compute_measurement(conn, now, cached=True)
+            entry.token = token
+            entry.now = now
+            entry.has_confidence = False
+            self.recomputes += 1
+        entry.stamp = self._stamp
+        return entry.measurement
+
+    def _refresh_measurement(
+        self, m: ConnectionMeasurement, now: Optional[float]
+    ) -> ConnectionMeasurement:
+        """Re-derive the age fields of a cached measurement at ``now``.
+
+        Must mirror :meth:`_compute_measurement` exactly: age is
+        ``max(0, now - sample_time)`` (``InterfaceRates.age``), staleness
+        the same threshold comparison.
+        """
+        age = (
+            max(0.0, now - m.sample_time)
+            if (m.sample_time is not None and now is not None)
+            else None
+        )
+        stale = (
+            age is not None
+            and self.stale_after is not None
+            and age > self.stale_after
+        )
+        if age == m.sample_age and stale == m.stale:
+            return m
+        return replace(m, sample_age=age, stale=stale)
+
+    def _compute_measurement(
+        self, conn: ConnectionSpec, now: Optional[float], cached: bool
     ) -> ConnectionMeasurement:
         capacity_bytes = self.spec.effective_bandwidth(conn) / 8.0
         if self.link_state is not None and self.link_state.is_down(conn):
@@ -185,7 +386,9 @@ class BandwidthCalculator:
                 source=source.endpoint if source is not None else None,
                 rule="down",
             )
-        used, rule, sample = self.used_bandwidth(conn)
+        used, rule, sample = (
+            self._used_bandwidth_cached(conn) if cached else self.used_bandwidth(conn)
+        )
         source = self.counter_source(conn)
         age = sample.age(now) if (sample is not None and now is not None) else None
         stale = (
@@ -246,6 +449,24 @@ class BandwidthCalculator:
         decayed = max(0.0, 1.0 - (m.sample_age - self.stale_after) / span)
         return min(decayed, 0.5) if m.quarantined else decayed
 
+    def _confidence_cached(
+        self, conn: ConnectionSpec, m: ConnectionMeasurement
+    ) -> Optional[float]:
+        """Per-entry memo of :meth:`_connection_confidence`.
+
+        Valid only while the entry still holds this exact measurement
+        object (the flag is cleared whenever the measurement is replaced
+        or re-aged); fresh-mode measurements never match and fall back to
+        the direct computation.
+        """
+        entry = self._entries.get(conn.endpoints())
+        if entry is None or entry.measurement is not m:
+            return self._connection_confidence(m)
+        if not entry.has_confidence:
+            entry.confidence = self._connection_confidence(m)
+            entry.has_confidence = True
+        return entry.confidence
+
     # ------------------------------------------------------------------
     # Paths
     # ------------------------------------------------------------------
@@ -256,11 +477,14 @@ class BandwidthCalculator:
         dst: str,
         time: float,
         name: Optional[str] = None,
+        fresh: bool = False,
     ) -> PathReport:
         """A :class:`PathReport` for an already-traversed path.
 
         NOTE: all figures are in **bytes/second** (the paper reports
         KB/s); capacities are converted from the spec's bits/second.
+        ``fresh=True`` recomputes every connection from the raw tables
+        (the naive baseline; see :meth:`measure_connection`).
         """
         tel = self.telemetry
         tracing = tel is not None and tel.enabled
@@ -269,11 +493,16 @@ class BandwidthCalculator:
             if tracing
             else None
         )
-        measurements = tuple(self.measure_connection(conn, now=time) for conn in path)
+        measurements = tuple(
+            self.measure_connection(conn, now=time, fresh=fresh) for conn in path
+        )
         ages = [m.sample_age for m in measurements if m.sample_age is not None]
         confidences = [
             c
-            for c in (self._connection_confidence(m) for m in measurements)
+            for c in (
+                self._confidence_cached(conn, m)
+                for conn, m in zip(path, measurements)
+            )
             if c is not None
         ]
         confidence = min(confidences) if confidences else 1.0

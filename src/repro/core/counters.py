@@ -98,6 +98,24 @@ def resolve_counter_sources(
     }
 
 
+def hub_host_connections(spec: TopologySpec) -> Dict[str, List[ConnectionSpec]]:
+    """Host-facing connections of every hub, in declaration order.
+
+    The hub bandwidth rule sums the traffic of all hosts sharing the
+    collision domain; the incremental calculator computes that sum once
+    per hub per epoch and shares it across every leg, so it needs the
+    leg list resolved up front rather than rediscovered per measurement.
+    """
+    hubs: Dict[str, List[ConnectionSpec]] = {
+        node.name: [] for node in spec.nodes if node.kind is DeviceKind.HUB
+    }
+    for conn in spec.connections:
+        for end, other in ((conn.end_a, conn.end_b), (conn.end_b, conn.end_a)):
+            if end.node in hubs and spec.node(other.node).kind is DeviceKind.HOST:
+                hubs[end.node].append(conn)
+    return hubs
+
+
 def required_poll_targets(
     spec: TopologySpec, connections: List[ConnectionSpec]
 ) -> Dict[str, List[int]]:

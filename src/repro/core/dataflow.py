@@ -1,0 +1,94 @@
+"""Epoch primitives for the incremental measurement dataflow.
+
+The monitor's measurement pipeline used to recompute every path report
+from raw counters on every request -- fine for the paper's 9 hosts,
+O(n² · path length) at production scale.  The incremental dataflow
+instead tags every *input* of a measurement with an **epoch**: a
+monotonically increasing stamp bumped exactly when that input changes.
+
+Epoch sources and what bumps them:
+
+====================  ==========================================  =====================
+source                epoch key                                    bumped by
+====================  ==========================================  =====================
+rate table            (node, ifIndex)                              sample admitted on ingest
+link-state registry   connection endpoints                         linkDown/linkUp trap,
+                                                                   ifOperStatus change,
+                                                                   mark_down/mark_up
+agent health          node                                         health-state transition
+quarantine            (node, ifIndex)                              quarantine enter/release
+topology graph        (whole graph)                                ``invalidate_paths``
+====================  ==========================================  =====================
+
+A derived value (a connection measurement, a hub aggregate, a path
+report, an all-pairs matrix cell) records the epochs of the inputs it
+was computed from; it is valid exactly as long as those epochs are
+unchanged.  Correctness invariant, enforced by the property tests in
+``tests/test_dataflow.py``: **incremental recomputation is bit-identical
+to recomputing everything from scratch** -- caching may only ever change
+how much work is done, never a single output bit.
+
+:class:`EpochClock` is the shared primitive: a per-owner global clock
+plus per-key stamps.  Because every bump draws from the owner's global
+clock, "any key changed since stamp S" is a single integer comparison
+against :attr:`EpochClock.clock` -- consumers first compare the global
+clock (cheap, catches the common no-change case) and only then the
+per-key epochs they actually depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional, Tuple
+
+__all__ = ["EpochClock", "ConnCacheEntry"]
+
+
+class EpochClock:
+    """Monotonic per-key epoch stamps drawn from one global clock.
+
+    ``epoch(key) == 0`` means the key has never changed (the virgin
+    epoch); real stamps start at 1.  The global :attr:`clock` equals the
+    largest stamp ever issued, so a consumer that recorded ``clock`` can
+    tell "nothing anywhere changed" without touching per-key state.
+    """
+
+    __slots__ = ("clock", "_epochs")
+
+    def __init__(self) -> None:
+        self.clock: int = 0
+        self._epochs: Dict[Hashable, int] = {}
+
+    def bump(self, key: Hashable) -> int:
+        """Stamp ``key`` with a fresh epoch; returns the new stamp."""
+        self.clock += 1
+        self._epochs[key] = self.clock
+        return self.clock
+
+    def epoch(self, key: Hashable) -> int:
+        """The last stamp issued for ``key`` (0: never bumped)."""
+        return self._epochs.get(key, 0)
+
+    def __len__(self) -> int:
+        return len(self._epochs)
+
+
+@dataclass
+class ConnCacheEntry:
+    """One connection's memoized measurement inside the calculator.
+
+    ``token`` is the tuple of input epochs the measurement was computed
+    from; ``now`` the report instant it was aged against.  ``stamp`` is
+    the calculator's validation stamp: entries checked during the
+    current validation cycle skip even the token comparison.
+    ``confidence`` is the per-connection trust figure derived from the
+    measurement (None is a legal value -- ``has_confidence`` carries the
+    cache state).
+    """
+
+    token: Optional[Tuple] = None
+    now: Optional[float] = None
+    measurement: object = None
+    confidence: Optional[float] = None
+    has_confidence: bool = False
+    stamp: int = -1

@@ -38,6 +38,8 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 import logging
 
+from repro.core.dataflow import EpochClock
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.telemetry.events import EventBus
 
@@ -150,6 +152,7 @@ class AgentHealthTracker:
         self.recovery_successes = recovery_successes
         self.probe_interval = probe_interval
         self._agents: Dict[str, AgentHealth] = {}
+        self._epochs = EpochClock()
         self.transitions: List[HealthTransition] = []
         self._callbacks: List[TransitionCallback] = []
         self.events = events
@@ -181,6 +184,15 @@ class AgentHealthTracker:
 
     def count(self, state: HealthState) -> int:
         return sum(1 for r in self._agents.values() if r.state is state)
+
+    @property
+    def clock(self) -> int:
+        """Global health clock: increases on every state transition."""
+        return self._epochs.clock
+
+    def epoch_of(self, node: str) -> int:
+        """Transition epoch of one agent (0: never transitioned)."""
+        return self._epochs.epoch(node)
 
     def subscribe(self, callback: TransitionCallback) -> None:
         self._callbacks.append(callback)
@@ -260,6 +272,7 @@ class AgentHealthTracker:
             return
         old = record.state
         record.state = new_state
+        self._epochs.bump(record.node)
         if new_state is HealthState.DEAD:
             # Start the probe clock at death so the first re-probe waits a
             # full interval instead of firing on the very next cycle.

@@ -18,6 +18,7 @@ import logging
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.counters import if_index_of
+from repro.core.dataflow import EpochClock
 from repro.simnet.address import IPv4Address
 from repro.snmp.trap import TrapEvent
 from repro.topology.model import ConnectionSpec, InterfaceRef, TopologySpec
@@ -41,6 +42,9 @@ class LinkStateRegistry:
                 node = spec.node(end.node)
                 self._conn_by_interface[(end.node, if_index_of(node, end.interface))] = conn
         self._down: set = set()
+        # Epochs bump only on actual up<->down flips, never on redundant
+        # notifications, so downstream caches stay warm through trap spam.
+        self._epochs = EpochClock()
         # Newest notification uptime seen per connection: a retransmitted
         # (inform) linkDown that arrives *after* the linkUp it predates
         # must not re-mark the connection down.
@@ -77,13 +81,17 @@ class LinkStateRegistry:
         self._last_uptime[key] = event.uptime.value
         self.events_applied += 1
         if event.is_link_down:
-            self._down.add(key)
+            if key not in self._down:
+                self._down.add(key)
+                self._epochs.bump(key)
             logger.warning(
                 "linkDown: connection %s is operationally down (trap from %s)",
                 conn, event.source_ip,
             )
         else:
-            self._down.discard(key)
+            if key in self._down:
+                self._down.discard(key)
+                self._epochs.bump(key)
             logger.info("linkUp: connection %s recovered", conn)
         return conn
 
@@ -101,24 +109,41 @@ class LinkStateRegistry:
         if up:
             if key in self._down:
                 logger.info("ifOperStatus: connection %s recovered", conn)
-            self._down.discard(key)
+                self._down.discard(key)
+                self._epochs.bump(key)
         else:
             if key not in self._down:
                 logger.warning(
                     "ifOperStatus: connection %s is operationally down "
                     "(observed at %s ifIndex %d)", conn, node, if_index,
                 )
-            self._down.add(key)
+                self._down.add(key)
+                self._epochs.bump(key)
 
     def mark_down(self, conn: ConnectionSpec) -> None:
-        self._down.add(conn.endpoints())
+        key = conn.endpoints()
+        if key not in self._down:
+            self._down.add(key)
+            self._epochs.bump(key)
 
     def mark_up(self, conn: ConnectionSpec) -> None:
-        self._down.discard(conn.endpoints())
+        key = conn.endpoints()
+        if key in self._down:
+            self._down.discard(key)
+            self._epochs.bump(key)
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    @property
+    def clock(self) -> int:
+        """Global link-state clock: increases on every up<->down flip."""
+        return self._epochs.clock
+
+    def epoch_of(self, conn: ConnectionSpec) -> int:
+        """Flip epoch of one connection (0: never flipped)."""
+        return self._epochs.epoch(conn.endpoints())
+
     def is_down(self, conn: ConnectionSpec) -> bool:
         return conn.endpoints() in self._down
 

@@ -6,21 +6,33 @@ module makes that operational: one traversal per host pair (cached), one
 measurement pass over the shared rate table, and a rendered matrix of
 available bandwidth / utilisation that an operator (or the RM's placement
 search) can read at a glance.
+
+Incremental mode (the default) keeps the previous snapshot and a reverse
+index from connections to the host pairs whose path crosses them.  A new
+snapshot re-reads each connection's epoch token (see
+:mod:`repro.core.dataflow`); pairs that cross no dirty connection reuse
+their previous report verbatim when the report instant is unchanged, and
+otherwise recompose it from the calculator's (memoized) connection
+measurements.  Output is bit-identical to ``incremental=False``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.core.bandwidth import BandwidthCalculator
 from repro.core.report import PathReport
 from repro.core.traversal import NoPathError, find_path
-from repro.topology.model import DeviceKind, TopologySpec
+from repro.topology.graph import TopologyGraph
+from repro.topology.model import ConnectionSpec, DeviceKind, TopologySpec
 
 _METRICS = ("available", "used", "utilization")
+
+DIRTY_PAIRS_GAUGE = "dataflow_dirty_pairs"
+_DIRTY_PAIRS_HELP = "host pairs crossing a dirty connection in the last matrix snapshot"
 
 
 class MatrixError(ValueError):
@@ -34,6 +46,9 @@ class MatrixSnapshot:
     hosts: List[str]
     time: float
     reports: Dict[Tuple[str, str], Optional[PathReport]]  # unordered pairs
+    _cache: Dict[str, np.ndarray] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def report(self, a: str, b: str) -> Optional[PathReport]:
         if a == b:
@@ -50,15 +65,15 @@ class MatrixSnapshot:
         for "utilization"."""
         if metric not in _METRICS:
             raise MatrixError(f"unknown metric {metric!r}; pick from {_METRICS}")
-        n = len(self.hosts)
-        out = np.full((n, n), np.nan)
-        for i, a in enumerate(self.hosts):
-            for j, b in enumerate(self.hosts):
-                if i >= j:
-                    continue
-                report = self.report(a, b)
+        cached = self._cache.get(metric)
+        if cached is None:
+            index = {host: i for i, host in enumerate(self.hosts)}
+            rows: List[int] = []
+            cols: List[int] = []
+            vals: List[float] = []
+            for (a, b), report in self.reports.items():
                 if report is None:
-                    continue
+                    continue  # disconnected pair stays NaN
                 if metric == "available":
                     value = report.available_bps
                 elif metric == "used":
@@ -66,8 +81,19 @@ class MatrixSnapshot:
                 else:
                     bottleneck = report.bottleneck
                     value = bottleneck.utilization if bottleneck else 0.0
-                out[i, j] = out[j, i] = value
-        return out
+                rows.append(index[a])
+                cols.append(index[b])
+                vals.append(value)
+            n = len(self.hosts)
+            out = np.full((n, n), np.nan)
+            if rows:
+                r = np.asarray(rows, dtype=np.intp)
+                c = np.asarray(cols, dtype=np.intp)
+                v = np.asarray(vals, dtype=float)
+                out[r, c] = v
+                out[c, r] = v
+            cached = self._cache[metric] = out
+        return cached.copy()
 
     def format_table(self, metric: str = "available") -> str:
         """Render the matrix; bandwidth cells in KB/s, utilisation in %."""
@@ -109,31 +135,114 @@ class BandwidthMatrix:
         spec: TopologySpec,
         calculator: BandwidthCalculator,
         hosts: Optional[Sequence[str]] = None,
+        incremental: bool = True,
+        graph: Optional[TopologyGraph] = None,
     ) -> None:
+        """``incremental=False`` recomputes every pair from the raw
+        tables on each snapshot (the naive baseline the benchmarks
+        compare against); ``graph`` shares a caller-owned
+        :class:`TopologyGraph` so traversal memos are shared too."""
         self.spec = spec
         self.calculator = calculator
+        self.incremental = incremental
+        self.graph = graph if graph is not None else TopologyGraph(spec)
         if hosts is None:
             hosts = [n.name for n in spec.hosts()]
         for host in hosts:
             if spec.node(host).kind is not DeviceKind.HOST:
                 raise MatrixError(f"{host!r} is not a host")
         self.hosts = list(hosts)
-        # Paths traversed once, up front (topology is static, paper §3.2).
+        # Paths traversed once, up front (topology is static, paper §3.2)
+        # and re-traversed only when the graph's topology epoch moves.
         self._paths: Dict[Tuple[str, str], Optional[list]] = {}
+        self._conns: Dict[Tuple, ConnectionSpec] = {}
+        self._pairs_of_conn: Dict[Tuple, List[Tuple[str, str]]] = {}
+        self._topology_epoch: int = -1
+        self._build_paths()
+        # Previous-snapshot state for dirty-pair reuse.
+        self._prev_reports: Dict[Tuple[str, str], Optional[PathReport]] = {}
+        self._prev_time: Optional[float] = None
+        self._prev_tokens: Dict[Tuple, Tuple] = {}
+        self.pair_cache_hits = 0
+        self.pair_recomputes = 0
+        self.dirty_pairs_last = 0
+        tel = getattr(calculator, "telemetry", None)
+        self._g_dirty = (
+            tel.registry.gauge(DIRTY_PAIRS_GAUGE, _DIRTY_PAIRS_HELP)
+            if tel is not None
+            else None
+        )
+
+    def _build_paths(self) -> None:
+        self._topology_epoch = self.graph.topology_epoch
+        self._paths = {}
+        self._conns = {}
+        self._pairs_of_conn = {}
         for i, a in enumerate(self.hosts):
             for b in self.hosts[i + 1:]:
                 try:
-                    self._paths[(a, b)] = find_path(spec, a, b)
+                    path = find_path(self.graph, a, b)
                 except NoPathError:
-                    self._paths[(a, b)] = None
+                    path = None
+                self._paths[(a, b)] = path
+                if path:
+                    for conn in path:
+                        key = conn.endpoints()
+                        self._conns.setdefault(key, conn)
+                        self._pairs_of_conn.setdefault(key, []).append((a, b))
 
     def snapshot(self, time: float) -> MatrixSnapshot:
+        if not self.incremental:
+            reports: Dict[Tuple[str, str], Optional[PathReport]] = {}
+            for (a, b), path in self._paths.items():
+                if path is None:
+                    reports[(a, b)] = None
+                else:
+                    reports[(a, b)] = self.calculator.measure_path(
+                        path, a, b, time=time, name=f"matrix:{a}<->{b}", fresh=True
+                    )
+            return MatrixSnapshot(hosts=list(self.hosts), time=time, reports=reports)
+        return self._snapshot_incremental(time)
+
+    def _snapshot_incremental(self, time: float) -> MatrixSnapshot:
+        if self.graph.topology_epoch != self._topology_epoch:
+            # Topology changed: paths may differ, previous state is void.
+            self._build_paths()
+            self._prev_reports = {}
+            self._prev_tokens = {}
+            self._prev_time = None
+        tokens: Dict[Tuple, Tuple] = {}
+        dirty_pairs: Set[Tuple[str, str]] = set()
+        prev_tokens = self._prev_tokens
+        for key, conn in self._conns.items():
+            token = self.calculator.connection_token(conn)
+            tokens[key] = token
+            if prev_tokens.get(key) != token:
+                dirty_pairs.update(self._pairs_of_conn[key])
+        # A previous report is reusable *verbatim* only at the same report
+        # instant (age fields depend on it); across instants the pair is
+        # recomposed from the calculator's memoized measurements, which is
+        # cheap but produces a new PathReport with fresh age figures.
+        same_time = self._prev_time == time and bool(self._prev_reports)
         reports: Dict[Tuple[str, str], Optional[PathReport]] = {}
         for (a, b), path in self._paths.items():
             if path is None:
                 reports[(a, b)] = None
-            else:
-                reports[(a, b)] = self.calculator.measure_path(
-                    path, a, b, time=time, name=f"matrix:{a}<->{b}"
-                )
+                continue
+            if same_time and (a, b) not in dirty_pairs:
+                prev = self._prev_reports.get((a, b))
+                if prev is not None:
+                    reports[(a, b)] = prev
+                    self.pair_cache_hits += 1
+                    continue
+            reports[(a, b)] = self.calculator.measure_path(
+                path, a, b, time=time, name=f"matrix:{a}<->{b}"
+            )
+            self.pair_recomputes += 1
+        self._prev_reports = reports
+        self._prev_time = time
+        self._prev_tokens = tokens
+        self.dirty_pairs_last = len(dirty_pairs)
+        if self._g_dirty is not None:
+            self._g_dirty.set(float(len(dirty_pairs)))
         return MatrixSnapshot(hosts=list(self.hosts), time=time, reports=reports)

@@ -40,6 +40,7 @@ from repro.core.traversal import find_path
 from repro.snmp.manager import SnmpManager
 from repro.spec.builder import BuildResult
 from repro.telemetry import Telemetry
+from repro.topology.graph import TopologyGraph
 from repro.topology.model import ConnectionSpec, TopologySpec
 
 ReportCallback = Callable[[PathReport], None]
@@ -193,11 +194,15 @@ class NetworkMonitor:
             telemetry=self.telemetry,
             integrity=self.integrity,
         )
+        # One shared graph: watch traversal memoizes into it, and matrix
+        # consumers (the CLI passes it to BandwidthMatrix) reuse the memos.
+        self.graph = TopologyGraph(self.spec)
         self._report_task = None
         self._m_reports = self.telemetry.registry.counter(
             "reports_total", "path reports emitted"
         )
         self._register_health_gauges()
+        self._register_dataflow_gauges()
 
     def _register_health_gauges(self) -> None:
         """Function-backed gauges sampling the health tracker on read."""
@@ -226,6 +231,24 @@ class NetworkMonitor:
         registry.gauge(
             "history_bytes", "compressed bytes held by the history tsdb"
         ).set_function(lambda: float(self.history.storage_stats().nbytes))
+
+    def _register_dataflow_gauges(self) -> None:
+        """Cache-effectiveness gauges for the incremental dataflow."""
+        registry = self.telemetry.registry
+        registry.gauge(
+            "dataflow_cache_hits",
+            "connection measurements served from the epoch cache",
+        ).set_function(lambda: float(self.calculator.cache_hits))
+        registry.gauge(
+            "dataflow_recomputes",
+            "connection measurements recomputed from the raw tables",
+        ).set_function(lambda: float(self.calculator.recomputes))
+        # Plain stored gauge: BandwidthMatrix sets it per snapshot (the
+        # get-or-create registry hands both of us the same family).
+        registry.gauge(
+            "dataflow_dirty_pairs",
+            "host pairs crossing a dirty connection in the last matrix snapshot",
+        )
 
     @property
     def reports_emitted(self) -> int:
@@ -366,7 +389,7 @@ class NetworkMonitor:
         label = name if name else f"{src}<->{dst}"
         if label in self._watches:
             raise MonitorError(f"path watch {label!r} already exists")
-        path = find_path(self.spec, src, dst)
+        path = find_path(self.graph, src, dst)
         self._watches[label] = _Watch(label, src, dst, path)
         logger.info(
             "watching path %s: %d connection(s) %s -> %s", label, len(path), src, dst
@@ -478,4 +501,7 @@ class NetworkMonitor:
             "integrity_rejected": value("integrity_samples_rejected_total"),
             "integrity_quarantined": value("quarantined_interfaces"),
             "cross_check_mismatches": value("integrity_cross_check_mismatches_total"),
+            "cache_hits": value("dataflow_cache_hits"),
+            "recomputes": value("dataflow_recomputes"),
+            "dirty_pairs": value("dataflow_dirty_pairs"),
         }

@@ -26,6 +26,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.dataflow import EpochClock
 from repro.core.health import AgentHealthTracker
 from repro.simnet.address import IPv4Address
 from repro.snmp.datatypes import Counter32, Gauge32, TimeTicks
@@ -103,6 +104,12 @@ class RateTable:
     long-running monitor must not grow without bound.  Consumers that
     need deeper retention (the experiment figures) use
     :class:`~repro.core.history.MeasurementHistory` instead.
+
+    Every admitted sample also bumps the key's **ingest epoch** (see
+    :mod:`repro.core.dataflow`): downstream caches -- connection
+    measurements, hub aggregates, matrix cells -- key their validity on
+    these stamps, so a poll cycle that refreshed three interfaces dirties
+    exactly the measurements resting on those three interfaces.
     """
 
     def __init__(self, keep_history: bool = True, max_history: int = 512) -> None:
@@ -112,10 +119,21 @@ class RateTable:
         self._history: Dict[Tuple[str, int], Deque[InterfaceRates]] = {}
         self.keep_history = keep_history
         self.max_history = max_history
+        self._epochs = EpochClock()
+
+    @property
+    def clock(self) -> int:
+        """Global ingest clock: increases whenever *any* sample lands."""
+        return self._epochs.clock
+
+    def epoch(self, node: str, if_index: int) -> int:
+        """Ingest epoch of one interface (0: no sample ever admitted)."""
+        return self._epochs.epoch((node, if_index))
 
     def update(self, sample: InterfaceRates) -> None:
         key = (sample.node, sample.if_index)
         self._latest[key] = sample
+        self._epochs.bump(key)
         if self.keep_history:
             ring = self._history.get(key)
             if ring is None:

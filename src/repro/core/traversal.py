@@ -6,17 +6,23 @@ algorithm is designed to traverse the path, with a necessary infinite-loop
 detecting function implemented.  The result of the path is described as a
 series of network connections."
 
-:func:`find_path` is that algorithm: a recursive depth-first search over
-the connection graph, carrying a visited set so that cyclic topologies
-terminate instead of recursing forever.  On the paper's tree-shaped LAN
-the path is unique; on meshes the deterministic first (declaration-order)
-path is returned, and :func:`find_all_paths` enumerates the alternatives
-for diagnosis tools.
+:func:`find_path` is that algorithm, converted from the paper's recursion
+to an explicit-stack depth-first search so deep switch chains from the
+scale generator cannot hit Python's recursion limit.  It still carries
+the visited set so cyclic topologies terminate, and still returns the
+deterministic first (declaration-order) path; :func:`find_all_paths`
+enumerates the alternatives for diagnosis tools.
+
+When the caller passes a :class:`~repro.topology.graph.TopologyGraph`
+(rather than a bare spec), :func:`find_path` memoizes results in the
+graph's path cache -- the physical topology does not change between poll
+cycles, so an all-pairs matrix walks each path exactly once until
+``invalidate_paths()`` declares the topology changed.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Union
+from typing import Iterator, List, Optional, Set, Tuple, Union
 
 from repro.topology.graph import TopologyGraph
 from repro.topology.model import ConnectionSpec, TopologyError, TopologySpec
@@ -55,32 +61,62 @@ def find_path(
     unknown.  A host is trivially connected to itself by the empty path.
     """
     graph = _as_graph(topology)
+    # Memoize only when the caller owns the graph object: a graph built
+    # ad hoc from a spec dies with this call, so caching there is waste.
+    caching = graph is topology
+    if caching:
+        hit, cached = graph.cached_path(src, dst)
+        if hit:
+            if cached is None:
+                raise NoPathError(src, dst)
+            return list(cached)
     if src == dst:
         graph.neighbors(src)  # existence check
         return []
-    visited: Set[str] = {src}
-    path = _dfs(graph, src, dst, visited)
+    graph.neighbors(src)  # raise on unknown source before searching
+    path = _dfs(graph, src, dst)
     if path is None:
         graph.neighbors(dst)  # raise on unknown destination
+        if caching:
+            graph.store_path(src, dst, None)
         raise NoPathError(src, dst)
+    if caching:
+        graph.store_path(src, dst, tuple(path))
     return path
 
 
-def _dfs(graph: TopologyGraph, node: str, dst: str, visited: Set[str]) -> Optional[Path]:
-    """The paper's recursive traversal with its loop detector (visited)."""
-    for conn, peer in graph.neighbors(node):
-        if peer in visited:
-            continue  # infinite-loop detection
-        if peer == dst:
-            return [conn]
-        visited.add(peer)
-        tail = _dfs(graph, peer, dst, visited)
-        if tail is not None:
-            return [conn] + tail
-        # NOTE: ``peer`` stays in ``visited`` on backtrack.  For simple
-        # reachability this is sound (a node that cannot reach dst via one
-        # entry cannot via another on an undirected graph when search is
-        # exhaustive from that node) and it keeps the traversal linear.
+def _dfs(graph: TopologyGraph, src: str, dst: str) -> Optional[Path]:
+    """The paper's traversal with its loop detector, on an explicit stack.
+
+    Neighbor lists are consumed through iterators held on the stack, so
+    declaration order is preserved exactly as in the recursive original.
+    A node, once visited, stays visited on backtrack: for simple
+    reachability this is sound (a node that cannot reach dst via one
+    entry cannot via another on an undirected graph when search is
+    exhaustive from that node) and it keeps the traversal linear.
+    """
+    visited: Set[str] = {src}
+    # Each frame is the neighbor iterator of one node on the trail;
+    # ``trail`` holds the connection taken into each frame's node.
+    stack: List[Iterator[Tuple[ConnectionSpec, str]]] = [iter(graph.neighbors(src))]
+    trail: List[ConnectionSpec] = []
+    while stack:
+        frame = stack[-1]
+        advanced = False
+        for conn, peer in frame:
+            if peer in visited:
+                continue  # infinite-loop detection
+            if peer == dst:
+                return trail + [conn]
+            visited.add(peer)
+            trail.append(conn)
+            stack.append(iter(graph.neighbors(peer)))
+            advanced = True
+            break
+        if not advanced:
+            stack.pop()
+            if trail:
+                trail.pop()
     return None
 
 
@@ -97,21 +133,38 @@ def find_all_paths(
     if src == dst:
         return [[]]
     results: List[Path] = []
-
-    def recurse(node: str, visited: Set[str], acc: Path) -> None:
+    # Unlike find_path, enumeration must un-visit on backtrack (a node
+    # excluded from one path may appear on another), so each frame also
+    # remembers its node for the discard when the frame pops.
+    visited: Set[str] = {src}
+    stack: List[Tuple[str, Iterator[Tuple[ConnectionSpec, str]]]] = [
+        (src, iter(graph.neighbors(src)))
+    ]
+    trail: List[ConnectionSpec] = []
+    while stack:
         if len(results) >= max_paths:
-            return
-        for conn, peer in graph.neighbors(node):
+            break
+        node, frame = stack[-1]
+        advanced = False
+        for conn, peer in frame:
             if peer in visited:
                 continue
             if peer == dst:
-                results.append(acc + [conn])
+                results.append(trail + [conn])
+                if len(results) >= max_paths:
+                    break
                 continue
             visited.add(peer)
-            recurse(peer, visited, acc + [conn])
-            visited.discard(peer)
-
-    recurse(src, {src}, [])
+            trail.append(conn)
+            stack.append((peer, iter(graph.neighbors(peer))))
+            advanced = True
+            break
+        if not advanced:
+            stack.pop()
+            if node != src:
+                visited.discard(node)
+            if trail:
+                trail.pop()
     return results
 
 

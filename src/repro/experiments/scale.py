@@ -1,0 +1,204 @@
+"""Parameterized scale topologies beyond the paper's 9-host testbed.
+
+:func:`scale_spec` generates a k-switch tree with m hosts per switch and
+optional hub pockets -- the shape a campus deployment of the paper's
+monitor would face: switched access layers chained toward a root, with a
+few legacy shared-medium (hub) segments hanging off the edge.  The
+generated specs drive the dataflow benchmarks
+(``benchmarks/test_bench_dataflow.py``) and any experiment that needs a
+topology bigger than the testbed.
+
+:func:`populate_rates` fills a :class:`~repro.core.poller.RateTable` with
+deterministic synthetic samples for every counter source in a spec, so
+measurement-layer code can be exercised at scale without simulating SNMP
+traffic for hundreds of agents.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Optional, Tuple
+
+from repro.core.counters import resolve_counter_source
+from repro.core.poller import InterfaceRates, RateTable
+from repro.topology.model import (
+    ConnectionSpec,
+    DeviceKind,
+    InterfaceRef,
+    InterfaceSpec,
+    NodeSpec,
+    TopologySpec,
+)
+
+SWITCH_SPEED_BPS = 100e6  # fast-ethernet access layer, as in the paper
+HUB_SPEED_BPS = 10e6  # the paper's hubs are 10Base-T
+
+
+def scale_spec(
+    switches: int = 4,
+    hosts_per_switch: int = 12,
+    arity: int = 2,
+    hub_pockets: int = 0,
+    hub_hosts: int = 3,
+    name: Optional[str] = None,
+) -> TopologySpec:
+    """A k-switch tree with ``m`` hosts per switch and hub pockets.
+
+    ``switches`` switches form a tree: switch ``i`` (i > 0) uplinks to
+    switch ``(i - 1) // arity``, so ``arity=1`` yields a deep chain (the
+    traversal worst case) and larger arities shallow fan-outs.  Every
+    switch carries ``hosts_per_switch`` SNMP-enabled hosts.  The first
+    ``hub_pockets`` switches additionally hang a 10 Mb/s hub with
+    ``hub_hosts`` hosts off one port -- the paper's shared-medium case,
+    exercising the hub sum rule at scale.
+    """
+    if switches < 1:
+        raise ValueError(f"need at least one switch, got {switches!r}")
+    if hosts_per_switch < 1:
+        raise ValueError(f"need at least one host per switch, got {hosts_per_switch!r}")
+    if arity < 1:
+        raise ValueError(f"tree arity must be >= 1, got {arity!r}")
+    if hub_pockets > switches:
+        raise ValueError(
+            f"cannot attach {hub_pockets} hub pocket(s) to {switches} switch(es)"
+        )
+    nodes = []
+    connections = []
+    # Ports per switch: hosts + uplink + child uplinks + hub (maybe).
+    # Exact counts matter -- a 2000-switch chain must not allocate
+    # O(switches) ports per switch.
+    children = [0] * switches
+    for s in range(1, switches):
+        children[(s - 1) // arity] += 1
+    for s in range(switches):
+        ports = (
+            hosts_per_switch
+            + (1 if s > 0 else 0)
+            + children[s]
+            + (1 if s < hub_pockets else 0)
+        )
+        nodes.append(
+            NodeSpec(
+                f"sw{s}",
+                kind=DeviceKind.SWITCH,
+                interfaces=[
+                    InterfaceSpec(f"port{p + 1}", speed_bps=SWITCH_SPEED_BPS)
+                    for p in range(ports)
+                ],
+                snmp_enabled=True,
+            )
+        )
+    next_port: Dict[str, int] = {f"sw{s}": 0 for s in range(switches)}
+
+    def take_port(switch: str) -> str:
+        port = next_port[switch]
+        next_port[switch] = port + 1
+        return f"port{port + 1}"
+
+    for s in range(switches):
+        for h in range(hosts_per_switch):
+            host = f"h{s}_{h}"
+            nodes.append(
+                NodeSpec(
+                    host,
+                    interfaces=[InterfaceSpec("eth0", speed_bps=SWITCH_SPEED_BPS)],
+                    snmp_enabled=True,
+                )
+            )
+            connections.append(
+                ConnectionSpec(
+                    InterfaceRef(host, "eth0"),
+                    InterfaceRef(f"sw{s}", take_port(f"sw{s}")),
+                )
+            )
+    for s in range(1, switches):
+        parent = f"sw{(s - 1) // arity}"
+        connections.append(
+            ConnectionSpec(
+                InterfaceRef(f"sw{s}", take_port(f"sw{s}")),
+                InterfaceRef(parent, take_port(parent)),
+            )
+        )
+    for p in range(hub_pockets):
+        hub = f"hub{p}"
+        nodes.append(
+            NodeSpec(
+                hub,
+                kind=DeviceKind.HUB,
+                interfaces=[
+                    InterfaceSpec(f"port{i + 1}", speed_bps=HUB_SPEED_BPS)
+                    for i in range(hub_hosts + 1)
+                ],
+            )
+        )
+        connections.append(
+            ConnectionSpec(
+                InterfaceRef(hub, "port1"),
+                InterfaceRef(f"sw{p}", take_port(f"sw{p}")),
+            )
+        )
+        for h in range(hub_hosts):
+            host = f"n{p}_{h}"
+            nodes.append(
+                NodeSpec(
+                    host,
+                    interfaces=[InterfaceSpec("eth0", speed_bps=HUB_SPEED_BPS)],
+                    snmp_enabled=True,
+                )
+            )
+            connections.append(
+                ConnectionSpec(
+                    InterfaceRef(host, "eth0"),
+                    InterfaceRef(hub, f"port{h + 2}"),
+                )
+            )
+    label = name or (
+        f"scale-{switches}sw-{hosts_per_switch}h"
+        + (f"-{hub_pockets}hub" if hub_pockets else "")
+    )
+    return TopologySpec(label, nodes, connections)
+
+
+def populate_rates(
+    spec: TopologySpec,
+    rates: RateTable,
+    time: float,
+    interval: float = 2.0,
+    seed: int = 0,
+    utilisation: float = 0.2,
+) -> int:
+    """Deterministic synthetic samples for every counter source.
+
+    Each measurable connection's counter source gets one
+    :class:`InterfaceRates` at ``time``; the traffic figure is a stable
+    hash-derived fraction of ``utilisation`` times the interface speed,
+    so repeated calls with the same ``seed`` produce identical tables.
+    Returns the number of samples written (sources shared by several
+    connections are written once).
+    """
+    seen: Dict[Tuple[str, int], bool] = {}
+    for conn in spec.connections:
+        source = resolve_counter_source(spec, conn)
+        if source is None or source.key() in seen:
+            continue
+        seen[source.key()] = True
+        node_spec = spec.node(source.node)
+        speed = node_spec.interface(source.endpoint.interface).speed_bps
+        # Cheap deterministic pseudo-random fraction in (0, 1] -- crc32,
+        # not hash(), which is salted per process.
+        basis = zlib.crc32(f"{seed}:{source.node}:{source.if_index}".encode()) & 0xFFFF
+        fraction = (basis + 1) / 65536.0
+        bytes_per_s = utilisation * fraction * speed / 8.0
+        rates.update(
+            InterfaceRates(
+                node=source.node,
+                if_index=source.if_index,
+                time=time,
+                interval=interval,
+                in_bytes_per_s=bytes_per_s / 2.0,
+                out_bytes_per_s=bytes_per_s / 2.0,
+                in_pkts_per_s=bytes_per_s / 1500.0,
+                out_pkts_per_s=bytes_per_s / 1500.0,
+            )
+        )
+    return len(seen)

@@ -288,6 +288,15 @@ class IntegrityPipeline:
     # ------------------------------------------------------------------
     # Queries (calculator, monitor, CLI)
     # ------------------------------------------------------------------
+    @property
+    def clock(self) -> int:
+        """Global quarantine clock (see :class:`QuarantineManager`)."""
+        return self.quarantine.clock
+
+    def epoch_of(self, node: str, if_index: int) -> int:
+        """Quarantine enter/release epoch of one interface."""
+        return self.quarantine.epoch_of(node, if_index)
+
     def is_quarantined(self, node: str, if_index: int) -> bool:
         return self.quarantine.is_quarantined(node, if_index)
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.core.dataflow import EpochClock
 from repro.integrity.validators import IntegrityVerdict, Severity
 from repro.telemetry.events import EventBus, QUARANTINE_ENTER, QUARANTINE_EXIT
 
@@ -71,6 +72,19 @@ class QuarantineManager:
         self.recover_step = recover_step
         self.events = events
         self._records: Dict[Key, TrustRecord] = {}
+        # Epochs bump on quarantine enter/release only -- trust-score
+        # drift between the thresholds does not change what the bandwidth
+        # calculator sees, so it must not invalidate caches.
+        self._epochs = EpochClock()
+
+    @property
+    def clock(self) -> int:
+        """Global quarantine clock: increases on every enter/release."""
+        return self._epochs.clock
+
+    def epoch_of(self, node: str, if_index: int) -> int:
+        """Enter/release epoch of one interface (0: never quarantined)."""
+        return self._epochs.epoch((node, if_index))
 
     # ------------------------------------------------------------------
     def record(self, node: str, if_index: int) -> TrustRecord:
@@ -120,6 +134,7 @@ class QuarantineManager:
             rec.quarantined = True
             rec.quarantined_since = now
             rec.quarantines += 1
+            self._epochs.bump((node, if_index))
             if self.events is not None:
                 self.events.publish(
                     QUARANTINE_ENTER,
@@ -133,6 +148,7 @@ class QuarantineManager:
             since = rec.quarantined_since
             rec.quarantined_since = None
             rec.releases += 1
+            self._epochs.bump((node, if_index))
             if self.events is not None:
                 self.events.publish(
                     QUARANTINE_EXIT,

@@ -63,6 +63,8 @@ class ViolationDetector:
         self._callbacks: List[EventCallback] = []
         self.reports_seen = 0
         self.reports_suppressed = 0
+        self.reports_duplicate = 0
+        self._last_time: Optional[float] = None
 
     def subscribe(self, callback: EventCallback) -> None:
         self._callbacks.append(callback)
@@ -71,6 +73,13 @@ class ViolationDetector:
         """Feed one report; returns the event if the state changed."""
         if report.label != self.requirement.watch_label and report.name != self.requirement.name:
             return None  # not ours
+        if report.time == self._last_time:
+            # The incremental matrix hands unchanged pairs the *same*
+            # report object; a consumer relaying such a snapshot must not
+            # advance the hysteresis streaks twice for one instant.
+            self.reports_duplicate += 1
+            return None
+        self._last_time = report.time
         self.reports_seen += 1
         if self.requirement.suppresses(report):
             # Untrusted numbers are not evidence: hold both streaks

@@ -27,6 +27,34 @@ class TopologyGraph:
                 if end.node not in self._adjacency:
                     raise TopologyError(f"connection {conn} references unknown node {end.node!r}")
                 self._adjacency[end.node].append((conn, other.node))
+        # Memoized traversal results (see repro.core.traversal.find_path).
+        # The adjacency above is immutable, so paths stay valid until a
+        # caller declares the topology changed via invalidate_paths().
+        # None records a proven miss (disconnected pair).
+        self._path_cache: Dict[Tuple[str, str], Optional[Tuple[ConnectionSpec, ...]]] = {}
+        self.topology_epoch = 0
+
+    # ------------------------------------------------------------------
+    # Path memoization
+    # ------------------------------------------------------------------
+    def cached_path(
+        self, src: str, dst: str
+    ) -> Tuple[bool, Optional[Tuple[ConnectionSpec, ...]]]:
+        """``(hit, path)``; path is None for a memoized disconnection."""
+        try:
+            return True, self._path_cache[(src, dst)]
+        except KeyError:
+            return False, None
+
+    def store_path(
+        self, src: str, dst: str, path: Optional[Tuple[ConnectionSpec, ...]]
+    ) -> None:
+        self._path_cache[(src, dst)] = path
+
+    def invalidate_paths(self) -> None:
+        """Topology changed: flush every memoized path, bump the epoch."""
+        self._path_cache.clear()
+        self.topology_epoch += 1
 
     def neighbors(self, node_name: str) -> List[Tuple[ConnectionSpec, str]]:
         """Connections leaving ``node_name`` with the peer node name."""

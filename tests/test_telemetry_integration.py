@@ -70,7 +70,8 @@ class TestMonitorTelemetry:
             "snmp_requests", "snmp_responses", "snmp_timeouts",
             "snmp_retransmissions", "integrity_violations",
             "integrity_rejected", "integrity_quarantined",
-            "cross_check_mismatches",
+            "cross_check_mismatches", "cache_hits", "recomputes",
+            "dirty_pairs",
         }
         registry = monitor.telemetry.registry
         assert stats["poll_cycles"] == registry.value("poll_cycles_total")
