@@ -184,6 +184,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format",
     )
 
+    p_dist = sub.add_parser(
+        "distributed",
+        help="run the fault-tolerant distributed monitoring plane",
+    )
+    p_dist.add_argument(
+        "specfile", nargs="?", default=None,
+        help="topology spec (default: the paper's Figure-3 testbed)",
+    )
+    p_dist.add_argument(
+        "--coordinator", default=None,
+        help="host receiving worker reports (default: L on the testbed)",
+    )
+    p_dist.add_argument(
+        "--worker", action="append", default=[], metavar="HOST",
+        help="polling worker host (repeatable; default on the testbed: "
+             "L, S1 and S2)",
+    )
+    p_dist.add_argument(
+        "--watch", action="append", default=[], metavar="SRC:DST",
+        help="host pair to watch (default on the testbed: S1:N1)",
+    )
+    p_dist.add_argument(
+        "--load", action="append", default=[], metavar="SRC:DST:KBPS:T0:T1",
+        help="UDP load to generate (repeatable)",
+    )
+    p_dist.add_argument(
+        "--crash", action="append", default=[], metavar="WORKER:T0[:T1]",
+        help="crash a worker at T0, restarting at T1 (repeatable)",
+    )
+    p_dist.add_argument("--until", type=float, default=40.0, help="simulated seconds")
+    p_dist.add_argument("--interval", type=float, default=2.0, help="poll interval")
+
     p_disc = sub.add_parser("discover", help="SNMP topology discovery + verification")
     p_disc.add_argument("specfile")
     p_disc.add_argument("--host", required=True, help="host running discovery")
@@ -750,6 +782,95 @@ def cmd_matrix(args) -> int:
     return 0
 
 
+def _parse_crash(text: str):
+    parts = text.split(":")
+    if len(parts) not in (2, 3) or not parts[0]:
+        raise ValueError(f"--crash wants WORKER:T0[:T1], got {text!r}")
+    worker = parts[0]
+    t0 = float(parts[1])
+    t1 = float(parts[2]) if len(parts) == 3 else None
+    return worker, t0, t1
+
+
+def cmd_distributed(args) -> int:
+    from repro.core.distributed import DistributedMonitor
+    from repro.experiments.testbed import MONITOR_HOST, build_testbed
+    from repro.simnet.faults import WorkerCrash
+
+    try:
+        if args.specfile is None:
+            build = build_testbed()
+            coordinator = args.coordinator or MONITOR_HOST
+            workers = args.worker or ["L", "S1", "S2"]
+            watches = args.watch or ["S1:N1"]
+        else:
+            spec = parse_file(args.specfile)
+            build = build_network(spec)
+            coordinator = args.coordinator
+            workers = args.worker
+            watches = args.watch
+            if coordinator is None or not workers:
+                print(
+                    "error: --coordinator and at least one --worker are "
+                    "required with a spec file",
+                    file=sys.stderr,
+                )
+                return 2
+            if not watches:
+                print("error: at least one --watch SRC:DST is required",
+                      file=sys.stderr)
+                return 2
+    except (ParseError, LexError, SpecValidationError, TopologyError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        dm = DistributedMonitor(
+            build, coordinator, workers, poll_interval=args.interval
+        )
+        labels = [dm.watch_path(*_parse_watch(w)) for w in watches]
+        for load_text in args.load:
+            src, dst, rate, t0, t1 = _parse_load(load_text)
+            StaircaseLoad(
+                build.network.host(src),
+                build.network.ip_of(dst),
+                StepSchedule.pulse(t0, t1, rate * KBPS),
+            ).start()
+        for crash_text in args.crash:
+            worker, t0, t1 = _parse_crash(crash_text)
+            WorkerCrash(
+                build.network.sim, dm.workers[worker], at=t0, until=t1,
+                events=dm.telemetry.events,
+            )
+    except (ValueError, TopologyError, KeyError, NetworkError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    dm.start()
+    build.network.run(args.until)
+
+    print(f"distributed plane after {build.network.now:.1f} simulated seconds")
+    print(f"coordinator {coordinator}; workers: "
+          + ", ".join(f"{w} [{s}]" for w, s in sorted(dm.worker_states().items())))
+    print("\nassignments:")
+    for worker in sorted(dm.workers):
+        targets = ", ".join(dm.targets_of(worker)) or "(spare)"
+        print(f"  {worker:>8}: {targets}")
+    if dm.leases.transitions:
+        print("\nlease transitions:")
+        for transition in dm.leases.transitions:
+            print(f"  {transition}")
+    print("\nwatched paths:")
+    for label in labels:
+        series = dm.history.series(label)
+        trusted = sum(1 for r in series.reports if r.trusted)
+        used = series.used()
+        print(f"  {label}: {len(series)} reports ({trusted} trusted), "
+              f"used max {used.max() / 1000:.1f} KB/s")
+    print("\nplane counters:")
+    for key, value in sorted(dm.stats().items()):
+        print(f"  {key:<32} {value:g}")
+    return 0
+
+
 _COMMANDS = {
     "validate": cmd_validate,
     "show": cmd_show,
@@ -758,6 +879,7 @@ _COMMANDS = {
     "telemetry": cmd_telemetry,
     "tsdb": cmd_tsdb,
     "integrity": cmd_integrity,
+    "distributed": cmd_distributed,
     "discover": cmd_discover,
     "matrix": cmd_matrix,
 }

@@ -73,6 +73,7 @@ class BandwidthCalculator:
         health=None,
         telemetry: Optional[Telemetry] = None,
         integrity=None,
+        degraded_sources=None,
         incremental: bool = True,
     ) -> None:
         """``link_state``: optional :class:`~repro.core.linkstate.
@@ -88,7 +89,12 @@ class BandwidthCalculator:
         :class:`~repro.integrity.IntegrityPipeline`; connections whose
         counter source it quarantines are flagged on the measurement and
         capped at 0.5 confidence (their withheld samples then age into
-        the ordinary staleness decay)."""
+        the ordinary staleness decay).  ``degraded_sources``: optional
+        :class:`~repro.core.dataflow.DegradedSourceSet`; sources the
+        distributed plane flags as known-lossy (worker lease lost,
+        abandoned sequence gap) are capped the same way -- the plane
+        *knows* newer data existed and was dropped, so the last sample
+        must not be presented at full confidence however young it is."""
         if (
             stale_after is not None
             and dead_after is not None
@@ -105,6 +111,7 @@ class BandwidthCalculator:
         self.health = health
         self.telemetry = telemetry
         self.integrity = integrity
+        self.degraded_sources = degraded_sources
         self._last_status: Dict[str, str] = {}  # path label -> trust status
         if telemetry is not None:
             registry = telemetry.registry
@@ -224,7 +231,17 @@ class BandwidthCalculator:
                 if epoch_of is not None
                 else health.is_dead(source.node)
             )
-        return (rates_part, ls_part, integ_part, health_part)
+        degraded = self.degraded_sources
+        if degraded is None or source is None:
+            degraded_part: object = 0
+        else:
+            epoch_of = getattr(degraded, "epoch_of", None)
+            degraded_part = (
+                epoch_of(source.node, source.if_index)
+                if epoch_of is not None
+                else degraded.is_degraded(source.node, source.if_index)
+            )
+        return (rates_part, ls_part, integ_part, health_part, degraded_part)
 
     def _revalidate(self, now: Optional[float]) -> None:
         """Advance the validation stamp when any global input clock moved.
@@ -242,6 +259,9 @@ class BandwidthCalculator:
             getattr(self.link_state, "clock", None) if self.link_state is not None else 0,
             getattr(self.health, "clock", None) if self.health is not None else 0,
             getattr(self.integrity, "clock", None) if self.integrity is not None else 0,
+            getattr(self.degraded_sources, "clock", None)
+            if self.degraded_sources is not None
+            else 0,
         )
         if None in token[1:] or token != self._cycle_token:
             self._cycle_token = token
@@ -401,6 +421,11 @@ class BandwidthCalculator:
             and source is not None
             and self.integrity.is_quarantined(source.node, source.if_index)
         )
+        degraded_source = (
+            self.degraded_sources is not None
+            and source is not None
+            and self.degraded_sources.is_degraded(source.node, source.if_index)
+        )
         return ConnectionMeasurement(
             connection=conn,
             capacity_bps=capacity_bytes,
@@ -412,6 +437,7 @@ class BandwidthCalculator:
             sample_age=age,
             stale=stale,
             quarantined=quarantined,
+            degraded_source=degraded_source,
         )
 
     # ------------------------------------------------------------------
@@ -430,6 +456,9 @@ class BandwidthCalculator:
           says, a source the integrity pipeline distrusts is never fully
           believed, and as its withheld samples age the ordinary decay
           below takes it the rest of the way down.
+        - Degraded source (distributed plane knows newer data was lost):
+          same 0.5 cap -- the sample may be young, but it is provably not
+          the latest data the network produced.
         """
         if m.rule == "down":
             return 1.0
@@ -437,17 +466,18 @@ class BandwidthCalculator:
             return None
         if self.health is not None and self.health.is_dead(m.source.node):
             return 0.0
+        capped = m.quarantined or m.degraded_source
         if m.sample_age is None:
-            return 0.25 if m.quarantined else 0.5
+            return 0.25 if capped else 0.5
         if self.stale_after is None or m.sample_age <= self.stale_after:
-            return 0.5 if m.quarantined else 1.0
+            return 0.5 if capped else 1.0
         if self.dead_after is None:
             return 0.5
         if m.sample_age >= self.dead_after:
             return 0.0
         span = self.dead_after - self.stale_after
         decayed = max(0.0, 1.0 - (m.sample_age - self.stale_after) / span)
-        return min(decayed, 0.5) if m.quarantined else decayed
+        return min(decayed, 0.5) if capped else decayed
 
     def _confidence_cached(
         self, conn: ConnectionSpec, m: ConnectionMeasurement

@@ -41,7 +41,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Optional, Tuple
 
-__all__ = ["EpochClock", "ConnCacheEntry"]
+__all__ = ["EpochClock", "ConnCacheEntry", "DegradedSourceSet"]
 
 
 class EpochClock:
@@ -71,6 +71,65 @@ class EpochClock:
 
     def __len__(self) -> int:
         return len(self._epochs)
+
+
+class DegradedSourceSet:
+    """Counter sources whose data is known-lossy right now.
+
+    The distributed plane marks a (node, ifIndex) here when the worker
+    responsible for polling it lost its lease or when a sequence gap in
+    its shipped samples had to be abandoned: the rate table then still
+    holds a sample, but the plane *knows* newer data existed and was
+    lost, so dependent reports must not present that sample at full
+    confidence while it is still younger than the staleness bound.
+
+    Marks clear per-interface the moment a fresh in-order sample for the
+    key is admitted again (failover re-coverage, gap filled, worker
+    recovered).  State changes bump an :class:`EpochClock` so the
+    bandwidth calculator's memoized measurements invalidate exactly like
+    they do for quarantine or health flips.
+    """
+
+    __slots__ = ("_degraded", "_epochs")
+
+    def __init__(self) -> None:
+        self._degraded: set = set()
+        self._epochs = EpochClock()
+
+    @property
+    def clock(self) -> int:
+        """Global clock: increases on every mark/clear state change."""
+        return self._epochs.clock
+
+    def epoch_of(self, node: str, if_index: int) -> int:
+        return self._epochs.epoch((node, if_index))
+
+    def mark(self, node: str, if_index: int) -> bool:
+        """Flag one source as lossy; True when this changed its state."""
+        key = (node, if_index)
+        if key in self._degraded:
+            return False
+        self._degraded.add(key)
+        self._epochs.bump(key)
+        return True
+
+    def clear(self, node: str, if_index: int) -> bool:
+        """Fresh data arrived for one source; True when it was marked."""
+        key = (node, if_index)
+        if key not in self._degraded:
+            return False
+        self._degraded.discard(key)
+        self._epochs.bump(key)
+        return True
+
+    def is_degraded(self, node: str, if_index: int) -> bool:
+        return (node, if_index) in self._degraded
+
+    def keys(self) -> list:
+        return sorted(self._degraded)
+
+    def __len__(self) -> int:
+        return len(self._degraded)
 
 
 @dataclass

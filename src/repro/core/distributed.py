@@ -1,55 +1,103 @@
-"""Distributed network monitoring -- paper §5 future work.
+"""Fault-tolerant distributed network monitoring -- paper §5 future work.
 
 One monitor polling every agent from one host (the paper's design) makes
 that host's links a hot spot and scales linearly in one manager's request
 load.  The distributed variant partitions the SNMP targets across several
 *worker* hosts; each worker polls its share locally and ships the derived
-rate samples to a *coordinator* host as compact UDP report datagrams over
-the same simulated network.  The coordinator merges them into one
+rate samples to a *coordinator* host over the same simulated network.
+The coordinator merges them into one
 :class:`~repro.core.poller.RateTable` and computes path reports exactly
 like the single monitor.
 
-Everything -- polls, responses, report shipping -- is real simulated
-traffic, so the monitoring system's own footprint remains measurable.
+The plane is built to survive its own failures, not just the network's:
+
+**Worker liveness.**  Every worker ships periodic heartbeats (lease
+renewals -- any datagram from a worker renews its lease); the coordinator
+runs a :class:`~repro.core.health.WorkerLeaseTracker` per-worker state
+machine (alive -> suspect -> dead -> recovering, with hysteresis on the
+way back) and publishes transitions on the telemetry event bus.
+
+**Reliable sample shipping.**  Samples travel in *sequenced, batched
+report datagrams*: each worker stamps batches with a per-incarnation
+monotonic sequence number and keeps a bounded drop-oldest resend buffer.
+The coordinator detects sequence gaps (from later batches, or from the
+``next_seq`` carried by heartbeats), requests selective retransmits
+(ARQ with capped retries and exponential backoff) and, when a gap is
+unfillable, *marks the worker's counter sources degraded* in a
+:class:`~repro.core.dataflow.DegradedSourceSet` so dependent path
+reports drop to low confidence instead of presenting the last sample it
+happened to see as current.  Duplicate and stale-incarnation batches are
+discarded by sequence number, so retransmits and worker restarts never
+double-count a sample.
+
+**Automatic failover.**  When a lease expires the coordinator
+repartitions the poll targets over the surviving workers
+(affinity-first, deterministically) and ships each affected worker its
+new assignment as real control traffic; when the worker recovers (and
+holds its lease through the hysteresis window) the plane rebalances
+back.  Assignments are versioned and carried to idempotent effect: each
+heartbeat echoes the worker's applied version, and the coordinator
+re-sends the assignment whenever the echo is stale -- lost control
+datagrams heal themselves within a heartbeat.  A dead coordinator
+cannot wedge a worker: shipping is fire-and-forget UDP and the resend
+buffer is the only send-side state, bounded and drop-oldest.
+
+**Integration.**  Coordinator ingest routes through the
+:mod:`repro.integrity` pipeline (rate bounds and quarantine apply to
+shipped samples exactly as to local polls), plane state is exported as
+telemetry gauges and flat ``stats()`` keys, and ``repro distributed``
+exercises the whole plane from the CLI.
+
+Everything -- polls, responses, batches, heartbeats, retransmits,
+assignments -- is real simulated traffic, so the monitoring system's own
+footprint (and its failure modes) remain measurable.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+import logging
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.bandwidth import BandwidthCalculator
 from repro.core.counters import required_poll_targets
+from repro.core.dataflow import DegradedSourceSet
+from repro.core.health import LeaseTransition, WorkerLeaseTracker, WorkerState
 from repro.core.history import MeasurementHistory
 from repro.core.poller import InterfaceRates, PollTarget, RateTable, SnmpPoller
 from repro.core.report import PathReport
 from repro.core.traversal import find_path
+from repro.integrity import IntegrityConfig, IntegrityPipeline
 from repro.simnet.address import IPv4Address
 from repro.snmp.manager import SnmpManager
 from repro.spec.builder import BuildResult
+from repro.telemetry import Telemetry
+from repro.telemetry.events import SAMPLE_GAP, WORKER_FAILOVER, WORKER_REBALANCE
 
-REPORT_PORT = 8765
+logger = logging.getLogger("repro.distributed")
 
-
-def encode_sample(sample: InterfaceRates) -> bytes:
-    """Wire form of one rate sample (JSON keeps it debuggable)."""
-    return json.dumps(
-        {
-            "n": sample.node,
-            "i": sample.if_index,
-            "t": sample.time,
-            "d": sample.interval,
-            "ib": sample.in_bytes_per_s,
-            "ob": sample.out_bytes_per_s,
-            "ip": sample.in_pkts_per_s,
-            "op": sample.out_pkts_per_s,
-        }
-    ).encode()
+REPORT_PORT = 8765  # coordinator's sample/heartbeat sink
+CONTROL_PORT = 8766  # each worker's assignment/retransmit listener
 
 
-def decode_sample(payload: bytes) -> InterfaceRates:
-    doc = json.loads(payload.decode())
+# ----------------------------------------------------------------------
+# Wire codecs (JSON keeps every message debuggable on the simulated wire)
+# ----------------------------------------------------------------------
+def _sample_doc(sample: InterfaceRates) -> Dict[str, object]:
+    return {
+        "n": sample.node,
+        "i": sample.if_index,
+        "t": sample.time,
+        "d": sample.interval,
+        "ib": sample.in_bytes_per_s,
+        "ob": sample.out_bytes_per_s,
+        "ip": sample.in_pkts_per_s,
+        "op": sample.out_pkts_per_s,
+    }
+
+
+def _sample_from_doc(doc: Dict[str, object]) -> InterfaceRates:
     return InterfaceRates(
         node=doc["n"],
         if_index=int(doc["i"]),
@@ -62,8 +110,89 @@ def decode_sample(payload: bytes) -> InterfaceRates:
     )
 
 
+def encode_sample(sample: InterfaceRates) -> bytes:
+    """Wire form of one bare rate sample (kept for tooling and tests;
+    the plane itself ships samples inside sequenced batches)."""
+    return json.dumps(_sample_doc(sample)).encode()
+
+
+def decode_sample(payload: bytes) -> InterfaceRates:
+    """Inverse of :func:`encode_sample`.
+
+    Raises ``ValueError``/``KeyError``/``TypeError`` on malformed input
+    (bad JSON, missing keys, type-confused documents such as a JSON list
+    or non-numeric fields); callers must treat all three as decode
+    failures.
+    """
+    doc = json.loads(payload.decode())
+    return _sample_from_doc(doc)
+
+
+def encode_batch(
+    worker: str, incarnation: int, seq: int, samples: Sequence[InterfaceRates]
+) -> bytes:
+    """One sequenced report datagram carrying several samples."""
+    return json.dumps(
+        {
+            "k": "batch",
+            "w": worker,
+            "inc": incarnation,
+            "q": seq,
+            "s": [_sample_doc(s) for s in samples],
+        }
+    ).encode()
+
+
+def encode_heartbeat(
+    worker: str, incarnation: int, next_seq: int, assign_version: int
+) -> bytes:
+    """Lease renewal; ``next_seq`` exposes trailing gaps, ``assign_version``
+    lets the coordinator re-send a lost assignment."""
+    return json.dumps(
+        {
+            "k": "hb",
+            "w": worker,
+            "inc": incarnation,
+            "q": next_seq,
+            "av": assign_version,
+        }
+    ).encode()
+
+
+def decode_message(payload: bytes) -> Dict[str, object]:
+    """Decode any plane message; the ``"k"`` key discriminates.
+
+    Raises ``ValueError``/``KeyError``/``TypeError`` on malformed input.
+    """
+    doc = json.loads(payload.decode())
+    if not isinstance(doc, dict) or "k" not in doc:
+        raise ValueError(f"not a plane message: {payload[:64]!r}")
+    return doc
+
+
+def _targets_doc(targets: Sequence[PollTarget]) -> List[Dict[str, object]]:
+    return [
+        {"n": t.node, "ifs": list(t.if_indexes), "c": t.community} for t in targets
+    ]
+
+
+# ----------------------------------------------------------------------
+# Worker
+# ----------------------------------------------------------------------
 class MonitorWorker:
-    """One polling worker: a manager + poller on its own host."""
+    """One polling worker: manager + poller + shipping on its own host.
+
+    Samples accumulate into batches (flushed when ``max_batch`` fills or
+    every ``batch_linger`` seconds) and are shipped with a per-
+    incarnation monotonic sequence number; the last ``resend_buffer``
+    encoded batches are kept for selective retransmission, drop-oldest.
+    ``crash()``/``restart()`` simulate the worker process dying and
+    coming back (used by :class:`~repro.simnet.faults.WorkerCrash`): a
+    restarted worker bumps its incarnation, restarts its sequence at 1,
+    and rejoins with *no* poll targets -- its first heartbeat advertises
+    assignment version 0 and the coordinator ships the current
+    assignment back.
+    """
 
     def __init__(
         self,
@@ -74,41 +203,286 @@ class MonitorWorker:
         poll_interval: float,
         jitter: float,
         seed: int,
+        heartbeat_interval: Optional[float] = None,
+        batch_linger: Optional[float] = None,
+        max_batch: int = 8,
+        resend_buffer: int = 32,
     ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch!r}")
+        if resend_buffer < 1:
+            raise ValueError(f"resend_buffer must be >= 1, got {resend_buffer!r}")
+        self.build = build
+        self.name = host_name
         self.host = build.network.host(host_name)
+        self.sim = self.host.sim
+        self.coordinator_ip = coordinator_ip
+        self.poll_interval = poll_interval
+        self.jitter = jitter
+        self.seed = seed
+        self.heartbeat_interval = (
+            heartbeat_interval if heartbeat_interval is not None else poll_interval * 0.4
+        )
+        self.batch_linger = (
+            batch_linger if batch_linger is not None else poll_interval * 0.25
+        )
+        self.max_batch = max_batch
+        self.resend_buffer = resend_buffer
+        # Shipping state: per-incarnation monotonic sequence plus the
+        # bounded drop-oldest resend buffer (the only send-side state, so
+        # a dead coordinator can never wedge this worker).
+        self.incarnation = 1
+        self._next_seq = 1
+        self._pending: List[InterfaceRates] = []
+        self._resend: "OrderedDict[int, bytes]" = OrderedDict()
+        self.assign_version = 0
+        self.crashed = False
+        self._started = False
+        self._hb_task = None
+        self._flush_task = None
+        # Statistics.
+        self.samples_shipped = 0
+        self.batches_shipped = 0
+        self.heartbeats_sent = 0
+        self.retransmits_served = 0
+        self.retransmits_missed = 0
+        self.assignments_applied = 0
+        self._build_stack(list(targets))
+
+    # -- construction / teardown ---------------------------------------
+    def _build_stack(self, targets: List[PollTarget]) -> None:
+        """(Re)create manager, poller and sockets (fresh after restart)."""
         self.manager = SnmpManager(self.host)
         self.poller = SnmpPoller(
             self.manager,
             targets,
-            interval=poll_interval,
-            jitter=jitter,
-            seed=seed,
+            interval=self.poll_interval,
+            jitter=self.jitter,
+            seed=self.seed,
             rate_table=RateTable(keep_history=False),
         )
-        self.poller.on_sample = self._ship
-        self._socket = self.host.create_socket()
-        self.coordinator_ip = coordinator_ip
-        self.samples_shipped = 0
+        self.poller.on_sample = self._enqueue
+        self._report_socket = self.host.create_socket()
+        self._control_socket = self.host.create_socket(CONTROL_PORT)
+        self._control_socket.on_receive = self._on_control
 
-    def _ship(self, sample: InterfaceRates) -> None:
-        self.samples_shipped += 1
-        self._socket.sendto(encode_sample(sample), (self.coordinator_ip, REPORT_PORT))
+    def _begin_tasks(self) -> None:
+        if self.crashed:
+            return  # crashed before the scheduled start; restart() re-runs this
+        start = self.sim.now
+        self.poller.start(first_poll_at=start)
+        self._hb_task = self.sim.call_every(
+            self.heartbeat_interval, self._heartbeat, start=start
+        )
+        self._flush_task = self.sim.call_every(
+            self.batch_linger, self._flush, start=start + self.batch_linger
+        )
 
+    def _teardown(self) -> None:
+        self.poller.stop()
+        if self._hb_task is not None:
+            self._hb_task.cancel()
+            self._hb_task = None
+        if self._flush_task is not None:
+            self._flush_task.cancel()
+            self._flush_task = None
+        self.manager.cancel_all()  # drop in-flight polls so nothing ships late
+        # Close every socket so the host's ports are reusable (a stopped
+        # or crashed plane must be restartable on the same host).
+        self.manager.socket.close()
+        self._report_socket.close()
+        self._control_socket.close()
+
+    # -- lifecycle ------------------------------------------------------
     def start(self, at: Optional[float] = None) -> None:
-        self.poller.start(first_poll_at=at)
+        self._started = True
+        if at is None or at <= self.sim.now:
+            self._begin_tasks()
+        else:
+            self.sim.schedule_at(at, self._begin_tasks)
 
     def stop(self) -> None:
-        self.poller.stop()
-        self.manager.cancel_all()  # drop in-flight polls so nothing ships late
+        self._started = False
+        if not self.crashed:
+            self._teardown()
+
+    def crash(self) -> None:
+        """The worker process dies: no polls, no heartbeats, no shipping."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self._teardown()
+
+    def restart(self) -> None:
+        """The process comes back: new incarnation, sequence restarts at
+        1, resend buffer and counter baselines are gone, and the worker
+        rejoins with no targets until the coordinator re-assigns."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.incarnation += 1
+        self._next_seq = 1
+        self._pending.clear()
+        self._resend.clear()
+        self.assign_version = 0
+        self._build_stack([])
+        if self._started:
+            self._begin_tasks()
+
+    # -- shipping --------------------------------------------------------
+    def _enqueue(self, sample: InterfaceRates) -> None:
+        self._pending.append(sample)
+        if len(self._pending) >= self.max_batch:
+            self._flush()
+
+    def _flush(self) -> None:
+        if not self._pending or self.crashed:
+            return
+        seq = self._next_seq
+        self._next_seq += 1
+        payload = encode_batch(self.name, self.incarnation, seq, self._pending)
+        self.samples_shipped += len(self._pending)
+        self.batches_shipped += 1
+        self._pending.clear()
+        self._resend[seq] = payload
+        while len(self._resend) > self.resend_buffer:
+            self._resend.popitem(last=False)  # drop-oldest: bounded memory
+        self._report_socket.sendto(payload, (self.coordinator_ip, REPORT_PORT))
+
+    def _heartbeat(self) -> None:
+        if self.crashed:
+            return
+        self.heartbeats_sent += 1
+        self._report_socket.sendto(
+            encode_heartbeat(
+                self.name, self.incarnation, self._next_seq, self.assign_version
+            ),
+            (self.coordinator_ip, REPORT_PORT),
+        )
+
+    # -- control ---------------------------------------------------------
+    def _on_control(self, payload, size, src_ip, src_port) -> None:
+        if payload is None or self.crashed:
+            return
+        try:
+            doc = decode_message(payload)
+            kind = doc["k"]
+            if kind == "retx":
+                self._serve_retransmit(doc)
+            elif kind == "assign":
+                self._apply_assignment(doc)
+        except (ValueError, KeyError, TypeError):
+            return  # malformed control traffic: ignore
+
+    def _serve_retransmit(self, doc: Dict[str, object]) -> None:
+        if int(doc["inc"]) != self.incarnation:
+            return  # request addresses a previous life of this worker
+        gone: List[int] = []
+        for seq in [int(s) for s in doc["seqs"]]:
+            payload = self._resend.get(seq)
+            if payload is None:
+                gone.append(seq)  # evicted from the bounded buffer
+                self.retransmits_missed += 1
+            else:
+                self.retransmits_served += 1
+                self._report_socket.sendto(payload, (self.coordinator_ip, REPORT_PORT))
+        if gone:
+            self._report_socket.sendto(
+                json.dumps(
+                    {"k": "gone", "w": self.name, "inc": self.incarnation, "seqs": gone}
+                ).encode(),
+                (self.coordinator_ip, REPORT_PORT),
+            )
+
+    def _apply_assignment(self, doc: Dict[str, object]) -> None:
+        version = int(doc["v"])
+        if version <= self.assign_version:
+            return  # duplicate or out-of-date assignment: idempotent drop
+        network = self.build.network
+        targets = [
+            PollTarget(
+                node=t["n"],
+                address=network.ip_of(t["n"]),
+                if_indexes=[int(i) for i in t["ifs"]],
+                community=t["c"],
+            )
+            for t in doc["t"]
+        ]
+        added = {t.node for t in targets} - {t.node for t in self.poller.targets}
+        self.assign_version = version
+        self.assignments_applied += 1
+        self.poller.targets[:] = targets
+        logger.info(
+            "worker %s applied assignment v%d: %s",
+            self.name, version, sorted(t.node for t in targets),
+        )
+        if added:
+            # Adopted targets have no counter baselines here: poll once
+            # immediately to establish them and once again shortly after
+            # so a rate sample exists ~one short interval later, instead
+            # of waiting up to two full poll cycles.
+            self.poller._poll_cycle()
+            self.sim.schedule(self.poll_interval * 0.5, self._adoption_poll)
+
+    def _adoption_poll(self) -> None:
+        if not self.crashed and self._started:
+            self.poller._poll_cycle()
+
+
+# ----------------------------------------------------------------------
+# Coordinator-side ingest bookkeeping
+# ----------------------------------------------------------------------
+class _Gap:
+    """One missing batch sequence number under ARQ."""
+
+    __slots__ = ("seq", "attempts", "next_retry")
+
+    def __init__(self, seq: int, now: float, first_retry_after: float) -> None:
+        self.seq = seq
+        self.attempts = 0
+        self.next_retry = now + first_retry_after
+
+
+class _WorkerIngest:
+    """Per-worker sequencing state on the coordinator."""
+
+    __slots__ = (
+        "name",
+        "incarnation",
+        "expected",
+        "buffer",
+        "gaps",
+        "delivered",
+        "duplicates",
+        "stale_incarnation",
+    )
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.incarnation = 0  # adopts the worker's on first contact
+        self.expected = 1  # next in-order batch seq
+        self.buffer: Dict[int, List[InterfaceRates]] = {}  # out-of-order batches
+        self.gaps: Dict[int, _Gap] = {}
+        self.delivered = 0
+        self.duplicates = 0
+        self.stale_incarnation = 0
+
+    def reset_for(self, incarnation: int) -> None:
+        self.incarnation = incarnation
+        self.expected = 1
+        self.buffer.clear()
+        self.gaps.clear()
 
 
 class DistributedMonitor:
-    """Coordinator + workers implementing the distributed design.
+    """Coordinator + workers implementing the fault-tolerant plane.
 
     ``worker_hosts`` take the polling load; ``coordinator_host`` receives
-    their samples and serves path reports.  Target assignment is
-    affinity-first: a worker polling itself costs loopback only; the rest
-    round-robins deterministically.
+    their batches and serves path reports.  Target assignment is
+    affinity-first (a worker polling itself costs loopback only) with the
+    rest round-robined deterministically; the same partitioning function
+    re-runs over the surviving workers on every lease expiry and
+    recovery, so failover and failback are one mechanism.
     """
 
     def __init__(
@@ -120,6 +494,18 @@ class DistributedMonitor:
         poll_jitter: float = 0.05,
         report_offset: float = 0.5,
         seed: int = 0,
+        stale_after: Optional[float] = None,
+        dead_after: Optional[float] = None,
+        telemetry: Union[bool, Telemetry] = True,
+        integrity: Union[bool, IntegrityConfig] = True,
+        lease_timeout: Optional[float] = None,
+        suspect_after: Optional[float] = None,
+        heartbeat_interval: Optional[float] = None,
+        recovery_beats: int = 2,
+        retx_max_attempts: int = 3,
+        retx_backoff: Optional[float] = None,
+        max_batch: int = 8,
+        resend_buffer: int = 32,
     ) -> None:
         if not worker_hosts:
             raise ValueError("need at least one worker host")
@@ -130,33 +516,156 @@ class DistributedMonitor:
         self.poll_interval = poll_interval
         self.report_offset = report_offset
         self.coordinator = self.network.host(coordinator_host)
+        if isinstance(telemetry, Telemetry):
+            self.telemetry = telemetry
+        else:
+            self.telemetry = Telemetry(
+                clock=lambda: self.sim.now,
+                enabled=bool(telemetry),
+                slow_threshold=poll_interval,
+            )
+        # Liveness knobs.  Defaults detect a dead worker in ~one poll
+        # interval (just over two missed heartbeats) so failover plus the
+        # adopters' re-baselining completes within three poll cycles.
+        self.heartbeat_interval = (
+            heartbeat_interval if heartbeat_interval is not None else poll_interval * 0.4
+        )
+        self.lease_timeout = (
+            lease_timeout if lease_timeout is not None else poll_interval * 0.9
+        )
+        self.suspect_after = (
+            suspect_after if suspect_after is not None else self.lease_timeout * 0.55
+        )
+        self.retx_max_attempts = retx_max_attempts
+        self.retx_backoff = (
+            retx_backoff if retx_backoff is not None else poll_interval * 0.25
+        )
+        # Staleness bounds mirror NetworkMonitor's.
+        if stale_after is None:
+            stale_after = poll_interval * 2.5
+        if dead_after is None:
+            dead_after = max(poll_interval * 6.0, stale_after * 2.0)
         self.rates = RateTable()
-        self.calculator = BandwidthCalculator(self.spec, self.rates)
+        self.degraded = DegradedSourceSet()
+        self.leases = WorkerLeaseTracker(
+            lease_timeout=self.lease_timeout,
+            suspect_after=self.suspect_after,
+            recovery_beats=recovery_beats,
+            events=self.telemetry.events,
+        )
+        self.leases.subscribe(self._on_lease_transition)
+        self.integrity: Optional[IntegrityPipeline] = None
+        if integrity:
+            config = integrity if isinstance(integrity, IntegrityConfig) else None
+            self.integrity = IntegrityPipeline(
+                speeds=self._interface_speeds(),
+                poll_interval=poll_interval,
+                config=config,
+                telemetry=self.telemetry,
+                now=self.sim.now,
+            )
+        self.calculator = BandwidthCalculator(
+            self.spec,
+            self.rates,
+            stale_after=stale_after,
+            dead_after=dead_after,
+            telemetry=self.telemetry,
+            integrity=self.integrity,
+            degraded_sources=self.degraded,
+        )
         self.history = MeasurementHistory()
         self._watches: Dict[str, tuple] = {}
         self._subscribers: List[Callable[[PathReport], None]] = []
         self._report_task = None
-        self.samples_received = 0
-        self.decode_errors = 0
+        self._sweep_task = None
 
         self._sink = self.coordinator.create_socket(REPORT_PORT)
-        self._sink.on_receive = self._on_sample_datagram
+        self._sink.on_receive = self._on_datagram
+        self._control = self.coordinator.create_socket()  # retx/assign sender
 
-        assignments = self._partition(list(worker_hosts))
+        self._worker_order = list(worker_hosts)
+        assignments = self._partition(self._worker_order)
         coordinator_ip = self.coordinator.primary_ip
         self.workers: Dict[str, MonitorWorker] = {
             name: MonitorWorker(
-                build, name, targets, coordinator_ip, poll_interval, poll_jitter,
+                build,
+                name,
+                assignments.get(name, []),
+                coordinator_ip,
+                poll_interval,
+                poll_jitter,
                 seed=seed + i,
+                heartbeat_interval=self.heartbeat_interval,
+                max_batch=max_batch,
+                resend_buffer=resend_buffer,
             )
-            for i, (name, targets) in enumerate(sorted(assignments.items()))
-            if targets
+            for i, name in enumerate(self._worker_order)
         }
+        # Assignment bookkeeping: desired targets and version per worker.
+        # Workers constructed with their initial share already hold
+        # version 1 semantics; seed their counters to match so the first
+        # heartbeat does not trigger a redundant re-send.
+        self._assignments: Dict[str, List[PollTarget]] = {
+            name: list(assignments.get(name, [])) for name in self._worker_order
+        }
+        self._assign_version: Dict[str, int] = {}
+        for name, worker in self.workers.items():
+            worker.assign_version = 1
+            self._assign_version[name] = 1
+        self._ingest: Dict[str, _WorkerIngest] = {
+            name: _WorkerIngest(name) for name in self._worker_order
+        }
+        for name in self._worker_order:
+            self.leases.register(name, self.sim.now)
+        self._register_metrics()
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _register_metrics(self) -> None:
+        registry = self.telemetry.registry
+        c = registry.counter
+        self._m_samples = c("dist_samples_received_total", "samples merged into the rate table")
+        self._m_batches = c("dist_batches_received_total", "sequenced report batches delivered")
+        self._m_decode_errors = c("dist_decode_errors_total", "undecodable plane datagrams")
+        self._m_duplicates = c("dist_duplicate_batches_total", "batches dropped by sequence dedup")
+        self._m_gaps = c("dist_gaps_detected_total", "batch sequence gaps detected")
+        self._m_gaps_filled = c("dist_gaps_filled_total", "gaps closed by retransmission")
+        self._m_gaps_abandoned = c("dist_gaps_abandoned_total", "gaps given up after ARQ caps")
+        self._m_retx = c("dist_retx_requests_total", "selective retransmit requests sent")
+        self._m_failovers = c("dist_failovers_total", "lease expiries that moved poll targets")
+        self._m_rebalances = c("dist_rebalances_total", "recoveries that moved poll targets back")
+        for state in WorkerState:
+            registry.gauge(
+                f"dist_workers_{state.value}",
+                f"monitor workers currently in the {state.value} lease state",
+            ).set_function(lambda s=state: float(self.leases.count(s)))
+        registry.gauge(
+            "dist_degraded_sources",
+            "counter sources currently marked lossy by the plane",
+        ).set_function(lambda: float(len(self.degraded)))
+
+    def _interface_speeds(self) -> Dict[tuple, float]:
+        speeds: Dict[tuple, float] = {}
+        for node_name, if_indexes in required_poll_targets(
+            self.spec, list(self.spec.connections)
+        ).items():
+            node = self.spec.node(node_name)
+            for if_index in if_indexes:
+                speeds[(node_name, if_index)] = node.interfaces[if_index - 1].speed_bps
+        return speeds
 
     # ------------------------------------------------------------------
     # Partitioning
     # ------------------------------------------------------------------
     def _partition(self, worker_hosts: List[str]) -> Dict[str, List[PollTarget]]:
+        """Deterministic affinity-first assignment over ``worker_hosts``.
+
+        A target whose node *is* a listed worker goes to that worker
+        (polling thyself costs loopback only); the rest round-robin over
+        the workers in the given order.  Same inputs, same map -- this is
+        also the failover/failback function, re-run over the survivors.
+        """
         needed = required_poll_targets(self.spec, list(self.spec.connections))
         assignments: Dict[str, List[PollTarget]] = {w: [] for w in worker_hosts}
         leftovers = []
@@ -178,20 +687,270 @@ class DistributedMonitor:
     def targets_of(self, worker: str) -> List[str]:
         return [t.node for t in self.workers[worker].poller.targets]
 
+    def assigned_targets_of(self, worker: str) -> List[str]:
+        """The coordinator's *intended* assignment (vs. the worker's
+        applied one in :meth:`targets_of`)."""
+        return [t.node for t in self._assignments.get(worker, [])]
+
     # ------------------------------------------------------------------
-    # Sample ingestion
+    # Failover / failback
     # ------------------------------------------------------------------
-    def _on_sample_datagram(self, payload, size, src_ip, src_port) -> None:
+    def _on_lease_transition(self, transition: LeaseTransition) -> None:
+        if transition.new is WorkerState.DEAD:
+            # Everything the dead worker was responsible for is now
+            # known-lossy until a survivor's samples land.
+            for target in self._assignments.get(transition.worker, []):
+                for if_index in target.if_indexes:
+                    self.degraded.mark(target.node, if_index)
+            self._rebalance(reason="failover", about=transition.worker)
+        elif (
+            transition.new is WorkerState.ALIVE
+            and transition.old is WorkerState.RECOVERING
+        ):
+            self._rebalance(reason="rebalance", about=transition.worker)
+
+    def _live_workers(self) -> List[str]:
+        return [
+            w
+            for w in self._worker_order
+            if self.leases.state(w) is not WorkerState.DEAD
+        ]
+
+    def _rebalance(self, reason: str, about: str) -> None:
+        """Repartition over the live workers and ship changed assignments."""
+        live = self._live_workers()
+        if not live:
+            logger.warning("no live workers left; keeping assignments frozen")
+            return
+        desired = self._partition(live)
+        moved: List[str] = []
+        for name in self._worker_order:
+            new = desired.get(name, [])
+            if [t.node for t in new] == [t.node for t in self._assignments[name]]:
+                continue
+            self._assignments[name] = list(new)
+            moved.append(name)
+            if self.leases.state(name) is not WorkerState.DEAD:
+                self._send_assignment(name)
+        if reason == "failover":
+            self._m_failovers.inc()
+        else:
+            self._m_rebalances.inc()
+        self.telemetry.events.publish(
+            WORKER_FAILOVER if reason == "failover" else WORKER_REBALANCE,
+            self.sim.now,
+            worker=about,
+            reassigned={n: self.assigned_targets_of(n) for n in moved},
+        )
+        logger.warning(
+            "%s around worker %s: new assignment %s",
+            reason, about,
+            {n: self.assigned_targets_of(n) for n in self._worker_order},
+        )
+
+    def _send_assignment(self, worker: str) -> None:
+        self._assign_version[worker] += 1
+        payload = json.dumps(
+            {
+                "k": "assign",
+                "v": self._assign_version[worker],
+                "t": _targets_doc(self._assignments[worker]),
+            }
+        ).encode()
+        self._control.sendto(
+            payload, (self.network.ip_of(worker), CONTROL_PORT)
+        )
+
+    # ------------------------------------------------------------------
+    # Sample ingestion (sequenced, deduplicated, integrity-checked)
+    # ------------------------------------------------------------------
+    def _on_datagram(self, payload, size, src_ip, src_port) -> None:
         if payload is None:
-            self.decode_errors += 1
+            self._m_decode_errors.inc()
             return
         try:
-            sample = decode_sample(payload)
-        except (ValueError, KeyError):
-            self.decode_errors += 1
+            doc = decode_message(payload)
+            kind = doc["k"]
+            if kind == "batch":
+                self._on_batch(doc)
+            elif kind == "hb":
+                self._on_heartbeat(doc)
+            elif kind == "gone":
+                self._on_gone(doc)
+            else:
+                self._m_decode_errors.inc()
+        except (ValueError, KeyError, TypeError):
+            self._m_decode_errors.inc()
+
+    def _ingest_state(self, worker: str, incarnation: int) -> Optional[_WorkerIngest]:
+        state = self._ingest.get(worker)
+        if state is None:
+            return None  # unknown sender: not one of our workers
+        # Any datagram from a known worker renews its lease.
+        self.leases.beat(worker, self.sim.now)
+        if incarnation < state.incarnation:
+            state.stale_incarnation += 1
+            return None  # straggler from a previous life: drop
+        if incarnation > state.incarnation:
+            # The worker restarted: its sequence space starts over.
+            state.reset_for(incarnation)
+        return state
+
+    def _on_batch(self, doc: Dict[str, object]) -> None:
+        worker = doc["w"]
+        samples = [_sample_from_doc(d) for d in doc["s"]]
+        seq = int(doc["q"])
+        state = self._ingest_state(worker, int(doc["inc"]))
+        if state is None:
             return
-        self.samples_received += 1
-        self.rates.update(sample)
+        if seq < state.expected or seq in state.buffer:
+            state.duplicates += 1
+            self._m_duplicates.inc()
+            return  # retransmit overshoot or duplicate: sequence dedup
+        if seq == state.expected:
+            gap = state.gaps.pop(seq, None)
+            if gap is not None and gap.attempts > 0:
+                self._m_gaps_filled.inc()
+            self._deliver(state, samples)
+            state.expected += 1
+            self._drain(state)
+        else:
+            state.buffer[seq] = samples
+            self._note_gaps(state, upto=seq)
+
+    def _on_heartbeat(self, doc: Dict[str, object]) -> None:
+        worker = doc["w"]
+        state = self._ingest_state(worker, int(doc["inc"]))
+        if state is None:
+            return
+        # ``q`` is the seq the *next* batch will carry: anything below it
+        # that we have not seen was shipped and lost with nothing after
+        # it to reveal the gap -- a trailing gap only liveness traffic
+        # can expose.
+        self._note_gaps(state, upto=int(doc["q"]))
+        # Self-healing control: a stale applied-version echo means the
+        # last assignment datagram was lost; ship it again.
+        if int(doc.get("av", 0)) != self._assign_version.get(worker, 0):
+            if self.leases.state(worker) is not WorkerState.DEAD:
+                self._send_assignment(worker)
+
+    def _on_gone(self, doc: Dict[str, object]) -> None:
+        """The worker evicted requested batches: those gaps are unfillable."""
+        worker = doc["w"]
+        state = self._ingest_state(worker, int(doc["inc"]))
+        if state is None:
+            return
+        for seq in [int(s) for s in doc["seqs"]]:
+            gap = state.gaps.get(seq)
+            if gap is not None:
+                gap.attempts = self.retx_max_attempts  # abandon at next sweep
+                gap.next_retry = self.sim.now
+
+    def _note_gaps(self, state: _WorkerIngest, upto: int) -> None:
+        """Register ARQ gaps for every missing seq in [expected, upto)."""
+        new_gaps = [
+            seq
+            for seq in range(state.expected, upto)
+            if seq not in state.buffer and seq not in state.gaps
+        ]
+        if not new_gaps:
+            return
+        for seq in new_gaps:
+            state.gaps[seq] = _Gap(seq, self.sim.now, 0.0)
+            self._m_gaps.inc()
+        self.telemetry.events.publish(
+            SAMPLE_GAP,
+            self.sim.now,
+            worker=state.name,
+            action="detected",
+            seqs=new_gaps,
+        )
+        self._request_retransmits(state)
+
+    def _request_retransmits(self, state: _WorkerIngest) -> None:
+        """Ask the worker for every currently-due gap, one datagram."""
+        now = self.sim.now
+        due = [g for g in state.gaps.values() if g.next_retry <= now
+               and g.attempts < self.retx_max_attempts]
+        if not due:
+            return
+        for gap in due:
+            gap.attempts += 1
+            # Exponential backoff, capped by the attempt limit.
+            gap.next_retry = now + self.retx_backoff * (2 ** (gap.attempts - 1))
+        self._m_retx.inc()
+        self._control.sendto(
+            json.dumps(
+                {
+                    "k": "retx",
+                    "inc": state.incarnation,
+                    "seqs": sorted(g.seq for g in due),
+                }
+            ).encode(),
+            (self.network.ip_of(state.name), CONTROL_PORT),
+        )
+
+    def _drain(self, state: _WorkerIngest) -> None:
+        while state.expected in state.buffer:
+            samples = state.buffer.pop(state.expected)
+            gap = state.gaps.pop(state.expected, None)
+            if gap is not None and gap.attempts > 0:
+                self._m_gaps_filled.inc()
+            self._deliver(state, samples)
+            state.expected += 1
+
+    def _abandon_front_gaps(self, state: _WorkerIngest) -> None:
+        """Give up on head-of-line gaps whose ARQ budget is spent."""
+        abandoned: List[int] = []
+        while True:
+            gap = state.gaps.get(state.expected)
+            if gap is None or gap.attempts < self.retx_max_attempts:
+                break
+            if gap.next_retry > self.sim.now:
+                break  # the last retransmit may still be in flight
+            state.gaps.pop(state.expected)
+            abandoned.append(state.expected)
+            state.expected += 1
+            self._drain(state)
+        if not abandoned:
+            return
+        self._m_gaps_abandoned.inc(len(abandoned))
+        # The lost batches carried samples for *some* of this worker's
+        # interfaces; without them we cannot know which, so every counter
+        # source currently assigned to the worker is marked lossy until a
+        # fresh sample clears it.
+        for target in self._assignments.get(state.name, []):
+            for if_index in target.if_indexes:
+                self.degraded.mark(target.node, if_index)
+        self.telemetry.events.publish(
+            SAMPLE_GAP,
+            self.sim.now,
+            worker=state.name,
+            action="abandoned",
+            seqs=abandoned,
+        )
+
+    def _deliver(self, state: _WorkerIngest, samples: List[InterfaceRates]) -> None:
+        self._m_batches.inc()
+        state.delivered += 1
+        for sample in samples:
+            if self.integrity is not None and not self.integrity.inspect_remote(sample):
+                continue  # rejected or quarantined: never reaches the table
+            self.rates.update(sample)
+            self._m_samples.inc()
+            # Fresh in-order data for this source: no longer known-lossy.
+            self.degraded.clear(sample.node, sample.if_index)
+
+    # ------------------------------------------------------------------
+    # Periodic sweep: lease expiry + ARQ retries/abandonment
+    # ------------------------------------------------------------------
+    def _sweep(self) -> None:
+        self.leases.check(self.sim.now)
+        for state in self._ingest.values():
+            if self.leases.state(state.name) is WorkerState.DEAD:
+                continue  # no point retransmit-nagging a dead worker
+            self._request_retransmits(state)
+            self._abandon_front_gaps(state)
 
     # ------------------------------------------------------------------
     # Watch / report surface (mirrors NetworkMonitor)
@@ -215,13 +974,24 @@ class DistributedMonitor:
             self._emit_reports,
             start=start + self.poll_interval + self.report_offset,
         )
+        self._sweep_task = self.sim.call_every(
+            self.heartbeat_interval * 0.5,
+            self._sweep,
+            start=start + self.heartbeat_interval,
+        )
 
     def stop(self) -> None:
+        """Stop polling and release every socket (coordinator included),
+        so a new plane can be built on the same hosts."""
         for worker in self.workers.values():
             worker.stop()
-        if self._report_task is not None:
-            self._report_task.cancel()
-            self._report_task = None
+        for task_attr in ("_report_task", "_sweep_task"):
+            task = getattr(self, task_attr)
+            if task is not None:
+                task.cancel()
+                setattr(self, task_attr, None)
+        self._sink.close()
+        self._control.close()
 
     def _emit_reports(self) -> None:
         for label, (src, dst, path) in self._watches.items():
@@ -232,12 +1002,41 @@ class DistributedMonitor:
             for callback in self._subscribers:
                 callback(report)
 
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def samples_received(self) -> int:
+        return int(self._m_samples.value)
+
+    @property
+    def decode_errors(self) -> int:
+        return int(self._m_decode_errors.value)
+
+    def worker_states(self) -> Dict[str, str]:
+        return {name: state.value for name, state in self.leases.states().items()}
+
     def stats(self) -> Dict[str, float]:
-        return {
-            "workers": len(self.workers),
-            "samples_received": self.samples_received,
-            "decode_errors": self.decode_errors,
-            "per_worker_requests": {
-                name: w.manager.requests_sent for name, w in self.workers.items()
-            },
+        """Flat operational counters (exports cleanly through telemetry;
+        per-worker request counts appear as ``per_worker_requests.<name>``
+        keys)."""
+        value = self.telemetry.registry.value
+        out: Dict[str, float] = {
+            "workers": float(len(self.workers)),
+            "samples_received": value("dist_samples_received_total"),
+            "batches_received": value("dist_batches_received_total"),
+            "decode_errors": value("dist_decode_errors_total"),
+            "duplicate_batches": value("dist_duplicate_batches_total"),
+            "gaps_detected": value("dist_gaps_detected_total"),
+            "gaps_filled": value("dist_gaps_filled_total"),
+            "gaps_abandoned": value("dist_gaps_abandoned_total"),
+            "retx_requests": value("dist_retx_requests_total"),
+            "failovers": value("dist_failovers_total"),
+            "rebalances": value("dist_rebalances_total"),
+            "degraded_sources": float(len(self.degraded)),
         }
+        for state in WorkerState:
+            out[f"workers_{state.value}"] = float(self.leases.count(state))
+        for name, worker in self.workers.items():
+            out[f"per_worker_requests.{name}"] = float(worker.manager.requests_sent)
+        return out

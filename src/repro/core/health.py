@@ -305,3 +305,204 @@ class AgentHealthTracker:
             )
         for callback in self._callbacks:
             callback(transition)
+
+
+# ----------------------------------------------------------------------
+# Worker leases (distributed monitoring plane)
+# ----------------------------------------------------------------------
+class WorkerState(Enum):
+    """Liveness of one monitoring *worker*, judged from its heartbeats.
+
+    Same ladder-with-hysteresis shape as :class:`HealthState`, but the
+    signal is lease renewal (any datagram from the worker), not poll
+    outcomes, and death has a side effect the agent machine never has:
+    the coordinator fails the worker's poll targets over to survivors.
+    """
+
+    ALIVE = "alive"
+    SUSPECT = "suspect"  # lease past the suspect threshold, not yet expired
+    DEAD = "dead"  # lease expired; targets eligible for failover
+    RECOVERING = "recovering"  # heard again after death; hysteresis pending
+
+
+@dataclass(frozen=True)
+class LeaseTransition:
+    """One worker lease state change, for logs, tests and failover hooks."""
+
+    worker: str
+    old: WorkerState
+    new: WorkerState
+    time: float
+    silence: float  # seconds since the last renewal when this fired
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.time:.1f}s] worker {self.worker}: "
+            f"{self.old.value} -> {self.new.value} ({self.silence:.1f}s silent)"
+        )
+
+
+class WorkerLease:
+    """Mutable lease record of one worker."""
+
+    __slots__ = (
+        "worker",
+        "state",
+        "last_beat",
+        "beats",
+        "recovery_streak",
+        "expiries",
+        "recoveries",
+    )
+
+    def __init__(self, worker: str, now: float) -> None:
+        self.worker = worker
+        self.state = WorkerState.ALIVE
+        self.last_beat = now
+        self.beats = 0
+        self.recovery_streak = 0
+        self.expiries = 0
+        self.recoveries = 0
+
+
+LeaseCallback = Callable[[LeaseTransition], None]
+
+
+class WorkerLeaseTracker:
+    """Per-worker lease state machine driven by heartbeats and a clock.
+
+    ``beat`` renews a lease (heartbeats and sample batches both count --
+    a worker shipping data is self-evidently alive); ``check`` is the
+    coordinator's periodic sweep that expires silent leases:
+
+        ALIVE --silent > suspect_after--> SUSPECT
+               --silent > lease_timeout--> DEAD
+        DEAD --beat--> RECOVERING --beats*--> ALIVE (hysteresis:
+        ``recovery_beats`` consecutive renewals, so one datagram that
+        crawled out of a healing partition does not trigger failback)
+        RECOVERING --silent > lease_timeout--> DEAD (relapse)
+
+    Transitions are appended to :attr:`transitions`, pushed to
+    subscribers, published on the optional event bus as
+    ``worker_transition`` events, and bump an :class:`EpochClock` so
+    plane state is a legal dataflow input.
+    """
+
+    def __init__(
+        self,
+        lease_timeout: float = 6.0,
+        suspect_after: float = 3.0,
+        recovery_beats: int = 2,
+        events: Optional["EventBus"] = None,
+    ) -> None:
+        if not 0 < suspect_after < lease_timeout:
+            raise ValueError(
+                f"need 0 < suspect_after < lease_timeout, got "
+                f"{suspect_after!r} / {lease_timeout!r}"
+            )
+        if recovery_beats < 1:
+            raise ValueError(f"recovery_beats must be >= 1, got {recovery_beats!r}")
+        self.lease_timeout = lease_timeout
+        self.suspect_after = suspect_after
+        self.recovery_beats = recovery_beats
+        self.events = events
+        self._leases: Dict[str, WorkerLease] = {}
+        self._epochs = EpochClock()
+        self.transitions: List[LeaseTransition] = []
+        self._callbacks: List[LeaseCallback] = []
+
+    # -- registration and lookup ---------------------------------------
+    def register(self, worker: str, now: float) -> WorkerLease:
+        lease = self._leases.get(worker)
+        if lease is None:
+            lease = self._leases[worker] = WorkerLease(worker, now)
+        return lease
+
+    def lease(self, worker: str) -> WorkerLease:
+        return self._leases[worker]
+
+    def state(self, worker: str) -> WorkerState:
+        return self._leases[worker].state
+
+    def states(self) -> Dict[str, WorkerState]:
+        return {name: lease.state for name, lease in self._leases.items()}
+
+    def count(self, state: WorkerState) -> int:
+        return sum(1 for l in self._leases.values() if l.state is state)
+
+    def workers(self) -> List[str]:
+        return sorted(self._leases)
+
+    @property
+    def clock(self) -> int:
+        return self._epochs.clock
+
+    def epoch_of(self, worker: str) -> int:
+        return self._epochs.epoch(worker)
+
+    def subscribe(self, callback: LeaseCallback) -> None:
+        self._callbacks.append(callback)
+
+    # -- intake ---------------------------------------------------------
+    def beat(self, worker: str, now: float) -> None:
+        """A datagram arrived from ``worker``: renew its lease."""
+        lease = self.register(worker, now)
+        lease.last_beat = now
+        lease.beats += 1
+        if lease.state is WorkerState.DEAD:
+            lease.recovery_streak = 1
+            self._move(lease, WorkerState.RECOVERING, now, 0.0)
+        elif lease.state is WorkerState.RECOVERING:
+            lease.recovery_streak += 1
+            if lease.recovery_streak >= self.recovery_beats:
+                lease.recoveries += 1
+                self._move(lease, WorkerState.ALIVE, now, 0.0)
+        elif lease.state is WorkerState.SUSPECT:
+            self._move(lease, WorkerState.ALIVE, now, 0.0)
+
+    def check(self, now: float) -> None:
+        """Expire silent leases (the coordinator's periodic sweep)."""
+        for lease in self._leases.values():
+            silence = now - lease.last_beat
+            if lease.state in (WorkerState.ALIVE, WorkerState.SUSPECT,
+                               WorkerState.RECOVERING):
+                if silence > self.lease_timeout:
+                    lease.expiries += 1
+                    lease.recovery_streak = 0
+                    self._move(lease, WorkerState.DEAD, now, silence)
+                elif lease.state is WorkerState.ALIVE and silence > self.suspect_after:
+                    self._move(lease, WorkerState.SUSPECT, now, silence)
+
+    # -- transition plumbing --------------------------------------------
+    def _move(
+        self, lease: WorkerLease, new_state: WorkerState, now: float, silence: float
+    ) -> None:
+        if new_state is lease.state:
+            return
+        old = lease.state
+        lease.state = new_state
+        self._epochs.bump(lease.worker)
+        if new_state is WorkerState.DEAD:
+            logger.warning(
+                "worker %s lease expired after %.1fs of silence; "
+                "poll targets eligible for failover", lease.worker, silence,
+            )
+        elif old is WorkerState.DEAD:
+            logger.warning("worker %s is heartbeating again", lease.worker)
+        transition = LeaseTransition(
+            worker=lease.worker, old=old, new=new_state, time=now, silence=silence
+        )
+        self.transitions.append(transition)
+        if self.events is not None:
+            from repro.telemetry.events import WORKER_TRANSITION
+
+            self.events.publish(
+                WORKER_TRANSITION,
+                now,
+                worker=lease.worker,
+                old=old.value,
+                new=new_state.value,
+                silence=round(silence, 3),
+            )
+        for callback in self._callbacks:
+            callback(transition)

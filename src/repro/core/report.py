@@ -38,6 +38,7 @@ class ConnectionMeasurement:
     sample_age: Optional[float] = None  # report time minus sample time
     stale: bool = False  # sample older than the monitor's staleness bound
     quarantined: bool = False  # counter source held by the integrity pipeline
+    degraded_source: bool = False  # distributed plane knows newer data was lost
 
     @property
     def available_bps(self) -> float:

@@ -248,6 +248,19 @@ class IntegrityPipeline:
             return False
         return True
 
+    def inspect_remote(self, sample: InterfaceRates) -> bool:
+        """Validate a sample shipped from a remote worker.
+
+        Workers ship derived :class:`InterfaceRates`, not raw counter
+        snapshots, so the coordinator inspects with ``prev``/``cur``
+        absent: the rate-bound check still applies (a remote worker, or
+        anything spoofing one, must not inject impossible rates into the
+        table), the regression diagnosis and polled-ifSpeed cross-check
+        simply have nothing to read.  Admission semantics are identical
+        to :meth:`inspect`.
+        """
+        return self.inspect(sample, prev=None, cur=None, polled_speed_bps=None)
+
     def note_restart(self, node: str, if_index: int) -> None:
         """Agent restarted: streak state is meaningless, drop it."""
         self._stuck.forget(node, if_index)

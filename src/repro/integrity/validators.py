@@ -71,7 +71,9 @@ class SampleContext:
 
     ``prev``/``cur`` are the poller's raw ``_CounterSnapshot`` records
     (duck-typed here: ``uptime``, ``octets_in``, ``octets_out`` and the
-    four packet counters).  ``speed_bps`` is the topology-declared
+    four packet counters) -- or ``None`` for samples shipped from a
+    remote worker, which arrive pre-derived without raw snapshots;
+    validators must tolerate that.  ``speed_bps`` is the topology-declared
     interface speed; ``polled_speed_bps`` is what the agent's own MIB
     claimed via ifSpeed, when the monitor polls it (cross-check mode).
     """
@@ -111,14 +113,27 @@ class RateBoundValidator:
             return []
         limit = (speed / 8.0) * (1.0 + self.tolerance)
         verdicts: List[IntegrityVerdict] = []
+        # Remotely shipped samples arrive without raw snapshots; the rate
+        # bound still applies, only the regression diagnosis is skipped.
+        have_raw = ctx.prev is not None and ctx.cur is not None
         directions = (
-            ("in", ctx.sample.in_bytes_per_s, ctx.cur.octets_in, ctx.prev.octets_in),
-            ("out", ctx.sample.out_bytes_per_s, ctx.cur.octets_out, ctx.prev.octets_out),
+            (
+                "in",
+                ctx.sample.in_bytes_per_s,
+                ctx.cur.octets_in if have_raw else None,
+                ctx.prev.octets_in if have_raw else None,
+            ),
+            (
+                "out",
+                ctx.sample.out_bytes_per_s,
+                ctx.cur.octets_out if have_raw else None,
+                ctx.prev.octets_out if have_raw else None,
+            ),
         )
         for name, rate, cur, prev in directions:
             if rate <= limit:
                 continue
-            regressed = cur.value < prev.value
+            regressed = have_raw and cur.value < prev.value
             verdicts.append(
                 IntegrityVerdict(
                     check="counter_regression" if regressed else "rate_bound",
@@ -162,6 +177,17 @@ class StuckCounterValidator:
     @staticmethod
     def _frozen(ctx: SampleContext) -> bool:
         prev, cur = ctx.prev, ctx.cur
+        if prev is None or cur is None:
+            # No raw snapshots (remotely shipped sample): fall back to the
+            # derived figures -- all-zero rates mean the counters did not
+            # move over the sample's interval.
+            s = ctx.sample
+            return (
+                s.in_bytes_per_s == 0.0
+                and s.out_bytes_per_s == 0.0
+                and s.in_pkts_per_s == 0.0
+                and s.out_pkts_per_s == 0.0
+            )
         return (
             cur.octets_in.value == prev.octets_in.value
             and cur.octets_out.value == prev.octets_out.value

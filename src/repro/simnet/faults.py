@@ -27,6 +27,12 @@ This module injects the failures a real LAN suffers:
   traffic counters (octets and packets), the classic wedged-driver bug.
 - :class:`SpeedMisreport`   -- the agent claims a wrong ifSpeed,
   exercising the integrity pipeline's speed cross-validation.
+- :class:`WorkerCrash`      -- a distributed monitoring *worker* process
+  dies (the host stays healthy), exercising lease expiry and poll-target
+  failover in the distributed plane.
+- :class:`NetworkPartition` -- links silently drop everything while
+  staying administratively up (grey failure): no linkDown trap, no
+  oper-status change, only end-to-end liveness machinery notices.
 
 All injections are plain objects driven by the simulation clock and are
 fully deterministic under a seed.
@@ -629,6 +635,126 @@ class SpeedMisreport:
             )
         self.values_corrupted += 1
         return _padded_unsigned(value, claimed)
+
+
+class WorkerCrash:
+    """A monitoring *worker* process dies at ``at`` (and optionally comes
+    back at ``until``).
+
+    The distributed plane's own failure mode: the worker's host and its
+    SNMP agent are perfectly healthy, but the ``MonitorWorker`` process
+    stops polling, shipping and heartbeating.  Exercises the
+    coordinator's lease expiry, poll-target failover and (with
+    ``until``) recovery rebalancing.
+
+    Duck-typed against the worker (``crash()`` / ``restart()``) so simnet
+    never imports ``repro.core``; anything exposing that pair works.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        worker,
+        at: float,
+        until: Optional[float] = None,
+        events: Optional["EventBus"] = None,
+    ) -> None:
+        if until is not None and until <= at:
+            raise FaultError(f"restart time {until!r} must follow crash time {at!r}")
+        self.sim = sim
+        self.worker = worker
+        self.at = at
+        self.until = until
+        self.events = events
+        self.crashed = False
+        sim.schedule_at(max(at, sim.now), self._crash)
+        if until is not None:
+            sim.schedule_at(max(until, sim.now), self._restart)
+
+    def _crash(self) -> None:
+        self.crashed = True
+        self.worker.crash()
+        _publish(self.events, True, self.sim.now, self, worker=self.worker.name)
+
+    def _restart(self) -> None:
+        self.crashed = False
+        self.worker.restart()
+        _publish(
+            self.events, False, self.sim.now, self,
+            worker=self.worker.name, restarted=True,
+        )
+
+
+class NetworkPartition:
+    """One or more links drop *everything* during [at, until) -- but stay
+    administratively up.
+
+    Unlike :class:`LinkFailure`, no interface goes oper-down, so no
+    linkDown trap fires and ``ifOperStatus`` keeps reading up: the
+    classic grey failure (a misprogrammed switch fabric, a one-way
+    radio shadow) that only end-to-end liveness machinery can see.
+    Frames offered to the partitioned channels are silently dropped and
+    counted in :attr:`frames_dropped`.
+
+    Composes with :class:`PacketLoss`: the previous ``drop_filter`` of
+    each channel is saved at begin and restored verbatim at heal.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        links,
+        at: float,
+        until: float,
+        events: Optional["EventBus"] = None,
+    ) -> None:
+        if until <= at:
+            raise FaultError(f"heal time {until!r} must follow partition time {at!r}")
+        self.sim = sim
+        self.links = list(links)
+        if not self.links:
+            raise FaultError("NetworkPartition needs at least one link")
+        self.at = at
+        self.until = until
+        self.events = events
+        self.active = False
+        self.frames_dropped = 0
+        self._saved = {}  # channel -> previous drop_filter
+        sim.schedule_at(max(at, sim.now), self._begin)
+        sim.schedule_at(max(until, sim.now), self._heal)
+
+    def _channels(self):
+        for link in self.links:
+            yield link._a_to_b
+            yield link._b_to_a
+
+    def _begin(self) -> None:
+        self.active = True
+
+        def drop_all(frame: EthernetFrame) -> bool:
+            self.frames_dropped += 1
+            return True
+
+        for channel in self._channels():
+            self._saved[channel] = channel.drop_filter
+            channel.drop_filter = drop_all
+        _publish(
+            self.events, True, self.sim.now, self,
+            links=[_link_label(link) for link in self.links],
+        )
+
+    def _heal(self) -> None:
+        if not self.active:
+            return
+        self.active = False
+        for channel, previous in self._saved.items():
+            channel.drop_filter = previous
+        self._saved.clear()
+        _publish(
+            self.events, False, self.sim.now, self,
+            links=[_link_label(link) for link in self.links],
+            frames_dropped=self.frames_dropped,
+        )
 
 
 class Flap:

@@ -31,6 +31,10 @@ CROSS_CHECK_MISMATCH = "cross_check_mismatch"
 QUARANTINE_ENTER = "quarantine"
 QUARANTINE_EXIT = "quarantine_release"
 COUNTER_WRAP_RISK = "counter_wrap_risk"
+WORKER_TRANSITION = "worker_transition"
+WORKER_FAILOVER = "worker_failover"
+WORKER_REBALANCE = "worker_rebalance"
+SAMPLE_GAP = "sample_gap"
 
 KNOWN_KINDS = (
     HEALTH_TRANSITION,
@@ -45,6 +49,10 @@ KNOWN_KINDS = (
     QUARANTINE_ENTER,
     QUARANTINE_EXIT,
     COUNTER_WRAP_RISK,
+    WORKER_TRANSITION,
+    WORKER_FAILOVER,
+    WORKER_REBALANCE,
+    SAMPLE_GAP,
 )
 
 

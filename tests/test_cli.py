@@ -212,6 +212,45 @@ class TestTsdb:
         assert "history_retention_s" in capsys.readouterr().err
 
 
+class TestDistributed:
+    def test_testbed_defaults_run_clean(self, capsys):
+        assert main(["distributed", "--until", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "coordinator L" in out
+        assert "L [alive], S1 [alive], S2 [alive]" in out
+        assert "per_worker_requests.S2" in out
+
+    def test_crash_injection_shows_failover(self, capsys):
+        code = main([
+            "distributed", "--until", "40",
+            "--load", "L:N1:200:5:35",
+            "--crash", "S2:10:25",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "alive -> suspect" in out
+        assert "suspect -> dead" in out
+        assert "recovering -> alive" in out
+
+    def test_spec_file_requires_coordinator_and_workers(self, good_spec, capsys):
+        assert main(["distributed", good_spec, "--watch", "S1:N1"]) == 2
+
+    def test_spec_file_plane(self, good_spec, capsys):
+        code = main([
+            "distributed", good_spec,
+            "--coordinator", "L", "--worker", "L", "--worker", "S1",
+            "--watch", "S1:N1", "--until", "15",
+        ])
+        assert code == 0
+        assert "S1<->N1" in capsys.readouterr().out
+
+    def test_unknown_crash_worker_rejected(self, capsys):
+        assert main(["distributed", "--crash", "nope:5"]) == 2
+
+    def test_malformed_crash_rejected(self, capsys):
+        assert main(["distributed", "--crash", "S2"]) == 2
+
+
 class TestExperiment:
     def test_unknown_experiment_rejected(self, capsys):
         with pytest.raises(SystemExit):
