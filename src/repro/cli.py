@@ -9,6 +9,7 @@ Installed as the ``repro`` console script::
           --load L:N1:200:10:40 --until 60 --chart
     repro tsdb --load L:N1:200:10:40         # storage stats + range queries
     repro integrity --corrupt S1:random:10 --until 30   # trust + quarantine
+    repro stream --load L:N1:300:5:30 --threshold S1:N1:500   # push events
     repro discover topology.net --host L     # SNMP topology discovery
 
 Every subcommand works on simulated time and returns a conventional exit
@@ -215,6 +216,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_dist.add_argument("--until", type=float, default=40.0, help="simulated seconds")
     p_dist.add_argument("--interval", type=float, default=2.0, help="poll interval")
+
+    p_stream = sub.add_parser(
+        "stream",
+        help="subscribe to streaming matrix events and continuous queries",
+    )
+    p_stream.add_argument(
+        "specfile", nargs="?", default=None,
+        help="topology spec (default: the paper's Figure-3 testbed)",
+    )
+    p_stream.add_argument(
+        "--host", default=None,
+        help="host running the monitor (default: L on the built-in testbed)",
+    )
+    p_stream.add_argument(
+        "--pair", action="append", default=[], metavar="SRC:DST",
+        help="host pair to subscribe to (repeatable; default: every pair)",
+    )
+    p_stream.add_argument(
+        "--load", action="append", default=[], metavar="SRC:DST:KBPS:T0:T1",
+        help="UDP load to generate (repeatable)",
+    )
+    p_stream.add_argument(
+        "--policy", choices=("drop_oldest", "conflate", "block"),
+        default="drop_oldest", help="queue overflow policy",
+    )
+    p_stream.add_argument(
+        "--bound", type=int, default=256, help="subscriber queue bound"
+    )
+    p_stream.add_argument(
+        "--significance",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="adaptive significance filtering (--no-significance delivers "
+        "every change on every dirty pair)",
+    )
+    p_stream.add_argument(
+        "--threshold", action="append", default=[],
+        metavar="SRC:DST:MIN_KBPS[:SAMPLES]",
+        help="continuous query: fire when available < MIN_KBPS for "
+        ">= SAMPLES consecutive samples (default 2; repeatable)",
+    )
+    p_stream.add_argument(
+        "--percentile", action="append", default=[],
+        metavar="SRC:DST:P:UTIL",
+        help="continuous query: fire when the pP utilization estimate "
+        "over --window exceeds UTIL (0..1; repeatable)",
+    )
+    p_stream.add_argument(
+        "--window", type=float, default=60.0,
+        help="percentile query look-back window in seconds",
+    )
+    p_stream.add_argument(
+        "--events", type=int, default=40,
+        help="print at most this many events (the rest are summarised)",
+    )
+    p_stream.add_argument("--until", type=float, default=40.0, help="simulated seconds")
+    p_stream.add_argument("--interval", type=float, default=2.0, help="poll interval")
 
     p_disc = sub.add_parser("discover", help="SNMP topology discovery + verification")
     p_disc.add_argument("specfile")
@@ -782,6 +840,120 @@ def cmd_matrix(args) -> int:
     return 0
 
 
+def _parse_threshold(text: str):
+    parts = text.split(":")
+    if len(parts) not in (3, 4) or not all(parts):
+        raise ValueError(
+            f"--threshold wants SRC:DST:MIN_KBPS[:SAMPLES], got {text!r}"
+        )
+    samples = int(parts[3]) if len(parts) == 4 else 2
+    return parts[0], parts[1], float(parts[2]), samples
+
+
+def _parse_percentile(text: str):
+    parts = text.split(":")
+    if len(parts) != 4 or not all(parts):
+        raise ValueError(f"--percentile wants SRC:DST:P:UTIL, got {text!r}")
+    return parts[0], parts[1], float(parts[2]), float(parts[3])
+
+
+def cmd_stream(args) -> int:
+    from repro.experiments.testbed import MONITOR_HOST, build_testbed
+    from repro.stream import (
+        OverflowPolicy,
+        PercentileQuery,
+        QueryError,
+        StreamError,
+        ThresholdQuery,
+    )
+
+    try:
+        if args.specfile is None:
+            build = build_testbed()
+            host = args.host or MONITOR_HOST
+        else:
+            spec = parse_file(args.specfile)
+            build = build_network(spec)
+            host = args.host
+            if host is None:
+                print("error: --host is required with a spec file", file=sys.stderr)
+                return 2
+    except (ParseError, LexError, SpecValidationError, TopologyError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        monitor = NetworkMonitor(build, host, poll_interval=args.interval)
+        publisher = monitor.enable_streaming(significance=args.significance)
+        pairs = [_parse_watch(p) for p in args.pair] or None
+        subscription = publisher.manager.subscribe(
+            "cli",
+            pairs=pairs,
+            policy=OverflowPolicy(args.policy),
+            bound=args.bound,
+        )
+        for i, text in enumerate(args.threshold):
+            src, dst, kbps, samples = _parse_threshold(text)
+            publisher.register_query(
+                ThresholdQuery(
+                    f"threshold{i}:{src}<->{dst}",
+                    metric="available",
+                    op="<",
+                    threshold=kbps * 1000.0,
+                    for_samples=samples,
+                    pairs=[(src, dst)],
+                ),
+                "cli",
+            )
+        for i, text in enumerate(args.percentile):
+            src, dst, p, util = _parse_percentile(text)
+            publisher.register_query(
+                PercentileQuery(
+                    f"p{round(p * 100)}:{src}<->{dst}",
+                    p=p,
+                    metric="utilization",
+                    window_s=args.window,
+                    interval_s=args.interval,
+                    threshold=util,
+                    op=">",
+                    pairs=[(src, dst)],
+                ),
+                "cli",
+            )
+        for load_text in args.load:
+            src, dst, rate, t0, t1 = _parse_load(load_text)
+            StaircaseLoad(
+                build.network.host(src),
+                build.network.ip_of(dst),
+                StepSchedule.pulse(t0, t1, rate * KBPS),
+            ).start()
+    except (ValueError, TopologyError, KeyError, NetworkError,
+            StreamError, QueryError, MonitorError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    monitor.start()
+    build.network.run(args.until)
+
+    events = subscription.drain()
+    print(f"stream after {build.network.now:.1f} simulated seconds: "
+          f"{len(events)} pending event(s) "
+          f"[policy {args.policy}, bound {args.bound}]\n")
+    for event in events[: args.events]:
+        print(event)
+    if len(events) > args.events:
+        print(f"... and {len(events) - args.events} more")
+    stats = publisher.stats()
+    print("\nstream counters:")
+    for key in ("subscribers", "delivered", "suppressed", "dropped",
+                "cycles", "epoch", "queries", "filter_resets"):
+        print(f"{key:>16}: {stats[key]}")
+    sub_stats = subscription.stats()
+    print("\nsubscription 'cli': "
+          f"delivered {sub_stats['delivered']}, dropped {sub_stats['dropped']}, "
+          f"conflated {sub_stats['conflated']}, "
+          f"high watermark {sub_stats['high_watermark']}")
+    return 0
+
+
 def _parse_crash(text: str):
     parts = text.split(":")
     if len(parts) not in (2, 3) or not parts[0]:
@@ -882,6 +1054,7 @@ _COMMANDS = {
     "distributed": cmd_distributed,
     "discover": cmd_discover,
     "matrix": cmd_matrix,
+    "stream": cmd_stream,
 }
 
 

@@ -41,7 +41,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Optional, Tuple
 
-__all__ = ["EpochClock", "ConnCacheEntry", "DegradedSourceSet"]
+__all__ = ["EpochClock", "ConnCacheEntry", "DegradedSourceSet", "PublishClock"]
 
 
 class EpochClock:
@@ -130,6 +130,41 @@ class DegradedSourceSet:
 
     def __len__(self) -> int:
         return len(self._degraded)
+
+
+class PublishClock:
+    """Strictly increasing publish-cycle epochs for the stream layer.
+
+    Where :class:`EpochClock` stamps *inputs* (which interface changed),
+    the publish clock stamps *outputs*: every event the stream publisher
+    emits from one matrix snapshot carries the same publish epoch, and
+    consecutive snapshots carry consecutive epochs.  Two guarantees ride
+    on that, documented in ``docs/architecture.md`` and relied on by
+    subscribers:
+
+    - **coherence** -- events sharing an epoch describe one snapshot
+      instant; a consumer rebuilding a view applies them as one batch;
+    - **gap visibility** -- a subscriber whose queue overflowed under
+      ``drop_oldest`` sees non-consecutive epochs and knows exactly
+      that it missed cycles (and may re-read the matrix), instead of
+      silently holding a stale picture.
+
+    ``cycle_token`` additionally captures the upstream input clocks a
+    snapshot was computed from, so a consumer can correlate a publish
+    epoch back to the ingest epochs that produced it.
+    """
+
+    __slots__ = ("epoch", "last_token")
+
+    def __init__(self) -> None:
+        self.epoch: int = 0
+        self.last_token: Optional[Tuple] = None
+
+    def advance(self, token: Optional[Tuple] = None) -> int:
+        """Open the next publish cycle; returns its epoch."""
+        self.epoch += 1
+        self.last_token = token
+        return self.epoch
 
 
 @dataclass

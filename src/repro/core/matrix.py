@@ -166,6 +166,13 @@ class BandwidthMatrix:
         self.pair_cache_hits = 0
         self.pair_recomputes = 0
         self.dirty_pairs_last = 0
+        # Stream hook: the dirty-pair set behind the latest snapshot, and
+        # whether that snapshot rebuilt its paths (topology epoch moved).
+        # The stream publisher reads these instead of diffing snapshots;
+        # None means "dirtiness unknown -- consider every pair" (the
+        # non-incremental mode, or no snapshot yet).
+        self.last_dirty_pairs: Optional[Set[Tuple[str, str]]] = None
+        self.last_snapshot_rebuilt = False
         tel = getattr(calculator, "telemetry", None)
         self._g_dirty = (
             tel.registry.gauge(DIRTY_PAIRS_GAUGE, _DIRTY_PAIRS_HELP)
@@ -193,6 +200,8 @@ class BandwidthMatrix:
 
     def snapshot(self, time: float) -> MatrixSnapshot:
         if not self.incremental:
+            self.last_dirty_pairs = None  # dirtiness unknown in naive mode
+            self.last_snapshot_rebuilt = False
             reports: Dict[Tuple[str, str], Optional[PathReport]] = {}
             for (a, b), path in self._paths.items():
                 if path is None:
@@ -205,12 +214,14 @@ class BandwidthMatrix:
         return self._snapshot_incremental(time)
 
     def _snapshot_incremental(self, time: float) -> MatrixSnapshot:
+        rebuilt = False
         if self.graph.topology_epoch != self._topology_epoch:
             # Topology changed: paths may differ, previous state is void.
             self._build_paths()
             self._prev_reports = {}
             self._prev_tokens = {}
             self._prev_time = None
+            rebuilt = True
         tokens: Dict[Tuple, Tuple] = {}
         dirty_pairs: Set[Tuple[str, str]] = set()
         prev_tokens = self._prev_tokens
@@ -243,6 +254,12 @@ class BandwidthMatrix:
         self._prev_time = time
         self._prev_tokens = tokens
         self.dirty_pairs_last = len(dirty_pairs)
+        # After a rebuild previous tokens were void, so every measurable
+        # pair landed in dirty_pairs -- exactly what the stream publisher
+        # must re-deliver; it still needs the rebuilt flag to re-baseline
+        # its significance filters.
+        self.last_dirty_pairs = dirty_pairs
+        self.last_snapshot_rebuilt = rebuilt
         if self._g_dirty is not None:
             self._g_dirty.set(float(len(dirty_pairs)))
         return MatrixSnapshot(hosts=list(self.hosts), time=time, reports=reports)

@@ -39,6 +39,7 @@ from repro.core.report import PathReport
 from repro.core.traversal import find_path
 from repro.snmp.manager import SnmpManager
 from repro.spec.builder import BuildResult
+from repro.stream.manager import register_stream_metrics
 from repro.telemetry import Telemetry
 from repro.topology.graph import TopologyGraph
 from repro.topology.model import ConnectionSpec, TopologySpec
@@ -197,6 +198,11 @@ class NetworkMonitor:
         # One shared graph: watch traversal memoizes into it, and matrix
         # consumers (the CLI passes it to BandwidthMatrix) reuse the memos.
         self.graph = TopologyGraph(self.spec)
+        # Streaming surface (see :meth:`enable_streaming`).  The metric
+        # families are registered unconditionally, like the integrity
+        # ones, so ``stats()`` keys resolve with streaming disabled.
+        register_stream_metrics(self.telemetry.registry)
+        self.stream = None  # Optional[MatrixPublisher]
         self._report_task = None
         self._m_reports = self.telemetry.registry.counter(
             "reports_total", "path reports emitted"
@@ -412,6 +418,55 @@ class NetworkMonitor:
         self._subscribers.append(callback)
 
     # ------------------------------------------------------------------
+    # Streaming subscriptions
+    # ------------------------------------------------------------------
+    def enable_streaming(
+        self,
+        hosts: Optional[Sequence[str]] = None,
+        significance: Union[bool, "SignificanceFilter", None] = True,
+        incremental: bool = True,
+    ) -> "MatrixPublisher":
+        """Publish matrix changes as typed stream events each cycle.
+
+        Builds a :class:`~repro.core.matrix.BandwidthMatrix` over this
+        monitor's calculator (sharing its epoch caches and topology
+        graph) and a :class:`~repro.stream.MatrixPublisher` on top; each
+        report cycle then also publishes the matrix's dirty pairs to the
+        publisher's subscribers.  ``significance=True`` installs the
+        default adaptive :class:`~repro.stream.QuantileDeadbandFilter`;
+        pass a filter instance to tune it, or ``False``/``None`` to
+        deliver every change.  ``hosts`` restricts the matrix (default:
+        every host in the spec).  Idempotent -- returns the existing
+        publisher on repeat calls.
+        """
+        if self.stream is not None:
+            return self.stream
+        from repro.core.matrix import BandwidthMatrix
+        from repro.stream import (
+            MatrixPublisher,
+            QuantileDeadbandFilter,
+            SubscriptionManager,
+        )
+
+        if significance is True:
+            significance = QuantileDeadbandFilter()
+        elif significance is False:
+            significance = None
+        matrix = BandwidthMatrix(
+            self.spec,
+            self.calculator,
+            hosts=hosts,
+            incremental=incremental,
+            graph=self.graph,
+        )
+        self.stream = MatrixPublisher(
+            matrix,
+            manager=SubscriptionManager(self.telemetry),
+            significance=significance,
+        )
+        return self.stream
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self, at: Optional[float] = None) -> None:
@@ -457,6 +512,11 @@ class NetworkMonitor:
             self._m_reports.inc()
             for callback in self._subscribers:
                 callback(report)
+        # The stream publisher runs after the watches so push-mode
+        # subscribers (the RM stream adapter) observe the same cycle
+        # order snapshot consumers do: watches first, then the matrix.
+        if self.stream is not None:
+            self.stream.publish(self.sim.now)
 
     def current_report(self, label: str) -> PathReport:
         """Compute a report right now (outside the periodic schedule)."""
@@ -504,4 +564,8 @@ class NetworkMonitor:
             "cache_hits": value("dataflow_cache_hits"),
             "recomputes": value("dataflow_recomputes"),
             "dirty_pairs": value("dataflow_dirty_pairs"),
+            "stream_subscribers": value("stream_subscribers"),
+            "stream_events_delivered": value("stream_events_delivered_total"),
+            "stream_events_suppressed": value("stream_events_suppressed_total"),
+            "stream_events_dropped": value("stream_events_dropped_total"),
         }

@@ -10,7 +10,7 @@ future work.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from enum import Enum
 from typing import Callable, List, Optional
 
@@ -136,3 +136,52 @@ class ViolationDetector:
         if start is not None:
             spans.append((start, None))
         return spans
+
+
+class StreamViolationAdapter:
+    """Feeds a detector from stream events instead of monitor callbacks.
+
+    The thin bridge between :mod:`repro.stream` and the RM loop: a
+    subscription with ``deliver_unchanged=True`` on the requirement's
+    host pair hands this adapter one event per publish cycle; the
+    adapter lifts the event's :class:`~repro.core.report.PathReport`
+    out, renames it to the requirement's watch label (matrix reports are
+    named ``matrix:a<->b``; the detector routes by label), and forwards
+    it to ``sink`` -- a :meth:`ViolationDetector.offer` bound method or
+    the middleware's report handler.
+
+    Because the heartbeat subscription delivers the *same per-cycle
+    cadence* snapshot mode delivers (every cycle, filtered by neither
+    dirtiness nor significance deadbands), the detector's
+    consecutive-sample hysteresis sees identical evidence and makes
+    bit-identical decisions in both modes -- the invariant
+    ``tests/test_stream.py`` guards.
+    """
+
+    __slots__ = ("requirement", "sink", "events_seen")
+
+    def __init__(
+        self, requirement: QosRequirement, sink: Callable[[PathReport], None]
+    ) -> None:
+        self.requirement = requirement
+        self.sink = sink
+        self.events_seen = 0
+
+    def subscription_name(self) -> str:
+        return f"rm:{self.requirement.watch_label}"
+
+    def attach(self, publisher) -> None:
+        """Subscribe this adapter to a stream publisher (push mode)."""
+        publisher.manager.subscribe(
+            self.subscription_name(),
+            pairs=[(self.requirement.src, self.requirement.dst)],
+            callback=self.on_event,
+            deliver_unchanged=True,
+        )
+
+    def on_event(self, event) -> None:
+        report = getattr(event, "report", None)
+        if report is None:
+            return  # query events carry no report
+        self.events_seen += 1
+        self.sink(replace(report, name=self.requirement.watch_label))

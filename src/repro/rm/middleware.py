@@ -16,7 +16,12 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.monitor import NetworkMonitor
 from repro.core.report import PathReport
 from repro.rm.allocator import PlacementAdvice, ReallocationAdvisor
-from repro.rm.detector import QosEvent, QosState, ViolationDetector
+from repro.rm.detector import (
+    QosEvent,
+    QosState,
+    StreamViolationAdapter,
+    ViolationDetector,
+)
 from repro.rm.diagnosis import BottleneckDiagnosis, diagnose
 from repro.rm.qos import QosRequirement
 from repro.telemetry.events import QOS_RECOVERY, QOS_VIOLATION
@@ -54,7 +59,13 @@ class RmMiddleware:
         breach_count: int = 2,
         clear_count: int = 2,
         advise_reallocation: bool = True,
+        stream: bool = False,
     ) -> None:
+        """``stream=True`` consumes push events from the monitor's
+        stream publisher (enabling streaming if needed) instead of the
+        snapshot report callback; hysteresis decisions are bit-identical
+        either way (see
+        :class:`~repro.rm.detector.StreamViolationAdapter`)."""
         self.monitor = monitor
         self.spec = monitor.spec
         self._events = monitor.telemetry.events
@@ -76,7 +87,15 @@ class RmMiddleware:
             self.detectors[requirement.watch_label] = ViolationDetector(
                 requirement, breach_count=breach_count, clear_count=clear_count
             )
-        monitor.subscribe(self._on_report)
+        self.stream_adapters: List[StreamViolationAdapter] = []
+        if stream:
+            publisher = monitor.enable_streaming()
+            for requirement in requirements:
+                adapter = StreamViolationAdapter(requirement, self._on_report)
+                adapter.attach(publisher)
+                self.stream_adapters.append(adapter)
+        else:
+            monitor.subscribe(self._on_report)
 
     # ------------------------------------------------------------------
     # Report handling

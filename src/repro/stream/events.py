@@ -1,0 +1,154 @@
+"""Typed events on the streaming subscription surface.
+
+Consumers of the bandwidth matrix used to poll snapshots and diff them;
+the stream turns each dirty-pair recomputation into one of a small set
+of typed events instead.  Every event is a frozen record carrying:
+
+- the **pair** it concerns (the unordered host pair, normalised so
+  ``("a", "b")`` and ``("b", "a")`` are the same subscription key),
+- the simulated **time** of the snapshot it came from,
+- the publish **epoch** -- all events emitted from one matrix snapshot
+  share one epoch, and epochs are strictly increasing, so a consumer
+  can tell "these events describe one coherent instant" and detect
+  missed cycles (a gap in epochs after a ``drop_oldest`` overflow),
+- the full :class:`~repro.core.report.PathReport` behind the change, so
+  event consumers (the RM adapter) see exactly what snapshot consumers
+  saw.
+
+Kinds:
+
+:class:`PairChanged`
+    The pair's measurement moved significantly (or at all, for
+    subscriptions that opted out of significance filtering).
+:class:`PathDegraded` / :class:`PathRestored`
+    The pair's trust status crossed fresh/degraded/unavailable -- these
+    always bypass significance deadbands: a trust transition is never
+    "too small to matter".
+:class:`QueryFired` / :class:`QueryCleared`
+    A continuous query's standing predicate began / stopped holding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.report import PathReport
+
+__all__ = [
+    "PairChanged",
+    "PathDegraded",
+    "PathRestored",
+    "QueryCleared",
+    "QueryFired",
+    "StreamEvent",
+    "pair_key",
+]
+
+
+def pair_key(a: str, b: str) -> Tuple[str, str]:
+    """The normalised (sorted) subscription key for an unordered pair."""
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """Base record: what pair, when, and under which publish epoch."""
+
+    pair: Tuple[str, str]
+    time: float
+    epoch: int
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class PairChanged(StreamEvent):
+    """One pair's bandwidth figures moved (post significance filter).
+
+    ``previous_available_bps`` is the value behind the last *delivered*
+    event for this pair (NaN before the first delivery), so a consumer
+    can see the step size without holding its own last-value table.
+    """
+
+    report: PathReport
+    available_bps: float
+    used_bps: float
+    utilization: float
+    status: str
+    previous_available_bps: float
+
+    def __str__(self) -> str:
+        a, b = self.pair
+        return (
+            f"[{self.time:9.3f}s e{self.epoch}] {a}<->{b}: "
+            f"available {self.available_bps / 1000:.1f} KB/s "
+            f"(was {self.previous_available_bps / 1000:.1f}), "
+            f"used {self.used_bps / 1000:.1f} KB/s [{self.status}]"
+        )
+
+
+@dataclass(frozen=True)
+class PathDegraded(StreamEvent):
+    """The pair's trust status worsened (fresh -> degraded/unavailable)."""
+
+    report: PathReport
+    status: str
+    previous_status: str
+
+    def __str__(self) -> str:
+        a, b = self.pair
+        return (
+            f"[{self.time:9.3f}s e{self.epoch}] {a}<->{b}: "
+            f"DEGRADED {self.previous_status} -> {self.status}"
+        )
+
+
+@dataclass(frozen=True)
+class PathRestored(StreamEvent):
+    """The pair's trust status improved (towards fresh)."""
+
+    report: PathReport
+    status: str
+    previous_status: str
+
+    def __str__(self) -> str:
+        a, b = self.pair
+        return (
+            f"[{self.time:9.3f}s e{self.epoch}] {a}<->{b}: "
+            f"restored {self.previous_status} -> {self.status}"
+        )
+
+
+@dataclass(frozen=True)
+class QueryFired(StreamEvent):
+    """A continuous query's predicate began holding for this pair."""
+
+    query: str
+    value: float
+    detail: Optional[str] = None
+
+    def __str__(self) -> str:
+        a, b = self.pair
+        tail = f" ({self.detail})" if self.detail else ""
+        return (
+            f"[{self.time:9.3f}s e{self.epoch}] query {self.query} FIRED "
+            f"on {a}<->{b}: {self.value:.1f}{tail}"
+        )
+
+
+@dataclass(frozen=True)
+class QueryCleared(StreamEvent):
+    """A continuous query's predicate stopped holding for this pair."""
+
+    query: str
+    value: float
+
+    def __str__(self) -> str:
+        a, b = self.pair
+        return (
+            f"[{self.time:9.3f}s e{self.epoch}] query {self.query} cleared "
+            f"on {a}<->{b}: {self.value:.1f}"
+        )

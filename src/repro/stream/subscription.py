@@ -1,0 +1,213 @@
+"""One subscriber's bounded event queue and its overflow policy.
+
+The scaling contract of the whole stream layer lives here: a
+subscription holds **O(bound)** memory however fast events arrive and
+however slowly its consumer drains -- thousands of slow consumers cost
+the publisher thousands of small queues, never thousands of unbounded
+backlogs.  What happens when the bound is hit is the subscriber's
+choice:
+
+``drop_oldest``
+    The queue is a ring: a new event evicts the oldest undelivered one.
+    The consumer keeps up with *now* at the price of holes in the
+    history; the strictly-increasing event epochs make the holes
+    visible (a gap in epochs = dropped events).
+
+``conflate``
+    Newest value per pair wins.  The queue holds at most one pending
+    event per pair; a fresh event for an already-queued pair *replaces*
+    it in place (same queue position, zero growth).  Only when the
+    bound is hit by a brand-new pair is the oldest pair's pending event
+    evicted.  This is the natural policy for dashboards and placement
+    searches: they want current state, not history.
+
+``block``
+    Nothing is ever silently lost mid-stream: when the queue is full,
+    new events are refused and the subscription enters a *stalled*
+    state.  Because the publisher cannot (and in a discrete-event
+    simulation, must not) suspend the measurement loop for one slow
+    consumer, stalling instead marks the subscription for **resync**:
+    after the consumer drains its backlog, the next publish cycle
+    re-delivers the *current* value of every pair the subscription
+    missed while stalled, stamped with the current epoch.  The consumer
+    sees a gap, then a coherent fresh baseline -- the same contract a
+    reconnecting watch client gets from any production event API.
+
+All three policies expose the same pull interface (:meth:`poll`,
+:meth:`drain`) plus an optional push ``callback`` that delivers events
+synchronously and bypasses the queue entirely (used by the RM
+middleware, whose detectors are O(1) per event).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from enum import Enum
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.stream.events import StreamEvent
+
+__all__ = ["OverflowPolicy", "Subscription"]
+
+PairKey = Tuple[str, str]
+
+DEFAULT_QUEUE_BOUND = 256
+
+
+class OverflowPolicy(Enum):
+    DROP_OLDEST = "drop_oldest"
+    CONFLATE = "conflate"
+    BLOCK = "block"
+
+
+class Subscription:
+    """One consumer's view of the stream: selection, queue, policy.
+
+    ``pairs`` restricts delivery to the given unordered host pairs
+    (``None``: every pair the publisher covers).  ``deliver_unchanged``
+    requests an event for every subscribed pair on every publish cycle,
+    bypassing both the dirty-pair skip and the significance filter --
+    the mode the RM adapter uses so its sample-counting hysteresis sees
+    the same per-cycle cadence snapshot consumers see.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        pairs: Optional[Set[PairKey]] = None,
+        policy: OverflowPolicy = OverflowPolicy.DROP_OLDEST,
+        bound: int = DEFAULT_QUEUE_BOUND,
+        callback: Optional[Callable[[StreamEvent], None]] = None,
+        deliver_unchanged: bool = False,
+    ) -> None:
+        if bound < 1:
+            raise ValueError(f"queue bound must be >= 1, got {bound!r}")
+        self.name = name
+        self.pairs = pairs
+        self.policy = policy
+        self.bound = bound
+        self.callback = callback
+        self.deliver_unchanged = deliver_unchanged
+        self._queue: Deque[StreamEvent] = deque()
+        self._conflated: "OrderedDict[PairKey, StreamEvent]" = OrderedDict()
+        self.stalled = False
+        self._missed_pairs: Set[PairKey] = set()
+        # Counters (the manager aggregates these into telemetry).
+        self.events_delivered = 0  # accepted into the queue / callback
+        self.events_dropped = 0  # evicted or refused by the bound
+        self.events_conflated = 0  # replaced in place by a newer value
+        self.high_watermark = 0  # deepest the queue has ever been
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def wants(self, pair: PairKey) -> bool:
+        return self.pairs is None or pair in self.pairs
+
+    # ------------------------------------------------------------------
+    # Publisher side
+    # ------------------------------------------------------------------
+    def offer(self, event: StreamEvent) -> bool:
+        """Enqueue (or push) one event; False when refused by ``block``."""
+        if self.callback is not None:
+            self.callback(event)
+            self.events_delivered += 1
+            return True
+        if self.policy is OverflowPolicy.CONFLATE:
+            self._offer_conflated(event)
+            return True
+        if len(self._queue) >= self.bound:
+            if self.policy is OverflowPolicy.DROP_OLDEST:
+                self._queue.popleft()
+                self.events_dropped += 1
+            else:  # BLOCK: refuse, remember what was missed, resync later
+                self.stalled = True
+                self._missed_pairs.add(event.pair)
+                self.events_dropped += 1
+                return False
+        self._queue.append(event)
+        self.events_delivered += 1
+        self._note_depth()
+        return True
+
+    def _offer_conflated(self, event: StreamEvent) -> None:
+        if event.pair in self._conflated:
+            # Newest value per pair wins, in the pair's existing slot.
+            self._conflated[event.pair] = event
+            self.events_conflated += 1
+            return
+        if len(self._conflated) >= self.bound:
+            self._conflated.popitem(last=False)  # evict the oldest pair
+            self.events_dropped += 1
+        self._conflated[event.pair] = event
+        self.events_delivered += 1
+        self._note_depth()
+
+    def _note_depth(self) -> None:
+        depth = len(self)
+        if depth > self.high_watermark:
+            self.high_watermark = depth
+
+    # -- block-policy resync -------------------------------------------
+    def resync_pairs(self) -> Set[PairKey]:
+        """Pairs missed while stalled, ready for re-delivery -- empty
+        until the consumer has drained the backlog (the resync must
+        land *behind* the events the consumer already holds)."""
+        if not self.stalled or len(self._queue) > 0:
+            return set()
+        return set(self._missed_pairs)
+
+    def resynced(self, delivered: Optional[Set[PairKey]] = None) -> None:
+        """The publisher re-delivered ``delivered`` missed pairs (None:
+        all of them); unstall once nothing is missing.  A resync can be
+        partial -- the backlog bound also caps how many re-deliveries
+        fit per drain round -- in which case the subscription stays
+        stalled and the remaining pairs wait for the next round."""
+        if delivered is None:
+            self._missed_pairs.clear()
+        else:
+            self._missed_pairs -= delivered
+        if not self._missed_pairs:
+            self.stalled = False
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def poll(self) -> Optional[StreamEvent]:
+        """The oldest pending event, or None."""
+        if self.policy is OverflowPolicy.CONFLATE:
+            if not self._conflated:
+                return None
+            _, event = self._conflated.popitem(last=False)
+            return event
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def drain(self, limit: Optional[int] = None) -> List[StreamEvent]:
+        """Up to ``limit`` pending events, oldest first (None: all)."""
+        out: List[StreamEvent] = []
+        while limit is None or len(out) < limit:
+            event = self.poll()
+            if event is None:
+                break
+            out.append(event)
+        return out
+
+    def pending(self) -> int:
+        return len(self)
+
+    def __len__(self) -> int:
+        if self.policy is OverflowPolicy.CONFLATE:
+            return len(self._conflated)
+        return len(self._queue)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "pending": len(self),
+            "delivered": self.events_delivered,
+            "dropped": self.events_dropped,
+            "conflated": self.events_conflated,
+            "high_watermark": self.high_watermark,
+            "stalled": int(self.stalled),
+        }

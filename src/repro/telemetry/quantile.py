@@ -22,7 +22,12 @@ months).  Two estimators are provided:
     <= q))`` with a step size scaled by an exponentially-weighted mean
     absolute deviation.
 
-Both expose the same tiny interface: ``observe(x)`` and ``value``.
+Both expose the same tiny interface: ``observe(x)``, ``value`` and
+``reset()`` -- the latter discards all learned state, returning the
+estimator to its just-constructed condition.  Consumers tracking a
+distribution that is *defined* to have changed (the stream's
+significance filters after a topology epoch bump) re-baseline with it
+instead of letting stale markers bias the new regime.
 """
 
 from __future__ import annotations
@@ -40,11 +45,16 @@ class P2Quantile:
         if not 0.0 < p < 1.0:
             raise ValueError(f"quantile must be in (0, 1), got {p!r}")
         self.p = p
+        self._increments = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget every observation; the estimator re-primes from scratch."""
+        p = self.p
         self.count = 0
         self._heights: List[float] = []  # marker heights q_0..q_4 once primed
         self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]  # actual marker positions n_i
         self._desired = [1.0, 1.0 + 2 * p, 1.0 + 4 * p, 3.0 + 2 * p, 5.0]
-        self._increments = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
 
     # ------------------------------------------------------------------
     def observe(self, x: float) -> None:
@@ -128,6 +138,10 @@ class EwmaQuantile:
             raise ValueError(f"weight must be in (0, 1], got {weight!r}")
         self.p = p
         self.weight = weight
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget every observation; the next one re-seeds the estimate."""
         self.count = 0
         self._estimate: Optional[float] = None
         self._scale = 0.0

@@ -261,3 +261,81 @@ class TestExperiment:
         out = capsys.readouterr().out
         assert "Figure 5" in out
         assert "hub sum" in out
+
+
+class TestStream:
+    def test_default_testbed_runs_clean(self, capsys):
+        code = main(["stream", "--until", "30", "--load", "L:N1:500:5:25"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stream after 30.0 simulated seconds" in out
+        assert "[policy drop_oldest, bound 256]" in out
+        assert "stream counters:" in out
+        assert "subscribers: 1" in out
+        assert "filter_resets: 0" in out
+        assert "subscription 'cli':" in out
+
+    def test_threshold_query_fires(self, capsys):
+        code = main([
+            "stream", "--until", "20",
+            "--pair", "S1:N1",
+            "--load", "L:N1:300:2:18",
+            "--threshold", "S1:N1:2000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "query threshold0:S1<->N1 FIRED" in out
+        assert "queries: 1" in out
+
+    def test_percentile_query_registered(self, capsys):
+        code = main([
+            "stream", "--until", "20",
+            "--pair", "S1:N1",
+            "--load", "L:N1:600:2:18",
+            "--percentile", "S1:N1:0.9:0.01",
+        ])
+        assert code == 0
+        assert "queries: 1" in capsys.readouterr().out
+
+    def test_conflate_policy_bounds_pending(self, capsys):
+        code = main([
+            "stream", "--until", "30",
+            "--load", "L:N1:500:5:25",
+            "--policy", "conflate", "--bound", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[policy conflate, bound 4]" in out
+        # At most `bound` pending events survive however long the run.
+        pending = int(out.split("simulated seconds: ")[1].split(" pending")[0])
+        assert pending <= 4
+
+    def test_no_significance_suppresses_nothing(self, capsys):
+        code = main([
+            "stream", "--until", "20", "--no-significance",
+            "--load", "L:N1:400:2:18",
+        ])
+        assert code == 0
+        assert "suppressed: 0" in capsys.readouterr().out
+
+    def test_spec_file_requires_host(self, good_spec, capsys):
+        assert main(["stream", good_spec]) == 2
+
+    def test_spec_file_end_to_end(self, good_spec, capsys):
+        code = main([
+            "stream", good_spec, "--host", "L",
+            "--pair", "S1:N1", "--until", "15",
+            "--load", "L:N1:300:2:12",
+        ])
+        assert code == 0
+        assert "N1<->S1" in capsys.readouterr().out  # pair keys sort
+
+    def test_malformed_threshold_rejected(self, capsys):
+        assert main(["stream", "--threshold", "S1:N1"]) == 2
+
+    def test_malformed_percentile_rejected(self, capsys):
+        assert main(["stream", "--percentile", "S1:N1:0.9"]) == 2
+
+    def test_bad_policy_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["stream", "--policy", "teleport"])

@@ -67,3 +67,49 @@ class TestTutorialSpecs:
         assert match, "README quickstart must embed a spec"
         spec = parse_spec(match.group(1))
         assert {n.name for n in spec.hosts()} == {"alice", "bob"}
+
+
+def extract_python_blocks(text: str, marker: str):
+    """Fenced ```python blocks whose source mentions ``marker``."""
+    fenced = re.findall(r"```python\n(.*?)\n```", text, re.S)
+    return [b for b in fenced if marker in b]
+
+
+class TestStreamingSnippets:
+    """The streaming snippets in README and docs must stay runnable."""
+
+    def _run(self, source: str) -> dict:
+        namespace: dict = {}
+        exec(compile(source, "<doc-snippet>", "exec"), namespace)
+        return namespace
+
+    def test_readme_streaming_snippet_runs(self, capsys):
+        blocks = extract_python_blocks(README.read_text(), "enable_streaming")
+        assert blocks, "README must embed the streaming quick-start"
+        namespace = self._run(blocks[0])
+        publisher = namespace["monitor"].stream
+        assert publisher is not None and publisher.cycles > 0
+        assert len(publisher.queries()) == 1
+        # The conflated subscription drained real events to stdout.
+        assert "<->" in capsys.readouterr().out
+
+    def test_architecture_streaming_snippet_runs(self, capsys):
+        text = (DOCS / "architecture.md").read_text()
+        blocks = extract_python_blocks(text, "enable_streaming")
+        assert blocks, "architecture.md must embed the streaming example"
+        namespace = self._run(blocks[0])
+        publisher = namespace["publisher"]
+        assert publisher.cycles > 0
+        assert {q.name for q in publisher.queries()} == {"n1-low", "p90-util"}
+        assert "<->" in capsys.readouterr().out
+
+    def test_architecture_documents_stream_stats_keys(self):
+        text = (DOCS / "architecture.md").read_text()
+        assert "## Streaming subscriptions & continuous queries" in text
+        for key in (
+            "stream_subscribers",
+            "stream_events_delivered",
+            "stream_events_suppressed",
+            "stream_events_dropped",
+        ):
+            assert key in text

@@ -6,6 +6,7 @@ import os
 import pytest
 
 from repro.simnet.engine import Simulator
+from repro.stream import register_stream_metrics
 from repro.telemetry import (
     MetricsRegistry,
     Telemetry,
@@ -49,6 +50,11 @@ def build_reference_registry() -> MetricsRegistry:
         "interface_trust", "per-interface trust score (1 = pristine)", ("interface",)
     )
     trust.labels(interface="S1:1").set(0.25)
+    register_stream_metrics(reg)
+    reg.gauge("stream_subscribers").set(3)
+    reg.counter("stream_events_delivered_total").inc(120)
+    reg.counter("stream_events_suppressed_total").inc(45)
+    reg.counter("stream_events_dropped_total").inc(7)
     return reg
 
 

@@ -71,7 +71,8 @@ class TestMonitorTelemetry:
             "snmp_retransmissions", "integrity_violations",
             "integrity_rejected", "integrity_quarantined",
             "cross_check_mismatches", "cache_hits", "recomputes",
-            "dirty_pairs",
+            "dirty_pairs", "stream_subscribers", "stream_events_delivered",
+            "stream_events_suppressed", "stream_events_dropped",
         }
         registry = monitor.telemetry.registry
         assert stats["poll_cycles"] == registry.value("poll_cycles_total")
