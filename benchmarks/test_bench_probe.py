@@ -1,0 +1,158 @@
+"""Regression gate: the active probe plane at scale.
+
+Runs the probe scheduler on a 114-host generated topology (the same
+``scale_spec`` shape the stream bench uses) and holds the plane to its
+acceptance properties:
+
+- **Budgeted overhead.**  Probe load, measured from the DSCP-marked
+  per-interface ToS octet counters on the probing host (i.e. what
+  actually hit the wire, not what the scheduler believes it sent),
+  stays within ``budget_fraction`` of the narrowest watched link --
+  with a 10% allowance for Ethernet framing on top of the scheduler's
+  IP-level arithmetic.  Probing must never perturb what it measures.
+- **Fairness.**  Round-robin train counts across watched paths differ
+  by at most one on a fault-free run.
+- **Zero false disagreements.**  A fault-free run under metered
+  background load produces no cross-validation findings: every probe
+  figure lands inside the passive ``[available, capacity]`` envelope.
+- **Detection within three probe rounds.**  A ``SpeedMisreport`` liar
+  (physical link negotiated down, agent still claiming the spec speed
+  -- invisible to every passive validator) is flagged as a
+  ``quarantine_candidate_agent`` within three completed trains on the
+  affected path, and the path's report confidence is capped.
+
+Writes ``BENCH_probe.json`` for the CI artifact upload.
+"""
+
+import json
+from pathlib import Path
+
+from repro.core.monitor import NetworkMonitor
+from repro.experiments.scale import scale_spec
+from repro.probe import PROBE_TOS
+from repro.simnet.faults import SpeedMisreport
+from repro.simnet.trafficgen import StaircaseLoad, StepSchedule
+from repro.spec.builder import build_network
+from repro.telemetry.events import PROBE_DISAGREEMENT, PROBE_TRAIN_COMPLETED
+
+UNTIL = 40.0
+BUDGET_FRACTION = 0.02
+FRAMING_ALLOWANCE = 1.10  # Ethernet framing rides on the IP-level budget
+DETECTION_TRAINS = 3  # liar must be flagged within this many path probes
+WATCHES = ("h5_0", "n0_0", "h2_0")  # chain end, hub pocket, liar-to-be
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_probe.json"
+
+
+def _probed_scale():
+    spec = scale_spec(
+        switches=6, hosts_per_switch=18, arity=1, hub_pockets=2, hub_hosts=3
+    )
+    hosts = [n.name for n in spec.hosts()]
+    assert len(hosts) >= 100, f"benchmark topology too small: {len(hosts)} hosts"
+    build = build_network(spec)
+    monitor = NetworkMonitor(build, "h0_0", poll_interval=2.0, poll_jitter=0.0)
+    for dst in WATCHES:
+        monitor.watch_path("h0_0", dst)
+    prober = monitor.enable_probing(budget_fraction=BUDGET_FRACTION)
+    return build, monitor, prober, len(hosts)
+
+
+def test_bench_probe_overhead_fairness_detection():
+    # -- Fault-free run under metered background load -------------------
+    build, monitor, prober, n_hosts = _probed_scale()
+    net = build.network
+    StaircaseLoad(
+        net.host("h3_0"),
+        net.ip_of("h3_1"),
+        StepSchedule.pulse(5.0, 35.0, 400_000.0),
+    ).start()
+    monitor.start()
+    net.run(UNTIL)
+
+    stats = prober.stats()
+    narrowest = min(prober.narrowest_bytes(lb) for lb in stats["trains_per_path"])
+    budget_bytes_per_s = BUDGET_FRACTION * narrowest
+    # Every probe leaves the monitoring host, DSCP-marked: the ToS
+    # counter on its interface is the ground truth for probe load.
+    probe_octets = monitor.network.host("h0_0").interfaces[0].tos_out_octets.get(
+        PROBE_TOS, 0
+    )
+    probe_load = probe_octets / UNTIL
+    counts = stats["trains_per_path"]
+    fairness_spread = max(counts.values()) - min(counts.values())
+    false_disagreements = monitor.stats()["probe_disagreements"]
+
+    # -- Liar run: physical 10 Mb/s, claimed 100 Mb/s -------------------
+    build, monitor, prober, _ = _probed_scale()
+    net = build.network
+    liar_iface = net.host("h2_0").interfaces[0]
+    liar_iface.speed_bps = 10e6
+    link = liar_iface.link
+    link.bandwidth_bps = 10e6
+    for end in link.endpoints:
+        link.channel_from(end).bandwidth_bps = 10e6
+    SpeedMisreport(
+        net.sim, build.agents["h2_0"], if_index=1, claimed_bps=100_000_000,
+        at=0.0, events=monitor.telemetry.events,
+    )
+    monitor.start()
+    net.run(UNTIL)
+
+    bus = monitor.telemetry.events
+    flagged = bus.events(PROBE_DISAGREEMENT)
+    first_flag = flagged[0] if flagged else None
+    trains_to_detect = (
+        len(
+            [
+                e
+                for e in bus.events(PROBE_TRAIN_COMPLETED)
+                if e.attrs.get("path") == "h0_0<->h2_0"
+                and e.time <= first_flag.time
+            ]
+        )
+        if first_flag is not None
+        else None
+    )
+    causes = sorted({e.attrs.get("cause") for e in flagged})
+    liar_report = monitor.current_report("h0_0<->h2_0")
+
+    results = {
+        "hosts": n_hosts,
+        "watched_paths": len(WATCHES),
+        "until_s": UNTIL,
+        "budget_fraction": BUDGET_FRACTION,
+        "round_interval_s": stats["round_interval"],
+        "train_bytes": stats["train_bytes"],
+        "budget_bytes_per_s": round(budget_bytes_per_s, 1),
+        "probe_octets": probe_octets,
+        "probe_load_bytes_per_s": round(probe_load, 1),
+        "probe_load_pct_of_budget": round(100.0 * probe_load / budget_bytes_per_s, 1),
+        "trains_per_path": counts,
+        "fairness_spread": fairness_spread,
+        "false_disagreements": false_disagreements,
+        "liar_first_flag_s": round(first_flag.time, 3) if first_flag else None,
+        "liar_trains_to_detect": trains_to_detect,
+        "liar_causes": causes,
+        "liar_confidence": liar_report.confidence,
+    }
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nprobe bench: {json.dumps(results, indent=2)}")
+
+    assert probe_load <= budget_bytes_per_s * FRAMING_ALLOWANCE, (
+        f"probe plane overran its budget: {probe_load:.0f} B/s on the wire "
+        f"vs {budget_bytes_per_s:.0f} B/s allowed "
+        f"(x{FRAMING_ALLOWANCE} framing allowance)"
+    )
+    assert stats["trains_started"] >= 30, "scheduler barely ran; bench is vacuous"
+    assert fairness_spread <= 1, f"round-robin unfair: {counts}"
+    assert false_disagreements == 0, (
+        f"fault-free run produced {false_disagreements} disagreements"
+    )
+    assert first_flag is not None, "liar never flagged"
+    assert trains_to_detect <= DETECTION_TRAINS, (
+        f"detection took {trains_to_detect} trains on the liar path "
+        f"(budget {DETECTION_TRAINS})"
+    )
+    assert "quarantine_candidate_agent" in causes
+    assert liar_report.confidence <= 0.4 and liar_report.degraded

@@ -274,6 +274,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--until", type=float, default=40.0, help="simulated seconds")
     p_stream.add_argument("--interval", type=float, default=2.0, help="poll interval")
 
+    p_probe = sub.add_parser(
+        "probe",
+        help="active probe trains cross-validated against passive reports",
+    )
+    p_probe.add_argument(
+        "specfile", nargs="?", default=None,
+        help="topology spec (default: the paper's Figure-3 testbed)",
+    )
+    p_probe.add_argument(
+        "--host", default=None,
+        help="host running the monitor (default: L on the built-in testbed)",
+    )
+    p_probe.add_argument(
+        "--watch", action="append", default=[], metavar="SRC:DST",
+        help="host pair to watch and probe (repeatable; default on the "
+        "testbed: S1:N1)",
+    )
+    p_probe.add_argument(
+        "--load", action="append", default=[], metavar="SRC:DST:KBPS:T0:T1",
+        help="UDP load to generate (repeatable)",
+    )
+    p_probe.add_argument(
+        "--budget", type=float, default=0.02,
+        help="probe load ceiling as a fraction of the narrowest link",
+    )
+    p_probe.add_argument("--count", type=int, default=16, help="probes per train")
+    p_probe.add_argument(
+        "--payload", type=int, default=1472, help="probe payload bytes"
+    )
+    p_probe.add_argument(
+        "--timeout", type=float, default=1.0,
+        help="seconds before an incomplete train is abandoned",
+    )
+    p_probe.add_argument(
+        "--rtt", action="store_true",
+        help="also run an RTT probe session (UDP echo) over each watch",
+    )
+    p_probe.add_argument("--until", type=float, default=40.0, help="simulated seconds")
+    p_probe.add_argument("--interval", type=float, default=2.0, help="poll interval")
+
     p_disc = sub.add_parser("discover", help="SNMP topology discovery + verification")
     p_disc.add_argument("specfile")
     p_disc.add_argument("--host", required=True, help="host running discovery")
@@ -1043,6 +1083,98 @@ def cmd_distributed(args) -> int:
     return 0
 
 
+def cmd_probe(args) -> int:
+    from repro.core.latency import PathProber
+    from repro.experiments.testbed import MONITOR_HOST, build_testbed
+    from repro.probe import ProbeError
+    from repro.simnet.sockets import EchoService
+
+    try:
+        if args.specfile is None:
+            build = build_testbed()
+            host = args.host or MONITOR_HOST
+            watches = args.watch or ["S1:N1"]
+        else:
+            spec = parse_file(args.specfile)
+            build = build_network(spec)
+            host = args.host
+            watches = args.watch
+            if host is None:
+                print("error: --host is required with a spec file", file=sys.stderr)
+                return 2
+            if not watches:
+                print("error: at least one --watch SRC:DST is required",
+                      file=sys.stderr)
+                return 2
+    except (ParseError, LexError, SpecValidationError, TopologyError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    rtt_sessions = []
+    try:
+        monitor = NetworkMonitor(build, host, poll_interval=args.interval)
+        labels = [monitor.watch_path(*_parse_watch(w)) for w in watches]
+        prober = monitor.enable_probing(
+            budget_fraction=args.budget,
+            count=args.count,
+            payload_size=args.payload,
+            timeout=args.timeout,
+        )
+        for load_text in args.load:
+            src, dst, rate, t0, t1 = _parse_load(load_text)
+            StaircaseLoad(
+                build.network.host(src),
+                build.network.ip_of(dst),
+                StepSchedule.pulse(t0, t1, rate * KBPS),
+            ).start()
+        if args.rtt:
+            for watch in watches:
+                src, dst = _parse_watch(watch)
+                EchoService(build.network.host(dst))
+                session = PathProber(
+                    build.network.host(src), build.network.ip_of(dst)
+                )
+                rtt_sessions.append((f"{src}<->{dst}", session))
+                session.start()
+    except (ValueError, TopologyError, KeyError, NetworkError,
+            ProbeError, MonitorError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    monitor.start()
+    build.network.run(args.until)
+
+    print(f"probe plane after {build.network.now:.1f} simulated seconds "
+          f"[budget {args.budget:.1%}, "
+          f"round interval {prober.round_interval:.2f}s]\n")
+    print("latest trains:")
+    for label in labels:
+        report = prober.reports.get(label)
+        print(f"  {report.summary()}" if report is not None
+              else f"  {label}: no train completed")
+    if args.rtt:
+        print("\nrtt sessions:")
+        for label, session in rtt_sessions:
+            stats = session.stats
+            if stats is None or not len(stats.rtts_s):
+                print(f"  {label}: no echoes returned")
+            else:
+                print(f"  {label}: rtt min/mean/max "
+                      f"{stats.min_s * 1000:.2f}/{stats.mean_s * 1000:.2f}/"
+                      f"{stats.max_s * 1000:.2f} ms, loss {stats.loss_rate:.0%}, "
+                      f"jitter {stats.jitter_s * 1e6:.0f}us")
+    print("\ncross-validation:")
+    findings = prober.findings()
+    if not findings:
+        print("  active and passive planes agree on every watched path")
+    for finding in findings:
+        print(f"  {finding}")
+    print("\nprobe counters:")
+    for key, value in sorted(prober.stats().items()):
+        if key in ("trains_per_path", "active_disagreements"):
+            continue
+        print(f"  {key:<24} {value}")
+    return 0
+
+
 _COMMANDS = {
     "validate": cmd_validate,
     "show": cmd_show,
@@ -1055,6 +1187,7 @@ _COMMANDS = {
     "discover": cmd_discover,
     "matrix": cmd_matrix,
     "stream": cmd_stream,
+    "probe": cmd_probe,
 }
 
 

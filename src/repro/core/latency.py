@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.core.bandwidth import BandwidthCalculator
 from repro.core.traversal import find_path
+from repro.probe.stats import ProbeStats  # shared result model with repro.probe
 from repro.simnet.host import Host
 from repro.simnet.packet import IPV4_HEADER_SIZE, UDP_HEADER_SIZE
 from repro.simnet.sockets import ECHO_PORT
@@ -107,36 +108,8 @@ class LatencyEstimator:
         )
 
 
-@dataclass
-class ProbeStats:
-    """RTT statistics from one probing session."""
-
-    sent: int
-    received: int
-    rtts_s: np.ndarray
-
-    @property
-    def loss_rate(self) -> float:
-        return 1.0 - self.received / self.sent if self.sent else 0.0
-
-    @property
-    def min_s(self) -> float:
-        return float(np.min(self.rtts_s)) if len(self.rtts_s) else float("nan")
-
-    @property
-    def mean_s(self) -> float:
-        return float(np.mean(self.rtts_s)) if len(self.rtts_s) else float("nan")
-
-    @property
-    def max_s(self) -> float:
-        return float(np.max(self.rtts_s)) if len(self.rtts_s) else float("nan")
-
-    @property
-    def jitter_s(self) -> float:
-        """Mean absolute difference of consecutive RTTs (RFC 3550 style)."""
-        if len(self.rtts_s) < 2:
-            return 0.0
-        return float(np.mean(np.abs(np.diff(self.rtts_s))))
+# ProbeStats now lives in repro.probe.stats (imported above) so the RTT
+# prober and the probe trains share one result model.
 
 
 class PathProber:

@@ -20,6 +20,7 @@ cycles, when counter deltas exist.
 
 from __future__ import annotations
 
+import dataclasses
 import logging
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
@@ -36,6 +37,7 @@ from repro.integrity import (
 from repro.core.linkstate import LinkStateRegistry
 from repro.core.poller import PollTarget, RateTable, SnmpPoller
 from repro.core.report import PathReport
+from repro.probe.scheduler import register_probe_metrics
 from repro.core.traversal import find_path
 from repro.snmp.manager import SnmpManager
 from repro.spec.builder import BuildResult
@@ -203,6 +205,10 @@ class NetworkMonitor:
         # ones, so ``stats()`` keys resolve with streaming disabled.
         register_stream_metrics(self.telemetry.registry)
         self.stream = None  # Optional[MatrixPublisher]
+        # Active probing plane (see :meth:`enable_probing`); metric
+        # families registered unconditionally for the same reason.
+        register_probe_metrics(self.telemetry.registry)
+        self.prober = None  # Optional[ProbeScheduler]
         self._report_task = None
         self._m_reports = self.telemetry.registry.counter(
             "reports_total", "path reports emitted"
@@ -467,6 +473,34 @@ class NetworkMonitor:
         return self.stream
 
     # ------------------------------------------------------------------
+    # Active probing
+    # ------------------------------------------------------------------
+    def enable_probing(self, **options) -> "ProbeScheduler":
+        """Attach a budgeted active-probing plane over the watched paths.
+
+        Builds a :class:`~repro.probe.ProbeScheduler` that sends one UDP
+        probe train per round (round interval sized so probe load stays
+        under ``budget_fraction`` of the narrowest link on any watched
+        path) and cross-validates each train against the passive report;
+        confirmed disagreements cap the path's report confidence, emit
+        telemetry/stream events, and feed the integrity quarantine.
+        ``options`` are forwarded to the scheduler (``budget_fraction``,
+        ``count``, ``payload_size``, ``timeout``, ``rel_tolerance``,
+        ``breach_count``, ``cross_validate``, ...).  If the monitor is
+        already running, probing starts immediately; otherwise it starts
+        with :meth:`start`.  Idempotent -- returns the existing
+        scheduler on repeat calls (options are then ignored).
+        """
+        if self.prober is not None:
+            return self.prober
+        from repro.probe.scheduler import ProbeScheduler
+
+        self.prober = ProbeScheduler(self, **options)
+        if self._report_task is not None:
+            self.prober.start()
+        return self.prober
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self, at: Optional[float] = None) -> None:
@@ -485,12 +519,18 @@ class NetworkMonitor:
         self._report_task = self.sim.call_every(
             self.poll_interval, self._emit_reports, start=first_report
         )
+        # Probing waits for passive data: its first round lands one probe
+        # round interval after the first passive report exists.
+        if self.prober is not None and not self.prober.started:
+            self.prober.start(after=first_report)
 
     def stop(self) -> None:
         self._poller.stop()
         if self._report_task is not None:
             self._report_task.cancel()
             self._report_task = None
+        if self.prober is not None:
+            self.prober.stop()
         self.manager.cancel_all()
 
     # ------------------------------------------------------------------
@@ -505,8 +545,10 @@ class NetworkMonitor:
         # Subscribers may add/remove watches in reaction to a report (the
         # application runtime rebinds paths on reallocation); iterate a copy.
         for watch in list(self._watches.values()):
-            report = self.calculator.measure_path(
-                watch.path, watch.src, watch.dst, time=self.sim.now, name=watch.name
+            report = self._apply_probe_cap(
+                self.calculator.measure_path(
+                    watch.path, watch.src, watch.dst, time=self.sim.now, name=watch.name
+                )
             )
             self.history.append(report)
             self._m_reports.inc()
@@ -518,14 +560,31 @@ class NetworkMonitor:
         if self.stream is not None:
             self.stream.publish(self.sim.now)
 
-    def current_report(self, label: str) -> PathReport:
-        """Compute a report right now (outside the periodic schedule)."""
+    def current_report(self, label: str, _probe_cap: bool = True) -> PathReport:
+        """Compute a report right now (outside the periodic schedule).
+
+        ``_probe_cap=False`` skips the active-disagreement confidence
+        cap -- the probe cross-validator uses it to compare against the
+        raw passive figure rather than its own earlier judgement.
+        """
         try:
             watch = self._watches[label]
         except KeyError:
             raise MonitorError(f"no path watch {label!r}") from None
-        return self.calculator.measure_path(
+        report = self.calculator.measure_path(
             watch.path, watch.src, watch.dst, time=self.sim.now, name=watch.name
+        )
+        return self._apply_probe_cap(report) if _probe_cap else report
+
+    def _apply_probe_cap(self, report: PathReport) -> PathReport:
+        """Cap confidence while the probe plane disputes this path."""
+        if self.prober is None:
+            return report
+        cap = self.prober.confidence_cap_for(report.label)
+        if cap is None or report.confidence <= cap:
+            return report
+        return dataclasses.replace(
+            report, confidence=min(report.confidence, cap), degraded=True
         )
 
     # ------------------------------------------------------------------
@@ -568,4 +627,11 @@ class NetworkMonitor:
             "stream_events_delivered": value("stream_events_delivered_total"),
             "stream_events_suppressed": value("stream_events_suppressed_total"),
             "stream_events_dropped": value("stream_events_dropped_total"),
+            "probe_trains": value("probe_trains_total"),
+            "probe_packets_sent": value("probe_packets_sent_total"),
+            "probe_packets_lost": value("probe_packets_lost_total"),
+            "probe_bytes_sent": value("probe_bytes_sent_total"),
+            "probe_disagreements": value("probe_disagreements_total"),
+            "probe_recoveries": value("probe_recoveries_total"),
+            "probe_active_disagreements": value("probe_active_disagreements"),
         }

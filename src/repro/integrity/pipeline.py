@@ -298,6 +298,24 @@ class IntegrityPipeline:
             applied.extend(verdicts)
         return applied
 
+    def apply_external_verdicts(
+        self, verdicts: List[IntegrityVerdict], now: float
+    ) -> None:
+        """Ingest verdicts produced outside the per-sample path.
+
+        Other measurement planes (the active probe cross-validator, for
+        one) reach conclusions about counter sources through evidence the
+        sample validators never see.  This feeds their verdicts through
+        the same record/quarantine/trust-gauge sequence the internal
+        paths use, so an externally blamed interface decays and
+        quarantines exactly like an internally caught one.
+        """
+        for verdict in verdicts:
+            key = (verdict.node, verdict.if_index)
+            self._record_verdicts(key, [verdict], now)
+            self.quarantine.apply(key[0], key[1], [verdict], now)
+            self._sync_trust_gauge(key)
+
     # ------------------------------------------------------------------
     # Queries (calculator, monitor, CLI)
     # ------------------------------------------------------------------

@@ -1,0 +1,375 @@
+"""Budgeted scheduling of probe trains across a monitor's watched paths.
+
+Active probing has the same self-awareness obligation SNMP polling does:
+the measurement must not perturb what it measures.  The scheduler makes
+that a provable bound rather than a hope -- it launches **one train per
+round**, and sizes the round interval so that even if every round's
+train crossed the same link, that link would carry at most
+``budget_fraction`` of its capacity in probe bytes:
+
+    round_interval = max over paths of
+        train_bytes / (budget_fraction * narrowest_bytes_per_s)
+
+Within that budget, rounds go to the least-recently-probed path, with a
+priority boost for paths that most need a second opinion: passive
+report degraded, confidence below ``priority_confidence``, or an active
+cross-validation disagreement.  A train that never completes (flapped
+link, blackholed probes) is abandoned by its own timeout, and the
+in-flight guard merely skips rounds until then -- the scheduler cannot
+wedge, and a skipped round only *lowers* probe load, never raises it.
+
+Each completed train is cross-validated against the passive path report
+(see :mod:`repro.probe.crossval`); confirmed disagreements surface as
+telemetry events, stream :class:`~repro.stream.events.ProbeDisagreement`
+deliveries, integrity verdicts, and a confidence cap on the path's
+reports until the planes re-agree.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+from repro.probe.crossval import ProbeCrossValidator, ProbeDisagreementFinding
+from repro.probe.stats import ProbeReport
+from repro.probe.train import PROBE_TOS, ProbeError, ProbeTrain
+from repro.stream.events import ProbeDisagreement, pair_key
+from repro.telemetry.events import (
+    PROBE_DISAGREEMENT,
+    PROBE_RECOVERED,
+    PROBE_TRAIN_COMPLETED,
+)
+
+#: Default ceiling on probe load per link, as a fraction of its capacity.
+DEFAULT_BUDGET_FRACTION = 0.02
+
+# Metric family names (see register_probe_metrics).
+TRAINS_TOTAL = "probe_trains_total"
+PACKETS_SENT_TOTAL = "probe_packets_sent_total"
+PACKETS_LOST_TOTAL = "probe_packets_lost_total"
+BYTES_SENT_TOTAL = "probe_bytes_sent_total"
+DISAGREEMENTS_TOTAL = "probe_disagreements_total"
+RECOVERIES_TOTAL = "probe_recoveries_total"
+ACTIVE_DISAGREEMENTS = "probe_active_disagreements"
+
+
+def register_probe_metrics(registry) -> None:
+    """Create (or fetch) the probe metric families on ``registry``.
+
+    Safe to call repeatedly -- families are get-or-create, mirroring
+    :func:`repro.stream.manager.register_stream_metrics`.
+    """
+    registry.counter(TRAINS_TOTAL, "Probe trains completed (incl. abandoned)")
+    registry.counter(PACKETS_SENT_TOTAL, "Probe packets sent")
+    registry.counter(PACKETS_LOST_TOTAL, "Probe packets lost or late")
+    registry.counter(BYTES_SENT_TOTAL, "Probe wire bytes sent")
+    registry.counter(
+        DISAGREEMENTS_TOTAL, "Debounced active/passive disagreement findings"
+    )
+    registry.counter(RECOVERIES_TOTAL, "Disagreements that re-agreed and cleared")
+    registry.gauge(
+        ACTIVE_DISAGREEMENTS, "Paths currently under an active disagreement cap"
+    )
+
+
+class ProbeScheduler:
+    """Round-robin probe trains over a monitor's watched paths.
+
+    ``monitor`` is a :class:`~repro.core.monitor.NetworkMonitor`; the
+    scheduler reads its watch table each round, so paths added or
+    removed after :meth:`start` are picked up automatically.
+    """
+
+    def __init__(
+        self,
+        monitor,
+        budget_fraction: float = DEFAULT_BUDGET_FRACTION,
+        count: int = 16,
+        payload_size: int = 1472,
+        warmup: int = 2,
+        timeout: float = 1.0,
+        round_interval: Optional[float] = None,
+        cross_validate: bool = True,
+        rel_tolerance: float = 0.35,
+        abs_floor_bps: float = 100_000.0,
+        breach_count: int = 2,
+        confidence_cap: float = 0.4,
+        priority_confidence: float = 0.7,
+        tos: int = PROBE_TOS,
+        on_report: Optional[Callable[[ProbeReport], None]] = None,
+    ) -> None:
+        if not 0.0 < budget_fraction <= 0.25:
+            raise ProbeError(
+                f"budget_fraction out of (0, 0.25]: {budget_fraction!r}"
+            )
+        if round_interval is not None and round_interval <= 0:
+            raise ProbeError(f"round_interval must be > 0: {round_interval!r}")
+        self.monitor = monitor
+        self.sim = monitor.sim
+        self.budget_fraction = budget_fraction
+        self.count = count
+        self.payload_size = payload_size
+        self.warmup = warmup
+        self.timeout = timeout
+        self.tos = tos
+        self.on_report = on_report
+        self._explicit_interval = round_interval
+        self.round_interval: Optional[float] = round_interval
+        self.priority_confidence = priority_confidence
+        self.validator: Optional[ProbeCrossValidator] = None
+        if cross_validate:
+            self.validator = ProbeCrossValidator(
+                calculator=monitor.calculator,
+                rel_tolerance=rel_tolerance,
+                abs_floor_bps=abs_floor_bps,
+                breach_count=breach_count,
+                confidence_cap=confidence_cap,
+            )
+        #: Latest completed report per watch label.
+        self.reports: Dict[str, ProbeReport] = {}
+        #: Trains completed per watch label (the fairness ledger).
+        self.trains_per_path: Dict[str, int] = {}
+        self._last_probed: Dict[str, float] = {}
+        self._announced: Dict[str, str] = {}  # label -> announced cause
+        self._inflight: Optional[str] = None
+        self._task = None
+        self.rounds = 0
+        self.rounds_skipped = 0
+        self.trains_started = 0
+        self.trains_abandoned = 0
+
+        registry = monitor.telemetry.registry
+        register_probe_metrics(registry)
+        self._m_trains = registry.counter(TRAINS_TOTAL, "")
+        self._m_sent = registry.counter(PACKETS_SENT_TOTAL, "")
+        self._m_lost = registry.counter(PACKETS_LOST_TOTAL, "")
+        self._m_bytes = registry.counter(BYTES_SENT_TOTAL, "")
+        self._m_disagreements = registry.counter(DISAGREEMENTS_TOTAL, "")
+        self._m_recoveries = registry.counter(RECOVERIES_TOTAL, "")
+        registry.gauge(ACTIVE_DISAGREEMENTS, "").set_function(
+            lambda: float(len(self.validator.active)) if self.validator else 0.0
+        )
+
+    # ------------------------------------------------------------------
+    # Budget arithmetic
+    # ------------------------------------------------------------------
+    @property
+    def train_bytes(self) -> int:
+        """Wire bytes one train puts on every link it crosses."""
+        from repro.probe.train import _WIRE_OVERHEAD
+
+        return self.count * (self.payload_size + _WIRE_OVERHEAD)
+
+    def narrowest_bytes(self, label: str) -> float:
+        """Capacity (bytes/s) of the narrowest link on ``label``'s path."""
+        watch = self.monitor._watches[label]
+        spec = self.monitor.spec
+        return min(spec.effective_bandwidth(conn) for conn in watch.path) / 8.0
+
+    def required_interval(self, label: str) -> float:
+        """Round interval keeping ``label``'s narrowest link in budget."""
+        return self.train_bytes / (self.budget_fraction * self.narrowest_bytes(label))
+
+    def _compute_interval(self) -> float:
+        labels = list(self.monitor._watches)
+        if not labels:
+            raise ProbeError("no watched paths to probe; call watch_path() first")
+        return max(self.required_interval(label) for label in labels)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return self._task is not None
+
+    def start(
+        self, at: Optional[float] = None, after: Optional[float] = None
+    ) -> None:
+        """Begin probing rounds.
+
+        The first round fires at ``at`` when given; otherwise one round
+        interval past ``max(now, after)`` -- the monitor passes its first
+        report time as ``after`` so cross-validation never compares a
+        train against a passive report with no samples behind it.
+        """
+        if self._task is not None:
+            raise ProbeError("probe scheduler already started")
+        interval = (
+            self._explicit_interval
+            if self._explicit_interval is not None
+            else self._compute_interval()
+        )
+        self.round_interval = interval
+        if at is None:
+            base = self.sim.now if after is None else max(self.sim.now, after)
+            at = base + interval
+        self._task = self.sim.call_every(interval, self._round, start=at)
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    # ------------------------------------------------------------------
+    # Round execution
+    # ------------------------------------------------------------------
+    def _needs_attention(self, label: str) -> bool:
+        if self.validator is not None and label in self.validator.active:
+            return True
+        try:
+            report = self.monitor.current_report(label)
+        except Exception:
+            return False
+        return report.degraded or report.confidence < self.priority_confidence
+
+    def _pick(self) -> Optional[str]:
+        labels = list(self.monitor._watches)
+        if not labels:
+            return None
+        # Drop ledger entries for watches that went away.
+        for stale in set(self._last_probed) - set(labels):
+            self._last_probed.pop(stale, None)
+        return min(
+            labels,
+            key=lambda lb: (
+                not self._needs_attention(lb),
+                self._last_probed.get(lb, -math.inf),
+            ),
+        )
+
+    def _round(self) -> None:
+        self.rounds += 1
+        if self._inflight is not None:
+            # A train is still outstanding (its timeout will reap it);
+            # skipping only lowers probe load, so the budget bound holds.
+            self.rounds_skipped += 1
+            return
+        label = self._pick()
+        if label is None:
+            self.rounds_skipped += 1
+            return
+        watch = self.monitor._watches[label]
+        src = self.monitor.network.host(watch.src)
+        dst = self.monitor.network.host(watch.dst)
+        train = ProbeTrain(
+            src,
+            dst,
+            count=self.count,
+            payload_size=self.payload_size,
+            warmup=self.warmup,
+            timeout=self.timeout,
+            tos=self.tos,
+            on_complete=lambda report, label=label: self._on_done(label, report),
+        )
+        self._inflight = label
+        self._last_probed[label] = self.sim.now
+        self.trains_started += 1
+        train.start()
+
+    # ------------------------------------------------------------------
+    # Completion + cross-validation
+    # ------------------------------------------------------------------
+    def _on_done(self, label: str, report: ProbeReport) -> None:
+        self._inflight = None
+        self.reports[label] = report
+        self.trains_per_path[label] = self.trains_per_path.get(label, 0) + 1
+        if not report.delivered:
+            self.trains_abandoned += 1
+        self._m_trains.inc()
+        self._m_sent.inc(report.sent)
+        self._m_lost.inc(report.sent - report.received)
+        self._m_bytes.inc(report.train_bytes)
+        now = self.sim.now
+        self.monitor.telemetry.events.publish(
+            PROBE_TRAIN_COMPLETED,
+            now,
+            path=label,
+            achievable_bps=report.achievable_bps,
+            loss_rate=report.loss_rate,
+            jitter_s=report.jitter_s,
+            delivered=report.delivered,
+        )
+        if self.on_report is not None:
+            self.on_report(report)
+        if self.validator is None:
+            return
+        try:
+            passive = self.monitor.current_report(label, _probe_cap=False)
+        except Exception:
+            return  # watch vanished mid-flight; nothing to compare against
+        finding, recovered = self.validator.observe(report, passive, now)
+        if recovered:
+            self._m_recoveries.inc()
+            self._announced.pop(label, None)
+            self.monitor.telemetry.events.publish(
+                PROBE_RECOVERED,
+                now,
+                path=label,
+                achievable_bps=report.achievable_bps,
+                passive_bps=passive.available_bps,
+            )
+        if finding is None:
+            return
+        # Trust decays every sustaining round (like passive cross-checks),
+        # but the event fan-out announces only new or re-localized findings.
+        if self.monitor.integrity is not None:
+            self.monitor.integrity.apply_external_verdicts(
+                self.validator.verdicts_for(finding), now
+            )
+        if self._announced.get(label) == finding.cause:
+            return
+        self._announced[label] = finding.cause
+        self._m_disagreements.inc()
+        self.monitor.telemetry.events.publish(
+            PROBE_DISAGREEMENT,
+            now,
+            path=label,
+            probe_bps=finding.probe_bps,
+            passive_bps=finding.passive_bps,
+            cause=finding.cause,
+            blamed=finding.blamed,
+        )
+        if self.monitor.stream is not None:
+            event = ProbeDisagreement(
+                pair=pair_key(finding.src, finding.dst),
+                time=now,
+                epoch=self.monitor.stream.clock.epoch,
+                report=passive,
+                probe_bps=finding.probe_bps,
+                passive_bps=finding.passive_bps,
+                cause=finding.cause,
+                blamed=finding.blamed,
+            )
+            self.monitor.stream.manager.deliver(event)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def confidence_cap_for(self, label: str) -> Optional[float]:
+        if self.validator is None:
+            return None
+        return self.validator.confidence_cap_for(label)
+
+    def findings(self) -> List[ProbeDisagreementFinding]:
+        """Active disagreement findings, ordered by path label."""
+        if self.validator is None:
+            return []
+        return [self.validator.active[k] for k in sorted(self.validator.active)]
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "round_interval": self.round_interval,
+            "budget_fraction": self.budget_fraction,
+            "train_bytes": self.train_bytes,
+            "rounds": self.rounds,
+            "rounds_skipped": self.rounds_skipped,
+            "trains_started": self.trains_started,
+            "trains_abandoned": self.trains_abandoned,
+            "trains_per_path": dict(self.trains_per_path),
+            "comparisons": self.validator.comparisons if self.validator else 0,
+            "disagreements": self.validator.disagreements if self.validator else 0,
+            "active_disagreements": (
+                sorted(self.validator.active) if self.validator else []
+            ),
+        }

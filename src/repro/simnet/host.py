@@ -199,6 +199,7 @@ class Host:
         dst_port: int,
         payload: Optional[bytes] = None,
         payload_size: Optional[int] = None,
+        tos: int = 0,
     ) -> bool:
         """Encapsulate and transmit a datagram.
 
@@ -221,11 +222,11 @@ class Host:
             # Loopback: local traffic never touches the wire (and so never
             # perturbs any interface counter), as in a real IP stack.  The
             # monitor polling its own host's agent takes this path.
-            packet = IPPacket(src=dst_ip, dst=dst_ip, payload=datagram)
+            packet = IPPacket(src=dst_ip, dst=dst_ip, payload=datagram, tos=tos)
             self.sim.schedule(0.0, self._deliver_udp, packet)
             return True
         dst_mac = self.network.resolve_mac(dst_ip)
-        packet = IPPacket(src=iface.ip, dst=dst_ip, payload=datagram)
+        packet = IPPacket(src=iface.ip, dst=dst_ip, payload=datagram, tos=tos)
         ok = True
         for frag in fragment_ip_packet(packet, iface.mtu):
             frame = EthernetFrame(src=iface.mac, dst=dst_mac, payload=frag)

@@ -94,6 +94,7 @@ class ManagementStack:
         dst_port: int,
         payload: Optional[bytes] = None,
         payload_size: Optional[int] = None,
+        tos: int = 0,
     ) -> bool:
         network = self.switch.network
         if network is None:
@@ -102,7 +103,7 @@ class ManagementStack:
         datagram = UDPDatagram(
             src_port=src_port, dst_port=dst_port, payload=payload, payload_size=payload_size
         )
-        packet = IPPacket(src=self.ip, dst=dst_ip, payload=datagram)
+        packet = IPPacket(src=self.ip, dst=dst_ip, payload=datagram, tos=tos)
         # Management frames use the largest port MTU; all ports share one.
         mtu = self.switch.interfaces[0].mtu
         ok = True

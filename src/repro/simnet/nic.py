@@ -112,6 +112,11 @@ class Interface:
         self.if_index = if_index  # 1-based, assigned by the owning device
         self.link: Optional[Link] = None
         self.counters = InterfaceCounters()
+        # Per-ToS octet accounting (ToS octet -> octets), charged alongside
+        # the MIB-II octet counters.  Lets experiments separate DSCP-marked
+        # probe/class traffic from best-effort workload on the same port.
+        self.tos_out_octets: dict[int, int] = {}
+        self.tos_in_octets: dict[int, int] = {}
         self.admin_up = True
         # Optional tap invoked on every delivered frame (testing/tracing).
         self.rx_tap: Optional[Callable[[EthernetFrame], None]] = None
@@ -173,6 +178,8 @@ class Interface:
             self.counters.out_discards += 1
             return False
         self.counters.out_octets += frame.size
+        tos = frame.payload.tos
+        self.tos_out_octets[tos] = self.tos_out_octets.get(tos, 0) + frame.size
         if frame.is_unicast:
             self.counters.out_ucast_pkts += 1
         else:
@@ -190,6 +197,8 @@ class Interface:
                 self.counters.in_filtered_pkts += 1
                 return
         self.counters.in_octets += frame.size
+        tos = frame.payload.tos
+        self.tos_in_octets[tos] = self.tos_in_octets.get(tos, 0) + frame.size
         if frame.is_unicast:
             self.counters.in_ucast_pkts += 1
         else:

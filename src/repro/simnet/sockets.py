@@ -46,6 +46,9 @@ class UDPSocket:
         self.port = port
         self.on_receive: Optional[ReceiveCallback] = None
         self.closed = False
+        # IPv4 ToS octet stamped on every outgoing packet (setsockopt
+        # IP_TOS equivalent).  DSCP values occupy the top six bits.
+        self.tos = 0
         self.datagrams_sent = 0
         self.datagrams_received = 0
         self.octets_sent = 0
@@ -72,6 +75,7 @@ class UDPSocket:
             dst_port=dst_port,
             payload=data,
             payload_size=size,
+            tos=self.tos,
         )
         if ok:
             self.datagrams_sent += 1

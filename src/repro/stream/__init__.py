@@ -20,6 +20,7 @@ from repro.stream.events import (
     PairChanged,
     PathDegraded,
     PathRestored,
+    ProbeDisagreement,
     QueryCleared,
     QueryFired,
     StreamEvent,
@@ -58,6 +59,7 @@ __all__ = [
     "PathDegraded",
     "PathRestored",
     "PercentileQuery",
+    "ProbeDisagreement",
     "QuantileDeadbandFilter",
     "QueryCleared",
     "QueryError",

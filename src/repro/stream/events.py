@@ -26,6 +26,11 @@ Kinds:
     "too small to matter".
 :class:`QueryFired` / :class:`QueryCleared`
     A continuous query's standing predicate began / stopped holding.
+:class:`ProbeDisagreement`
+    The active probe plane measured the pair's path and disagreed with
+    the passive report beyond the cross-validator's debounced tolerance.
+    Like trust transitions, these bypass significance filtering: two
+    measurement planes contradicting each other is never noise.
 """
 
 from __future__ import annotations
@@ -39,6 +44,7 @@ __all__ = [
     "PairChanged",
     "PathDegraded",
     "PathRestored",
+    "ProbeDisagreement",
     "QueryCleared",
     "QueryFired",
     "StreamEvent",
@@ -119,6 +125,32 @@ class PathRestored(StreamEvent):
         return (
             f"[{self.time:9.3f}s e{self.epoch}] {a}<->{b}: "
             f"restored {self.previous_status} -> {self.status}"
+        )
+
+
+@dataclass(frozen=True)
+class ProbeDisagreement(StreamEvent):
+    """Active and passive measurements of this pair contradict each other.
+
+    ``cause`` localizes the disagreement the way the cross-validator did
+    (``unmetered_segment`` | ``stale_counter`` |
+    ``quarantine_candidate_agent``); ``blamed`` names the connection or
+    counter source under suspicion.  ``report`` is the passive
+    :class:`~repro.core.report.PathReport` the probe contradicted.
+    """
+
+    report: PathReport
+    probe_bps: float
+    passive_bps: float
+    cause: str
+    blamed: str
+
+    def __str__(self) -> str:
+        a, b = self.pair
+        return (
+            f"[{self.time:9.3f}s e{self.epoch}] {a}<->{b}: PROBE DISAGREES "
+            f"active {self.probe_bps / 1000:.1f} vs passive "
+            f"{self.passive_bps / 1000:.1f} KB/s ({self.cause}: {self.blamed})"
         )
 
 

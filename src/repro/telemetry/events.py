@@ -35,6 +35,9 @@ WORKER_TRANSITION = "worker_transition"
 WORKER_FAILOVER = "worker_failover"
 WORKER_REBALANCE = "worker_rebalance"
 SAMPLE_GAP = "sample_gap"
+PROBE_TRAIN_COMPLETED = "probe_train_completed"
+PROBE_DISAGREEMENT = "probe_disagreement"
+PROBE_RECOVERED = "probe_recovered"
 
 KNOWN_KINDS = (
     HEALTH_TRANSITION,
@@ -53,6 +56,9 @@ KNOWN_KINDS = (
     WORKER_FAILOVER,
     WORKER_REBALANCE,
     SAMPLE_GAP,
+    PROBE_TRAIN_COMPLETED,
+    PROBE_DISAGREEMENT,
+    PROBE_RECOVERED,
 )
 
 

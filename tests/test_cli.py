@@ -339,3 +339,49 @@ class TestStream:
     def test_bad_policy_rejected(self, capsys):
         with pytest.raises(SystemExit):
             main(["stream", "--policy", "teleport"])
+
+
+class TestProbe:
+    def test_default_testbed_runs_clean(self, capsys):
+        code = main(["probe", "--until", "30"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "probe plane after 30.0 simulated seconds" in out
+        assert "latest trains:" in out
+        assert "S1<->N1: probe achievable" in out
+        assert "active and passive planes agree" in out
+        assert "trains_started" in out
+
+    def test_rtt_flag_runs_echo_sessions(self, capsys):
+        code = main(["probe", "--rtt", "--until", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rtt sessions:" in out
+        assert "rtt min/mean/max" in out
+        assert "loss 0%" in out
+
+    def test_budget_flag_stretches_round_interval(self, capsys):
+        code = main(["probe", "--until", "20", "--budget", "0.01"])
+        assert code == 0
+        assert "round interval 1.92s" in capsys.readouterr().out
+
+    def test_spec_file_requires_host(self, good_spec, capsys):
+        assert main(["probe", good_spec]) == 2
+
+    def test_spec_file_requires_watch(self, good_spec, capsys):
+        assert main(["probe", good_spec, "--host", "L"]) == 2
+
+    def test_spec_file_end_to_end(self, good_spec, capsys):
+        code = main([
+            "probe", good_spec, "--host", "L",
+            "--watch", "S1:N1", "--until", "20",
+            "--load", "L:N1:300:2:15",
+        ])
+        assert code == 0
+        assert "S1<->N1: probe achievable" in capsys.readouterr().out
+
+    def test_unknown_watch_host_rejected(self, capsys):
+        assert main(["probe", "--watch", "S1:ghost"]) == 2
+
+    def test_bad_budget_rejected(self, capsys):
+        assert main(["probe", "--budget", "0.9"]) == 2

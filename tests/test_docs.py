@@ -113,3 +113,55 @@ class TestStreamingSnippets:
             "stream_events_dropped",
         ):
             assert key in text
+
+
+class TestProbingSnippets:
+    """The active-probing snippets in README and docs must stay runnable."""
+
+    def _run(self, source: str) -> dict:
+        namespace: dict = {}
+        exec(compile(source, "<doc-snippet>", "exec"), namespace)
+        return namespace
+
+    def test_readme_probing_snippet_runs(self, capsys):
+        blocks = extract_python_blocks(README.read_text(), "enable_probing")
+        assert blocks, "README must embed the probing quick-start"
+        namespace = self._run(blocks[0])
+        prober = namespace["prober"]
+        assert prober.stats()["trains_started"] > 0
+        assert prober.reports["S1<->N1"].delivered
+        out = capsys.readouterr().out
+        assert "probe achievable" in out
+        # The snippet runs fault-free: the planes must agree.
+        assert "\n0 disagreements" in out
+
+    def test_architecture_probing_snippet_runs(self, capsys):
+        text = (DOCS / "architecture.md").read_text()
+        blocks = extract_python_blocks(text, "enable_probing")
+        assert blocks, "architecture.md must embed the probing example"
+        namespace = self._run(blocks[0])
+        prober = namespace["prober"]
+        assert prober.stats()["trains_started"] > 0
+        assert prober.findings() == []
+        assert "probe achievable" in capsys.readouterr().out
+
+    def test_architecture_documents_probe_stats_keys(self):
+        text = (DOCS / "architecture.md").read_text()
+        assert "## Active probing & cross-validation" in text
+        for key in (
+            "probe_trains",
+            "probe_packets_sent",
+            "probe_packets_lost",
+            "probe_bytes_sent",
+            "probe_disagreements",
+            "probe_recoveries",
+            "probe_active_disagreements",
+        ):
+            assert key in text
+        # The three localization causes are part of the documented contract.
+        for cause in (
+            "unmetered_segment",
+            "stale_counter",
+            "quarantine_candidate_agent",
+        ):
+            assert cause in text

@@ -186,3 +186,31 @@ class TestReassembly:
         frag2 = fragment_ip_packet(make_packet(200), 150)
         buf.add(frag2[0], now=20.0)
         assert buf.expired_groups == 1
+
+
+class TestTosOctet:
+    def test_default_tos_is_best_effort(self):
+        assert make_packet(10).tos == 0
+
+    def test_tos_survives_fragmentation_and_reassembly(self):
+        from repro.simnet.packet import ReassemblyBuffer, fragment_ip_packet
+
+        packet = IPPacket(
+            src=SRC, dst=DST,
+            payload=UDPDatagram(1, 2, payload_size=3000), tos=184,
+        )
+        frags = fragment_ip_packet(packet, 1500)
+        assert len(frags) > 1
+        assert all(f.tos == 184 for f in frags)
+        buf = ReassemblyBuffer()
+        whole = None
+        for frag in frags:
+            whole = buf.add(frag, now=0.0)
+        assert whole is not None and whole.tos == 184
+
+    def test_tos_out_of_range_rejected(self):
+        with pytest.raises(PacketError):
+            IPPacket(
+                src=SRC, dst=DST,
+                payload=UDPDatagram(1, 2, payload_size=1), tos=256,
+            )

@@ -73,6 +73,9 @@ class TestMonitorTelemetry:
             "cross_check_mismatches", "cache_hits", "recomputes",
             "dirty_pairs", "stream_subscribers", "stream_events_delivered",
             "stream_events_suppressed", "stream_events_dropped",
+            "probe_trains", "probe_packets_sent", "probe_packets_lost",
+            "probe_bytes_sent", "probe_disagreements", "probe_recoveries",
+            "probe_active_disagreements",
         }
         registry = monitor.telemetry.registry
         assert stats["poll_cycles"] == registry.value("poll_cycles_total")

@@ -210,3 +210,49 @@ class TestBackgroundChatter:
         net.run(60.0)
         # Every host should have seen some broadcast chatter.
         assert all(h.udp_no_port > 0 for h in hosts)
+
+
+class TestDscpMarking:
+    def test_dscp_marks_every_datagram(self):
+        net = Network()
+        a = net.add_host("A")
+        b = net.add_host("B")
+        sw = net.add_switch("sw", 4, managed=False)
+        net.connect(a, sw)
+        net.connect(b, sw)
+        net.announce_hosts()
+        load = StaircaseLoad(
+            a, b.primary_ip, StepSchedule([(0.0, 100_000.0), (5.0, 0.0)]),
+            dscp=46,
+        )
+        load.start()
+        net.run(6.0)
+        tos_out = a.interfaces[0].tos_out_octets
+        assert tos_out.get(46 << 2, 0) > 0
+        # Everything the generator sent is accounted under its mark.
+        assert tos_out.get(46 << 2) == sum(
+            octets for tos, octets in tos_out.items() if tos != 0
+        )
+        assert b.interfaces[0].tos_in_octets.get(46 << 2, 0) > 0
+
+    def test_default_is_best_effort(self):
+        net = Network()
+        a = net.add_host("A")
+        b = net.add_host("B")
+        sw = net.add_switch("sw", 4, managed=False)
+        net.connect(a, sw)
+        net.connect(b, sw)
+        net.announce_hosts()
+        StaircaseLoad(
+            a, b.primary_ip, StepSchedule([(0.0, 50_000.0), (3.0, 0.0)])
+        ).start()
+        net.run(4.0)
+        assert set(a.interfaces[0].tos_out_octets) <= {0}
+
+    def test_dscp_out_of_range_rejected(self):
+        net = Network()
+        a = net.add_host("A")
+        with pytest.raises(TrafficError):
+            StaircaseLoad(a, "10.0.0.2", StepSchedule([(0.0, 1.0)]), dscp=64)
+        with pytest.raises(TrafficError):
+            PoissonLoad(a, "10.0.0.2", mean_rate_bps=1000.0, dscp=-1)
