@@ -1,0 +1,183 @@
+"""CI gate for the self-healing topology plane at campus scale.
+
+A 108-host redundant mesh (six switches in a chain, every uplink
+duplicated, spanning tree on) runs the monitor with the discovery-driven
+topology sync loop enabled; a loop-free mesh of the same size runs the
+plain monitor.  Two acceptance properties:
+
+- **Steady-state overhead < 10 %.**  The self-healing machinery -- one
+  targeted STP GET per switch per poll cycle, plus a full discovery
+  sweep every ``FULL_EVERY`` rounds -- must cost less than 10 % extra
+  SNMP requests over the loop-free baseline, amortised over a window
+  that includes a full discovery sweep.
+- **Re-convergence within three poll cycles.**  After the active uplink
+  of a redundant pair is killed mid-run, the watched path must be
+  re-resolved onto the backup uplink and reporting fresh no later than
+  ``fail + 3 * poll_interval``.
+
+Writes ``BENCH_topology.json`` for the CI artifact upload.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.core.monitor import NetworkMonitor
+from repro.experiments.scale import scale_spec
+from repro.simnet.faults import LinkFailure
+from repro.spec.builder import build_network
+from repro.telemetry.events import PATH_REROUTED
+
+POLL = 2.0
+START = 2.5
+# Full discovery walks every agent (~4 poll cycles' worth of requests on
+# this mesh), so it runs on a minutes-scale cadence like any real NMS
+# sweep; the light STP rounds ride every poll cycle.  The measured
+# window covers exactly one full sweep so its cost is amortised in, not
+# dodged.
+FULL_EVERY = 120
+STEADY_CYCLES = 120
+STEADY_UNTIL = START + STEADY_CYCLES * POLL + 0.5
+OVERHEAD_CEILING = 0.10
+FAIL_AT = 13.0
+RECONVERGENCE_CYCLES = 3
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_topology.json"
+
+# The first pair spans the whole chain (it crosses the uplink the
+# failover test kills); the other two live on segments the failure
+# never touches, backing the no-false-violations property.
+WATCHES = [("h0_0", "h5_0"), ("h0_1", "h1_0"), ("h4_0", "h5_3")]
+
+
+def _mesh(redundant: bool):
+    spec = scale_spec(
+        switches=6,
+        hosts_per_switch=18,
+        arity=1,
+        redundant_uplinks=1 if redundant else 0,
+    )
+    hosts = [n.name for n in spec.hosts()]
+    assert len(hosts) >= 100, f"benchmark mesh too small: {len(hosts)} hosts"
+    build = build_network(spec)
+    monitor = NetworkMonitor(build, "h0_0", poll_interval=POLL, poll_jitter=0.0)
+    if redundant:
+        monitor.enable_topology_sync(full_every=FULL_EVERY)
+    for a, b in WATCHES:
+        monitor.watch_path(a, b)
+    build.network.announce_hosts(at=2.0)
+    return build, monitor
+
+
+def _steady_state(redundant: bool):
+    build, monitor = _mesh(redundant)
+    monitor.start(at=START)
+    build.network.run(STEADY_UNTIL)
+    return monitor.stats()
+
+
+def _merge_results(update):
+    results = {}
+    if RESULTS_PATH.exists():
+        results = json.loads(RESULTS_PATH.read_text())
+    results.update(update)
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+@pytest.fixture(scope="module")
+def loop_free():
+    return _steady_state(redundant=False)
+
+
+def test_bench_topology_steady_state_overhead(benchmark, loop_free):
+    chaos = benchmark.pedantic(
+        lambda: _steady_state(redundant=True), rounds=1, iterations=1
+    )
+    assert chaos["topology_rounds"] >= STEADY_CYCLES - 1
+    assert chaos["topology_full_rounds"] >= 1
+    # The redundant mesh must have settled: one initial STP block event,
+    # then a perfectly still epoch (no churn, no spurious changes).
+    assert chaos["topology_changes"] == 1
+    assert chaos["path_reroutes"] == 0
+    ratio = chaos["snmp_requests"] / loop_free["snmp_requests"]
+    print(
+        f"\nSNMP requests over {STEADY_CYCLES} cycles: "
+        f"{loop_free['snmp_requests']:.0f} loop-free vs "
+        f"{chaos['snmp_requests']:.0f} self-healing ({ratio:.3f}x); "
+        f"{chaos['topology_rounds']:.0f} sync rounds, "
+        f"{chaos['topology_full_rounds']:.0f} full"
+    )
+    assert 1.0 <= ratio <= 1.0 + OVERHEAD_CEILING
+    _merge_results(
+        {
+            "hosts": 108,
+            "poll_interval_s": POLL,
+            "steady_cycles": STEADY_CYCLES,
+            "full_discovery_every_rounds": FULL_EVERY,
+            "baseline_snmp_requests": loop_free["snmp_requests"],
+            "redundant_snmp_requests": chaos["snmp_requests"],
+            "overhead_ratio": round(ratio, 4),
+            "overhead_ceiling": 1.0 + OVERHEAD_CEILING,
+        }
+    )
+
+
+def _failover_run():
+    build, monitor = _mesh(redundant=True)
+    net = build.network
+    reports = []
+    monitor.subscribe(reports.append)
+    monitor.start(at=START)
+    net.run(FAIL_AT - 0.1)
+    watch = f"{WATCHES[0][0]}<->{WATCHES[0][1]}"
+    before = monitor.path_of(watch)
+    uplinks = [
+        c
+        for c in monitor.spec.connections
+        if {c.end_a.node, c.end_b.node} == {"sw2", "sw3"}
+    ]
+    active = next(c for c in uplinks if c in before)
+    LinkFailure.between(net, "sw2", "sw3", at=FAIL_AT, index=uplinks.index(active))
+    net.run(FAIL_AT + 6 * POLL)
+    return monitor, reports, watch, uplinks, active
+
+
+def test_bench_topology_reconvergence_within_three_cycles(benchmark):
+    monitor, reports, watch, uplinks, active = benchmark.pedantic(
+        _failover_run, rounds=1, iterations=1
+    )
+    after = monitor.path_of(watch)
+    backup = next(c for c in uplinks if c is not active)
+    assert active not in after and backup in after
+    assert monitor.stats()["path_reroutes"] >= 1
+
+    rerouted_at = monitor.telemetry.events.last(PATH_REROUTED).time
+    healthy = [
+        r
+        for r in reports
+        if r.time >= rerouted_at and r.status == "fresh" and not r.unavailable
+    ]
+    assert healthy, "no fresh reports after the reroute"
+    recovered_at = min(r.time for r in healthy)
+    cycles = math.ceil((recovered_at - FAIL_AT) / POLL)
+    print(
+        f"\nuplink killed at {FAIL_AT:.1f}s; path rerouted at "
+        f"{rerouted_at:.1f}s, first fresh report {recovered_at:.1f}s "
+        f"({cycles} poll cycle(s), bound {RECONVERGENCE_CYCLES})"
+    )
+    assert recovered_at <= FAIL_AT + RECONVERGENCE_CYCLES * POLL
+    # The other watched pairs never leave the healthy regime.
+    untouched = [r for r in reports if r.name != watch]
+    assert untouched and all(r.status == "fresh" for r in untouched)
+    _merge_results(
+        {
+            "fail_at_s": FAIL_AT,
+            "rerouted_at_s": rerouted_at,
+            "recovered_at_s": recovered_at,
+            "reconvergence_cycles": cycles,
+            "reconvergence_bound_cycles": RECONVERGENCE_CYCLES,
+        }
+    )

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Self-healing topology: redundant uplinks, STP failover, re-convergence.
+
+Two switches joined by *two* parallel uplinks would be an illegal layer-2
+loop to the paper's monitor; with spanning tree enabled the spec is
+legal, one uplink forwards while its twin blocks, and the monitor's
+discovery-driven sync loop keeps the measured paths on whichever uplink
+currently carries traffic:
+
+1. build a redundant-pair topology (``stp "on"`` on both switches);
+2. start a monitor with ``enable_topology_sync()`` -- one targeted STP
+   GET per switch rides along with every poll cycle;
+3. kill the active uplink mid-run and watch the typed
+   ``TopologyChanged`` / ``PathRerouted`` stream events as the watched
+   path re-resolves onto the backup uplink, no manual
+   ``invalidate_paths()`` anywhere.
+
+Run:  python examples/uplink_failover.py
+"""
+
+from repro.core.monitor import NetworkMonitor
+from repro.simnet.faults import LinkFailure
+from repro.spec.builder import build_network
+from repro.spec.parser import parse_spec
+from repro.stream.events import PathRerouted, TopologyChanged
+
+SPEC = """
+network topology redundant {
+    host A { snmp community "public"; }
+    host B { snmp community "public"; }
+    switch sw1 { snmp community "public"; ports 4; stp "on"; }
+    switch sw2 { snmp community "public"; ports 4; stp "on"; }
+    connect A.eth0 <-> sw1.port1;
+    connect B.eth0 <-> sw2.port1;
+    connect sw1.port3 <-> sw2.port3;
+    connect sw1.port4 <-> sw2.port4;
+}
+"""
+
+POLL = 2.0
+FAIL_AT = 9.0
+
+
+def main() -> None:
+    build = build_network(parse_spec(SPEC))
+    net = build.network
+
+    monitor = NetworkMonitor(build, "A", poll_interval=POLL, poll_jitter=0.0)
+    monitor.enable_topology_sync()
+    monitor.watch_path("A", "B")
+    stream = monitor.enable_streaming(significance=False)
+    ops = stream.manager.subscribe("ops")  # wildcard: sees topology events
+
+    net.announce_hosts(at=2.0)
+    monitor.start(at=2.5)
+
+    # Let STP converge and the sync loop mirror it into the graph.
+    net.sim.run(until=8.9)
+    before = monitor.path_of("A<->B")
+    print("=== before the failure ===")
+    print("active path:  " + " | ".join(str(c) for c in before))
+    print("blocked:      "
+          + ", ".join(str(c) for c in monitor.graph.blocked_connections()))
+    report = monitor.current_report("A<->B")
+    print(f"report:       {report.available_bps / 1000:.0f} KB/s available, "
+          f"redundant={report.redundant}")
+
+    # Kill the uplink the active path crosses.
+    uplinks = [
+        c for c in monitor.spec.connections
+        if {c.end_a.node, c.end_b.node} == {"sw1", "sw2"}
+    ]
+    active = next(c for c in uplinks if c in before)
+    LinkFailure.between(net, "sw1", "sw2", at=FAIL_AT,
+                        index=uplinks.index(active),
+                        events=monitor.telemetry.events)
+    print(f"\n[{FAIL_AT:.1f}s] killing active uplink {active}")
+
+    # Recovery bound: re-converged and re-resolved within 3 poll cycles.
+    net.sim.run(until=FAIL_AT + 3 * POLL)
+
+    print("\n=== stream events during failover ===")
+    for event in ops.drain():
+        if isinstance(event, (TopologyChanged, PathRerouted)):
+            print(event)
+
+    after = monitor.path_of("A<->B")
+    report = monitor.current_report("A<->B")
+    print("\n=== after re-convergence ===")
+    print("active path:  " + " | ".join(str(c) for c in after))
+    print("blocked:      "
+          + ", ".join(str(c) for c in monitor.graph.blocked_connections()))
+    print(f"report:       {report.available_bps / 1000:.0f} KB/s available, "
+          f"status={report.status}")
+    stats = monitor.stats()
+    print(f"\n{stats['topology_changes']:.0f} topology change(s), "
+          f"{stats['path_reroutes']:.0f} reroute(s), "
+          f"{stats['topology_rounds']:.0f} sync round(s)")
+    assert active not in after, "watch still on the dead uplink"
+    assert report.status == "fresh", "report wedged after failover"
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,8 @@ Installed as the ``repro`` console script::
     repro integrity --corrupt S1:random:10 --until 30   # trust + quarantine
     repro stream --load L:N1:300:5:30 --threshold S1:N1:500   # push events
     repro discover topology.net --host L     # SNMP topology discovery
+    repro topology redundant.net --host A --fail-uplink sw1:sw2
+                                             # STP view + uplink failover
 
 Every subcommand works on simulated time and returns a conventional exit
 code (0 ok, 1 failure, 2 usage), so the tool scripts cleanly.
@@ -318,6 +320,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_disc.add_argument("specfile")
     p_disc.add_argument("--host", required=True, help="host running discovery")
     p_disc.add_argument("--until", type=float, default=60.0)
+
+    p_topo = sub.add_parser(
+        "topology",
+        help="live topology view: STP port roles/states, active paths, failover",
+    )
+    p_topo.add_argument("specfile")
+    p_topo.add_argument("--host", required=True, help="host running the monitor")
+    p_topo.add_argument("--until", type=float, default=12.0)
+    p_topo.add_argument(
+        "--fail-uplink",
+        metavar="A:B[:AT]",
+        default=None,
+        help="kill the currently active uplink between switches A and B "
+        "(at time AT, default halfway through the run) and show the "
+        "re-converged state",
+    )
 
     p_matrix = sub.add_parser("matrix", help="all-pairs bandwidth matrix")
     p_matrix.add_argument("specfile")
@@ -836,6 +854,109 @@ def cmd_discover(args) -> int:
     return 1 if mismatches else 0
 
 
+def cmd_topology(args) -> int:
+    from itertools import combinations
+
+    from repro.core.traversal import NoPathError, find_path, pair_redundant
+    from repro.simnet.faults import FaultError, LinkFailure
+    from repro.telemetry.events import PATH_REROUTED, TOPOLOGY_CHANGED
+
+    fail_between = None
+    fail_at = None
+    if args.fail_uplink is not None:
+        parts = args.fail_uplink.split(":")
+        if len(parts) not in (2, 3) or not all(parts):
+            print(
+                f"error: --fail-uplink wants A:B[:AT], got {args.fail_uplink!r}",
+                file=sys.stderr,
+            )
+            return 2
+        fail_between = (parts[0], parts[1])
+        fail_at = float(parts[2]) if len(parts) == 3 else args.until / 2.0
+    try:
+        spec = parse_file(args.specfile)
+        build = build_network(spec)
+        monitor = NetworkMonitor(build, args.host, poll_jitter=0.0)
+        monitor.enable_topology_sync()
+    except (ParseError, LexError, SpecValidationError, TopologyError,
+            NetworkError, MonitorError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    net = build.network
+    graph = monitor.graph
+    hosts = [n.name for n in spec.hosts()]
+    for a, b in combinations(hosts, 2):
+        monitor.watch_path(a, b)  # watched pairs get reroute events
+    net.announce_hosts(at=1.0)
+    monitor.start(at=2.0)
+    if fail_between is not None:
+        a, b = fail_between
+        net.run(max(fail_at - 0.1, net.now))
+        uplinks = [
+            c
+            for c in spec.connections
+            if {c.end_a.node, c.end_b.node} == {a, b}
+        ]
+        blocked = graph.blocked_connections()
+        active = [c for c in uplinks if c not in blocked]
+        if not active:
+            print(f"error: no active uplink between {a!r} and {b!r}",
+                  file=sys.stderr)
+            return 1
+        try:
+            LinkFailure.between(
+                net, a, b, at=fail_at,
+                index=uplinks.index(active[0]),
+                events=monitor.telemetry.events,
+            )
+        except FaultError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"failing active uplink {active[0]} at {fail_at:.1f}s")
+    net.run(args.until)
+
+    print(f"\n== spanning tree at {net.now:.1f}s ==")
+    stp_switches = [
+        (name, net.switches[name])
+        for name in sorted(net.switches)
+        if net.switches[name].stp is not None
+    ]
+    if not stp_switches:
+        print("(no STP-enabled switches)")
+    for name, switch in stp_switches:
+        root = " (root bridge)" if switch.stp.is_root else ""
+        print(f"{name}{root}:")
+        for if_index, role, state in switch.stp.port_table():
+            print(f"  port{if_index}: {role:<10} {state}")
+    blocked = graph.blocked_connections()
+    print(
+        "blocked connections: "
+        + (", ".join(str(c) for c in blocked) if blocked else "none")
+    )
+
+    print(f"\n== active paths (topology epoch {graph.topology_epoch}) ==")
+    for a, b in combinations(hosts, 2):
+        try:
+            path = find_path(graph, a, b)
+        except NoPathError:
+            print(f"{a} <-> {b}: UNREACHABLE")
+            continue
+        flag = "redundant" if pair_redundant(graph, a, b) else "single-path"
+        print(f"{a} <-> {b} [{flag}]: " + " | ".join(str(c) for c in path))
+
+    events = monitor.telemetry.events
+    changes = events.count(TOPOLOGY_CHANGED)
+    reroutes = events.count(PATH_REROUTED)
+    print(f"\n{changes} topology change(s), {reroutes} path reroute(s)")
+    for event in events.events(PATH_REROUTED):
+        attrs = event.attrs
+        print(
+            f"  [{event.time:.1f}s] {attrs['watch']}: {attrs['old_path']}"
+            f" ==> {attrs['new_path']}"
+        )
+    return 0
+
+
 def cmd_matrix(args) -> int:
     from repro.core.matrix import BandwidthMatrix, MatrixError
 
@@ -1185,6 +1306,7 @@ _COMMANDS = {
     "integrity": cmd_integrity,
     "distributed": cmd_distributed,
     "discover": cmd_discover,
+    "topology": cmd_topology,
     "matrix": cmd_matrix,
     "stream": cmd_stream,
     "probe": cmd_probe,

@@ -508,6 +508,7 @@ class BandwidthCalculator:
         time: float,
         name: Optional[str] = None,
         fresh: bool = False,
+        redundant: bool = False,
     ) -> PathReport:
         """A :class:`PathReport` for an already-traversed path.
 
@@ -515,6 +516,9 @@ class BandwidthCalculator:
         KB/s); capacities are converted from the spec's bits/second.
         ``fresh=True`` recomputes every connection from the raw tables
         (the naive baseline; see :meth:`measure_connection`).
+        ``redundant`` is the pair's physical-redundancy flag (the caller
+        resolves it from the topology graph; see
+        :func:`repro.core.traversal.pair_redundant`).
         """
         tel = self.telemetry
         tracing = tel is not None and tel.enabled
@@ -546,6 +550,7 @@ class BandwidthCalculator:
             confidence=confidence,
             degraded=confidence < 1.0,
             unavailable=confidence <= 0.0 and bool(confidences),
+            redundant=redundant,
         )
         if tracing:
             if report.freshness is not None:

@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from repro.simnet.address import IPv4Address, MacAddress
 from repro.snmp.manager import SnmpManager
 from repro.snmp.mib import (
+    DOT1D_STP_PORT_STATE,
     DOT1D_TP_FDB_PORT,
     IF_PHYS_ADDRESS,
     SYS_NAME,
@@ -51,6 +52,9 @@ class DiscoveredNode:
     is_switch: bool = False
     # switch only: port ifIndex -> MACs learned behind it
     fdb: Dict[int, Set[MacAddress]] = field(default_factory=dict)
+    # switch only (with include_stp): port ifIndex -> RFC 1493
+    # dot1dStpPortState (disabled 1 / blocking 2 / forwarding 5)
+    stp_states: Dict[int, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -72,6 +76,10 @@ class Attachment:
 class DiscoveryResult:
     nodes: Dict[str, DiscoveredNode]
     attachments: List[Attachment]
+    # Candidates whose every walk failed (agent down / host partitioned).
+    # Their absence from ``attachments`` means "no data", NOT "detached";
+    # consumers must keep last-known state for them (topology_sync does).
+    unreachable: Set[str] = field(default_factory=set)
 
     def attachment_of(self, node_name: str) -> Optional[Attachment]:
         for att in self.attachments:
@@ -183,12 +191,21 @@ class TopologyDiscoverer:
         manager: SnmpManager,
         candidates: List[Tuple[str, IPv4Address]],
         community: str = "public",
+        include_stp: bool = False,
+        use_bulk: bool = False,
     ) -> None:
+        """``include_stp`` adds a dot1dStpPortState walk per candidate so
+        switch spanning-tree state rides along with the attachments.
+        ``use_bulk`` walks with GETBULK (fewer, larger requests)."""
         self.manager = manager
         self.candidates = list(candidates)
         self.community = community
+        self.include_stp = include_stp
+        self.use_bulk = use_bulk
         self._nodes: Dict[str, DiscoveredNode] = {}
         self._pending = 0
+        self._walks: Dict[str, int] = {}
+        self._failures: Dict[str, int] = {}
         self._callback: Optional[Callable[[DiscoveryResult], None]] = None
         self.result: Optional[DiscoveryResult] = None
 
@@ -202,28 +219,38 @@ class TopologyDiscoverer:
         for name, address in self.candidates:
             node = DiscoveredNode(name=name, address=address)
             self._nodes[name] = node
-            # Three walks per candidate: identity, MACs, FDB.
-            self._begin(lambda vbs, n=node: self._on_sysname(n, vbs), address, SYS_NAME)
+            # Three walks per candidate: identity, MACs, FDB (plus the
+            # optional spanning-tree port-state walk).
+            self._begin(lambda vbs, n=node: self._on_sysname(n, vbs), node, SYS_NAME)
             self._begin(
                 lambda vbs, n=node: self._on_phys_addresses(n, vbs),
-                address,
+                node,
                 IF_PHYS_ADDRESS,
             )
             self._begin(
-                lambda vbs, n=node: self._on_fdb(n, vbs), address, DOT1D_TP_FDB_PORT
+                lambda vbs, n=node: self._on_fdb(n, vbs), node, DOT1D_TP_FDB_PORT
             )
+            if self.include_stp:
+                self._begin(
+                    lambda vbs, n=node: self._on_stp(n, vbs),
+                    node,
+                    DOT1D_STP_PORT_STATE,
+                )
 
-    def _begin(self, handler, address: IPv4Address, root: Oid) -> None:
+    def _begin(self, handler, node: DiscoveredNode, root: Oid) -> None:
         self._pending += 1
+        key = node.name  # candidate name; sysName may rename the node later
+        self._walks[key] = self._walks.get(key, 0) + 1
 
         def done(varbinds):
             handler(varbinds)
             self._complete()
 
         def failed(exc):
+            self._failures[key] = self._failures.get(key, 0) + 1
             self._complete()
 
-        self.manager.walk(address, root, done, failed)
+        self.manager.walk(node.address, root, done, failed, use_bulk=self.use_bulk)
 
     def _complete(self) -> None:
         self._pending -= 1
@@ -260,10 +287,25 @@ class TopologyDiscoverer:
             port = int(vb.value.value)
             node.fdb.setdefault(port, set()).add(mac)
 
+    def _on_stp(self, node: DiscoveredNode, varbinds) -> None:
+        if not varbinds:
+            return
+        node.is_switch = True
+        for vb in varbinds:
+            arcs = vb.oid.strip_prefix(DOT1D_STP_PORT_STATE)
+            if len(arcs) != 1:
+                continue
+            node.stp_states[int(arcs[0])] = int(vb.value.value)
+
     # ------------------------------------------------------------------
     # Assembly
     # ------------------------------------------------------------------
     def _assemble(self) -> DiscoveryResult:
+        unreachable = {
+            name
+            for name, walks in self._walks.items()
+            if walks > 0 and self._failures.get(name, 0) >= walks
+        }
         mac_owner: Dict[MacAddress, str] = {}
         for node in self._nodes.values():
             if not node.is_switch:
@@ -285,4 +327,6 @@ class TopologyDiscoverer:
                         unknown_macs=unknown,
                     )
                 )
-        return DiscoveryResult(nodes=dict(self._nodes), attachments=attachments)
+        return DiscoveryResult(
+            nodes=dict(self._nodes), attachments=attachments, unreachable=unreachable
+        )

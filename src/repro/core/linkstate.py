@@ -45,9 +45,13 @@ class LinkStateRegistry:
         # Epochs bump only on actual up<->down flips, never on redundant
         # notifications, so downstream caches stay warm through trap spam.
         self._epochs = EpochClock()
-        # Newest notification uptime seen per connection: a retransmitted
-        # (inform) linkDown that arrives *after* the linkUp it predates
-        # must not re-mark the connection down.
+        # Newest notification uptime seen per (reporting node, connection):
+        # a retransmitted (inform) linkDown that arrives *after* the
+        # linkUp it predates must not re-mark the connection down.  Keyed
+        # per reporting node because an inter-switch uplink is observed
+        # from both ends, and the two agents' sysUpTime clocks are not
+        # comparable -- one end's high uptime must never suppress the
+        # other end's genuinely-new notification.
         self._last_uptime: Dict[Tuple, int] = {}
         self.events_applied = 0
         self.events_unmapped = 0
@@ -70,7 +74,8 @@ class LinkStateRegistry:
             self.events_unmapped += 1
             return None
         key = conn.endpoints()
-        previous = self._last_uptime.get(key)
+        uptime_key = (node, key)
+        previous = self._last_uptime.get(uptime_key)
         if previous is not None and event.uptime.value <= previous:
             self.events_stale += 1
             logger.info(
@@ -78,7 +83,7 @@ class LinkStateRegistry:
                 conn, event.uptime.value, previous,
             )
             return None
-        self._last_uptime[key] = event.uptime.value
+        self._last_uptime[uptime_key] = event.uptime.value
         self.events_applied += 1
         if event.is_link_down:
             if key not in self._down:

@@ -202,6 +202,9 @@ class BandwidthMatrix:
         if not self.incremental:
             self.last_dirty_pairs = None  # dirtiness unknown in naive mode
             self.last_snapshot_rebuilt = False
+            if self.graph.topology_epoch != self._topology_epoch:
+                self._build_paths()
+                self.last_snapshot_rebuilt = True
             reports: Dict[Tuple[str, str], Optional[PathReport]] = {}
             for (a, b), path in self._paths.items():
                 if path is None:

@@ -25,7 +25,7 @@ import logging
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.bandwidth import BandwidthCalculator
-from repro.core.counters import required_poll_targets
+from repro.core.counters import if_index_of, required_poll_targets
 from repro.core.history import MeasurementHistory
 from repro.integrity import (
     IntegrityConfig,
@@ -38,13 +38,15 @@ from repro.core.linkstate import LinkStateRegistry
 from repro.core.poller import PollTarget, RateTable, SnmpPoller
 from repro.core.report import PathReport
 from repro.probe.scheduler import register_probe_metrics
-from repro.core.traversal import find_path
+from repro.core.topology_sync import register_topology_metrics
+from repro.core.traversal import NoPathError, find_path, pair_redundant
 from repro.snmp.manager import SnmpManager
 from repro.spec.builder import BuildResult
 from repro.stream.manager import register_stream_metrics
 from repro.telemetry import Telemetry
+from repro.telemetry.events import PATH_REROUTED
 from repro.topology.graph import TopologyGraph
-from repro.topology.model import ConnectionSpec, TopologySpec
+from repro.topology.model import ConnectionSpec, DeviceKind, TopologySpec
 
 ReportCallback = Callable[[PathReport], None]
 
@@ -55,13 +57,23 @@ DEFAULT_REPORT_OFFSET = 0.5
 
 
 class _Watch:
-    __slots__ = ("name", "src", "dst", "path")
+    __slots__ = ("name", "src", "dst", "path", "epoch")
 
-    def __init__(self, name: str, src: str, dst: str, path: List[ConnectionSpec]) -> None:
+    def __init__(
+        self,
+        name: str,
+        src: str,
+        dst: str,
+        path: List[ConnectionSpec],
+        epoch: int,
+    ) -> None:
         self.name = name
         self.src = src
         self.dst = dst
         self.path = path
+        # Graph topology epoch the path was resolved under; when the
+        # graph moves past it the watch re-resolves before measuring.
+        self.epoch = epoch
 
 
 class MonitorError(RuntimeError):
@@ -209,9 +221,16 @@ class NetworkMonitor:
         # families registered unconditionally for the same reason.
         register_probe_metrics(self.telemetry.registry)
         self.prober = None  # Optional[ProbeScheduler]
+        # Self-healing topology plane (see :meth:`enable_topology_sync`).
+        register_topology_metrics(self.telemetry.registry)
+        self.topology_sync = None  # Optional[TopologySync]
         self._report_task = None
         self._m_reports = self.telemetry.registry.counter(
             "reports_total", "path reports emitted"
+        )
+        self._m_reroutes = self.telemetry.registry.counter(
+            "path_reroutes_total",
+            "watched paths re-resolved onto different links",
         )
         self._register_health_gauges()
         self._register_dataflow_gauges()
@@ -278,6 +297,24 @@ class NetworkMonitor:
         speed-mismatch validator has the agent's own claim.
         """
         needed = required_poll_targets(self.spec, list(self.spec.connections))
+        # Inter-switch uplinks are polled at BOTH ends.  The counter
+        # source alone leaves the far switch's port invisible, yet a
+        # redundant uplink can fail (or be spanning-tree blocked) in a
+        # way only the far side observes; link-state tracking must see
+        # linkDown from either end.
+        for conn in self.spec.connections:
+            ends = conn.endpoints()
+            nodes = [self.spec.node(end.node) for end in ends]
+            if not all(
+                n.kind is DeviceKind.SWITCH and n.snmp_enabled for n in nodes
+            ):
+                continue
+            for end, node in zip(ends, nodes):
+                indexes = needed.setdefault(node.name, [])
+                if_index = if_index_of(node, end.interface)
+                if if_index not in indexes:
+                    indexes.append(if_index)
+                    indexes.sort()
         if self._cross_pairs:
             for node_name, extra in extra_poll_indexes(self._cross_pairs).items():
                 indexes = needed.setdefault(node_name, [])
@@ -402,7 +439,9 @@ class NetworkMonitor:
         if label in self._watches:
             raise MonitorError(f"path watch {label!r} already exists")
         path = find_path(self.graph, src, dst)
-        self._watches[label] = _Watch(label, src, dst, path)
+        self._watches[label] = _Watch(
+            label, src, dst, path, self.graph.topology_epoch
+        )
         logger.info(
             "watching path %s: %d connection(s) %s -> %s", label, len(path), src, dst
         )
@@ -501,6 +540,32 @@ class NetworkMonitor:
         return self.prober
 
     # ------------------------------------------------------------------
+    # Self-healing topology
+    # ------------------------------------------------------------------
+    def enable_topology_sync(self, **options) -> "TopologySync":
+        """Keep the active topology in sync with the live network.
+
+        Builds a :class:`~repro.core.topology_sync.TopologySync` running
+        periodic discovery rounds: light rounds walk only the switches'
+        spanning-tree port states, full rounds re-discover host
+        attachments.  Changes flush the path memos (bumping the graph's
+        topology epoch), so the next report cycle re-resolves watched
+        paths -- retiring the manual ``invalidate_paths()`` contract.
+        ``options`` are forwarded (``interval``, ``full_every``,
+        ``community``).  If the monitor is already running, syncing
+        starts immediately; otherwise it starts with :meth:`start`.
+        Idempotent -- returns the existing sync on repeat calls.
+        """
+        if self.topology_sync is not None:
+            return self.topology_sync
+        from repro.core.topology_sync import TopologySync
+
+        self.topology_sync = TopologySync(self, **options)
+        if self._report_task is not None:
+            self.topology_sync.start()
+        return self.topology_sync
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self, at: Optional[float] = None) -> None:
@@ -523,6 +588,11 @@ class NetworkMonitor:
         # round interval after the first passive report exists.
         if self.prober is not None and not self.prober.started:
             self.prober.start(after=first_report)
+        # Topology sync rounds interleave with the polls; the first one
+        # fires half a cycle in so STP walks don't collide with the
+        # counter polls on the wire.
+        if self.topology_sync is not None and not self.topology_sync.started:
+            self.topology_sync.start(at=first_poll + self.poll_interval / 2.0)
 
     def stop(self) -> None:
         self._poller.stop()
@@ -531,6 +601,8 @@ class NetworkMonitor:
             self._report_task = None
         if self.prober is not None:
             self.prober.stop()
+        if self.topology_sync is not None:
+            self.topology_sync.stop()
         self.manager.cancel_all()
 
     # ------------------------------------------------------------------
@@ -545,9 +617,13 @@ class NetworkMonitor:
         # Subscribers may add/remove watches in reaction to a report (the
         # application runtime rebinds paths on reallocation); iterate a copy.
         for watch in list(self._watches.values()):
+            if watch.epoch != self.graph.topology_epoch:
+                self._refresh_watch(watch)
             report = self._apply_probe_cap(
                 self.calculator.measure_path(
-                    watch.path, watch.src, watch.dst, time=self.sim.now, name=watch.name
+                    watch.path, watch.src, watch.dst, time=self.sim.now,
+                    name=watch.name,
+                    redundant=pair_redundant(self.graph, watch.src, watch.dst),
                 )
             )
             self.history.append(report)
@@ -571,10 +647,69 @@ class NetworkMonitor:
             watch = self._watches[label]
         except KeyError:
             raise MonitorError(f"no path watch {label!r}") from None
+        if watch.epoch != self.graph.topology_epoch:
+            self._refresh_watch(watch)
         report = self.calculator.measure_path(
-            watch.path, watch.src, watch.dst, time=self.sim.now, name=watch.name
+            watch.path, watch.src, watch.dst, time=self.sim.now, name=watch.name,
+            redundant=pair_redundant(self.graph, watch.src, watch.dst),
         )
         return self._apply_probe_cap(report) if _probe_cap else report
+
+    def _refresh_watch(self, watch: _Watch) -> None:
+        """Re-resolve a watch's path after a topology-epoch move.
+
+        The path only actually changes when the failed/blocked link lay
+        on it; an unchanged re-resolution is silent.  A pair left with
+        no active path keeps its last path -- its reports then show the
+        dead connection as down rather than vanishing, which is what a
+        QoS consumer must see during a partition.
+        """
+        watch.epoch = self.graph.topology_epoch
+        try:
+            new_path = find_path(self.graph, watch.src, watch.dst)
+        except NoPathError:
+            logger.warning(
+                "watch %s: no active path after topology change; keeping "
+                "last-known path", watch.name,
+            )
+            return
+        if new_path == watch.path:
+            return
+        # Render the connection series, not just node names: a failover
+        # between parallel uplinks visits the same nodes over different
+        # links, and the event must show which.
+        old_nodes = tuple(str(conn) for conn in watch.path)
+        new_nodes = tuple(str(conn) for conn in new_path)
+        watch.path = new_path
+        self._m_reroutes.inc()
+        logger.warning(
+            "watch %s rerouted: %s ==> %s",
+            watch.name, " | ".join(old_nodes), " | ".join(new_nodes),
+        )
+        self.telemetry.events.publish(
+            PATH_REROUTED,
+            self.sim.now,
+            watch=watch.name,
+            src=watch.src,
+            dst=watch.dst,
+            old_path=" | ".join(old_nodes),
+            new_path=" | ".join(new_nodes),
+            topology_epoch=self.graph.topology_epoch,
+        )
+        if self.stream is not None:
+            from repro.stream.events import PathRerouted, pair_key
+
+            self.stream.manager.deliver(
+                PathRerouted(
+                    pair=pair_key(watch.src, watch.dst),
+                    time=self.sim.now,
+                    epoch=self.stream.clock.epoch,
+                    watch=watch.name,
+                    old_path=old_nodes,
+                    new_path=new_nodes,
+                    topology_epoch=self.graph.topology_epoch,
+                )
+            )
 
     def _apply_probe_cap(self, report: PathReport) -> PathReport:
         """Cap confidence while the probe plane disputes this path."""
@@ -634,4 +769,9 @@ class NetworkMonitor:
             "probe_disagreements": value("probe_disagreements_total"),
             "probe_recoveries": value("probe_recoveries_total"),
             "probe_active_disagreements": value("probe_active_disagreements"),
+            "topology_rounds": value("topology_rounds_total"),
+            "topology_full_rounds": value("topology_full_rounds_total"),
+            "topology_changes": value("topology_changes_total"),
+            "path_reroutes": value("path_reroutes_total"),
+            "blocked_connections": value("topology_blocked_connections"),
         }

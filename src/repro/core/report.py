@@ -77,6 +77,11 @@ class PathReport:
     confidence: float = 1.0  # 1.0 all-fresh .. 0.0 no usable data
     degraded: bool = False  # some figure rests on stale/missing data
     unavailable: bool = False  # no trustworthy figures at all
+    # Physical redundancy of the pair: >= 2 simple paths exist, so a
+    # single link failure on the measured (active) path is survivable.
+    # Distinguishes "degraded but protected" from "single point of
+    # failure" for the resource manager.
+    redundant: bool = False
 
     def __post_init__(self) -> None:
         if not self.connections and self.src != self.dst:

@@ -15,9 +15,16 @@ enumerates the alternatives for diagnosis tools.
 
 When the caller passes a :class:`~repro.topology.graph.TopologyGraph`
 (rather than a bare spec), :func:`find_path` memoizes results in the
-graph's path cache -- the physical topology does not change between poll
-cycles, so an all-pairs matrix walks each path exactly once until
-``invalidate_paths()`` declares the topology changed.
+graph's path cache -- the active topology rarely changes between poll
+cycles, so an all-pairs matrix walks each path exactly once per
+topology epoch.  The memos flush automatically whenever the graph's
+active view moves (``set_blocked``, driven by the delta-discovery loop
+in :mod:`repro.core.topology_sync`) or a caller invalidates explicitly.
+
+:func:`find_path` walks the **active** view (spanning-tree blocked
+uplinks excluded): its result is the path traffic actually takes.
+:func:`find_all_paths` and :func:`pair_redundant` walk the **physical**
+view: their results answer what the topology could do after failover.
 """
 
 from __future__ import annotations
@@ -98,7 +105,11 @@ def _dfs(graph: TopologyGraph, src: str, dst: str) -> Optional[Path]:
     visited: Set[str] = {src}
     # Each frame is the neighbor iterator of one node on the trail;
     # ``trail`` holds the connection taken into each frame's node.
-    stack: List[Iterator[Tuple[ConnectionSpec, str]]] = [iter(graph.neighbors(src))]
+    # Traversal walks the *active* view: a spanning-tree blocked uplink
+    # carries no traffic, so the measured path must not include it.
+    stack: List[Iterator[Tuple[ConnectionSpec, str]]] = [
+        iter(graph.active_neighbors(src))
+    ]
     trail: List[ConnectionSpec] = []
     while stack:
         frame = stack[-1]
@@ -110,7 +121,7 @@ def _dfs(graph: TopologyGraph, src: str, dst: str) -> Optional[Path]:
                 return trail + [conn]
             visited.add(peer)
             trail.append(conn)
-            stack.append(iter(graph.neighbors(peer)))
+            stack.append(iter(graph.active_neighbors(peer)))
             advanced = True
             break
         if not advanced:
@@ -120,13 +131,43 @@ def _dfs(graph: TopologyGraph, src: str, dst: str) -> Optional[Path]:
     return None
 
 
+def pair_redundant(
+    topology: Union[TopologySpec, TopologyGraph], src: str, dst: str
+) -> bool:
+    """Does the **physical** topology offer >= 2 simple paths src->dst?
+
+    A redundant pair keeps communicating after any single link failure on
+    its path -- "degraded but protected"; a non-redundant pair is a
+    single point of failure.  Blocked (spanning-tree inactive) uplinks
+    count: they are exactly the protection.  Memoized on the graph when
+    the caller owns it, and never invalidated, because physical
+    adjacency is immutable for a graph's lifetime.
+    """
+    graph = _as_graph(topology)
+    caching = graph is topology
+    if caching:
+        cached = graph.cached_redundancy(src, dst)
+        if cached is not None:
+            return cached
+    redundant = len(find_all_paths(graph, src, dst, max_paths=2)) >= 2
+    if caching:
+        graph.store_redundancy(src, dst, redundant)
+    return redundant
+
+
 def find_all_paths(
     topology: Union[TopologySpec, TopologyGraph],
     src: str,
     dst: str,
     max_paths: int = 64,
 ) -> List[Path]:
-    """Every simple path between two hosts (bounded; for mesh diagnosis)."""
+    """Every simple **physical** path between two hosts (bounded).
+
+    Unlike :func:`find_path` this ignores the graph's active view:
+    enumeration answers "what could carry traffic", including
+    spanning-tree blocked backup uplinks.  Parallel connections between
+    the same two devices yield distinct paths.
+    """
     graph = _as_graph(topology)
     graph.neighbors(src)
     graph.neighbors(dst)

@@ -40,6 +40,7 @@ def scale_spec(
     arity: int = 2,
     hub_pockets: int = 0,
     hub_hosts: int = 3,
+    redundant_uplinks: int = 0,
     name: Optional[str] = None,
 ) -> TopologySpec:
     """A k-switch tree with ``m`` hosts per switch and hub pockets.
@@ -51,6 +52,12 @@ def scale_spec(
     ``hub_pockets`` switches additionally hang a 10 Mb/s hub with
     ``hub_hosts`` hosts off one port -- the paper's shared-medium case,
     exercising the hub sum rule at scale.
+
+    ``redundant_uplinks`` adds that many *extra* parallel uplinks from
+    every non-root switch to its parent -- a deliberately loopy mesh.
+    Any value > 0 also turns spanning tree on (``stp "on"``) on every
+    switch, so the loops are survivable: one uplink per pair forwards,
+    the spares block until a failover (see :mod:`repro.simnet.stp`).
     """
     if switches < 1:
         raise ValueError(f"need at least one switch, got {switches!r}")
@@ -62,19 +69,24 @@ def scale_spec(
         raise ValueError(
             f"cannot attach {hub_pockets} hub pocket(s) to {switches} switch(es)"
         )
+    if redundant_uplinks < 0:
+        raise ValueError(
+            f"redundant_uplinks must be >= 0, got {redundant_uplinks!r}"
+        )
     nodes = []
     connections = []
-    # Ports per switch: hosts + uplink + child uplinks + hub (maybe).
+    # Ports per switch: hosts + uplink(s) + child uplinks + hub (maybe).
     # Exact counts matter -- a 2000-switch chain must not allocate
     # O(switches) ports per switch.
+    uplinks_each = 1 + redundant_uplinks
     children = [0] * switches
     for s in range(1, switches):
         children[(s - 1) // arity] += 1
     for s in range(switches):
         ports = (
             hosts_per_switch
-            + (1 if s > 0 else 0)
-            + children[s]
+            + (uplinks_each if s > 0 else 0)
+            + children[s] * uplinks_each
             + (1 if s < hub_pockets else 0)
         )
         nodes.append(
@@ -86,6 +98,7 @@ def scale_spec(
                     for p in range(ports)
                 ],
                 snmp_enabled=True,
+                attributes={"stp": "on"} if redundant_uplinks else {},
             )
         )
     next_port: Dict[str, int] = {f"sw{s}": 0 for s in range(switches)}
@@ -113,12 +126,13 @@ def scale_spec(
             )
     for s in range(1, switches):
         parent = f"sw{(s - 1) // arity}"
-        connections.append(
-            ConnectionSpec(
-                InterfaceRef(f"sw{s}", take_port(f"sw{s}")),
-                InterfaceRef(parent, take_port(parent)),
+        for _ in range(uplinks_each):
+            connections.append(
+                ConnectionSpec(
+                    InterfaceRef(f"sw{s}", take_port(f"sw{s}")),
+                    InterfaceRef(parent, take_port(parent)),
+                )
             )
-        )
     for p in range(hub_pockets):
         hub = f"hub{p}"
         nodes.append(
@@ -155,6 +169,7 @@ def scale_spec(
     label = name or (
         f"scale-{switches}sw-{hosts_per_switch}h"
         + (f"-{hub_pockets}hub" if hub_pockets else "")
+        + (f"-{redundant_uplinks}r" if redundant_uplinks else "")
     )
     return TopologySpec(label, nodes, connections)
 

@@ -67,6 +67,28 @@ def _link_label(link: Link) -> str:
     return f"{link.end_a.full_name}<->{link.end_b.full_name}"
 
 
+def find_link(network, a: str, b: str, index: int = 0) -> Link:
+    """The ``index``-th link joining devices ``a`` and ``b`` (by name).
+
+    Redundant uplinks are parallel links between the same two switches;
+    ``index`` (wiring order) selects which one.  Raises
+    :class:`FaultError` when no such link exists, so chaos scenarios fail
+    loudly on topology typos instead of silently injecting nothing.
+    """
+    matches = [
+        link
+        for link in network.links
+        if {link.end_a.device_name, link.end_b.device_name} == {a, b}
+    ]
+    if not matches:
+        raise FaultError(f"no link joins {a!r} and {b!r}")
+    if not 0 <= index < len(matches):
+        raise FaultError(
+            f"{a!r}<->{b!r} has {len(matches)} link(s); no index {index}"
+        )
+    return matches[index]
+
+
 def _publish(
     events: Optional["EventBus"], injected: bool, now: float, fault: object, **attrs
 ) -> None:
@@ -115,6 +137,26 @@ class LinkFailure:
         sim.schedule_at(max(at, sim.now), self._fail)
         if until is not None:
             sim.schedule_at(max(until, sim.now), self._restore)
+
+    @classmethod
+    def between(
+        cls,
+        network,
+        a: str,
+        b: str,
+        at: float,
+        until: Optional[float] = None,
+        index: int = 0,
+        events: Optional["EventBus"] = None,
+    ) -> "LinkFailure":
+        """Sever the ``index``-th link joining devices ``a`` and ``b``.
+
+        The by-name form chaos scenarios use to kill a specific uplink of
+        a redundant switch-to-switch pair.
+        """
+        return cls(
+            network.sim, find_link(network, a, b, index), at, until=until, events=events
+        )
 
     def _fail(self) -> None:
         self.failed = True
@@ -793,6 +835,30 @@ class Flap:
         self.down = False
         self.flaps = 0  # completed down->up cycles
         sim.schedule_at(max(at, sim.now), self._go_down)
+
+    @classmethod
+    def between(
+        cls,
+        network,
+        a: str,
+        b: str,
+        at: float,
+        down_for: float,
+        up_for: float,
+        until: Optional[float] = None,
+        index: int = 0,
+        events: Optional["EventBus"] = None,
+    ) -> "Flap":
+        """Flap the ``index``-th link joining devices ``a`` and ``b``."""
+        return cls(
+            network.sim,
+            find_link(network, a, b, index),
+            at,
+            down_for,
+            up_for,
+            until=until,
+            events=events,
+        )
 
     def _go_down(self) -> None:
         if self.until is not None and self.sim.now >= self.until:

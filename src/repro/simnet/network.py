@@ -87,10 +87,18 @@ class Network:
         n_ports: int,
         port_speed_bps: float = 100e6,
         managed: bool = True,
+        stp: bool = False,
+        stp_priority: int = 0x8000,
     ) -> Switch:
-        """Create a switch; ``managed`` gives it an SNMP-ready stack."""
+        """Create a switch; ``managed`` gives it an SNMP-ready stack.
+
+        ``stp`` runs the deterministic spanning-tree protocol on it,
+        making redundant (cyclic) wiring legal.
+        """
         self._check_name(name)
-        switch = Switch(self.sim, name, n_ports, port_speed_bps)
+        switch = Switch(
+            self.sim, name, n_ports, port_speed_bps, stp=stp, stp_priority=stp_priority
+        )
         switch.network = self
         self.switches[name] = switch
         if managed:

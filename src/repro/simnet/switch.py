@@ -17,6 +17,12 @@ an agent attached by :mod:`repro.snmp.agent`.  For that they carry a
 management IP and run the same little UDP stack as hosts, with management
 frames addressed to the switch's own MAC handled locally ("in-band
 management").
+
+With ``stp=True`` the switch additionally runs the deterministic
+spanning-tree protocol from :mod:`repro.simnet.stp`: redundant uplinks
+become legal (the blocked port drops data frames), BPDUs are consumed
+here and never forwarded, and link failures re-converge onto backup
+paths in bounded sim-time.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from repro.simnet.address import IPv4Address, MacAddress
 from repro.simnet.engine import Simulator
 from repro.simnet.nic import Interface
 from repro.simnet.packet import DEFAULT_MTU, EthernetFrame
+from repro.simnet.stp import STP_MULTICAST, SpanningTree
 
 MAX_L2_HOPS = 32  # broadcast-storm guard; generous for any sane LAN
 DEFAULT_MAC_AGING = 300.0  # seconds, as in common switch defaults
@@ -64,6 +71,8 @@ class Switch:
         mac_aging: float = DEFAULT_MAC_AGING,
         management_ip: Optional[IPv4Address] = None,
         management_mac: Optional[MacAddress] = None,
+        stp: bool = False,
+        stp_priority: int = 0x8000,
     ) -> None:
         if n_ports < 2:
             raise SwitchError(f"a switch needs at least 2 ports, got {n_ports}")
@@ -82,6 +91,7 @@ class Switch:
         self.frames_forwarded = 0
         self.frames_flooded = 0
         self.frames_dropped_hops = 0
+        self.frames_dropped_blocked = 0
         self.frames_local = 0
         name_tag = zlib.crc32(name.encode()) & 0xFFFF
         for i in range(n_ports):
@@ -100,6 +110,10 @@ class Switch:
                     if_index=i + 1,
                 )
             )
+        # Spanning tree runs after the ports exist (it observes them all).
+        self.stp: Optional[SpanningTree] = (
+            SpanningTree(self, priority=stp_priority) if stp else None
+        )
 
     # ------------------------------------------------------------------
     # Ports
@@ -127,6 +141,16 @@ class Switch:
     # Forwarding
     # ------------------------------------------------------------------
     def on_frame(self, in_port: Interface, frame: EthernetFrame) -> None:
+        # Bridge-group traffic is consumed here, never forwarded or
+        # learned (IEEE 802.1D reserved address) -- even with STP off.
+        if frame.dst == STP_MULTICAST:
+            if self.stp is not None:
+                self.stp.receive(in_port, frame)
+            return
+        # A blocking port drops all data frames, in both directions.
+        if self.stp is not None and not self.stp.forwarding(in_port):
+            self.frames_dropped_blocked += 1
+            return
         self._learn(frame.src, in_port)
         # In-band management: frames addressed to the switch itself.
         if self.management_mac is not None and frame.dst == self.management_mac:
@@ -139,7 +163,11 @@ class Switch:
             return
         out = self._lookup(frame.dst)
         forwarded = dataclasses.replace(frame, hops=frame.hops + 1)
-        if out is not None and frame.is_unicast:
+        if (
+            out is not None
+            and frame.is_unicast
+            and (self.stp is None or self.stp.forwarding(out))
+        ):
             if out is in_port:
                 return  # destination is back where it came from; filter
             self.frames_forwarded += 1
@@ -147,8 +175,11 @@ class Switch:
         else:
             self.frames_flooded += 1
             for port in self.interfaces:
-                if port is not in_port and port.link is not None:
-                    self.sim.schedule(SWITCH_FORWARD_LATENCY, port.transmit, forwarded)
+                if port is in_port or port.link is None:
+                    continue
+                if self.stp is not None and not self.stp.forwarding(port):
+                    continue
+                self.sim.schedule(SWITCH_FORWARD_LATENCY, port.transmit, forwarded)
             # Broadcasts also reach the management plane.
             if frame.is_broadcast and self._mgmt_handler is not None:
                 self._mgmt_handler(in_port, frame)
@@ -171,6 +202,12 @@ class Switch:
             return None
         return entry.port
 
+    def flush_fdb(self) -> None:
+        """Drop every learned binding (spanning-tree topology change)."""
+        if self._fdb:
+            self._fdb.clear()
+            self.fdb_version += 1
+
     # ------------------------------------------------------------------
     # Management plane
     # ------------------------------------------------------------------
@@ -185,12 +222,19 @@ class Switch:
         transit traffic -- management responses are ordinary packets.
         """
         out = self._lookup(frame.dst)
-        if out is not None and frame.is_unicast:
+        if (
+            out is not None
+            and frame.is_unicast
+            and (self.stp is None or self.stp.forwarding(out))
+        ):
             return out.transmit(frame)
         ok = False
         for port in self.interfaces:
-            if port.link is not None and port is not out_hint:
-                ok = port.transmit(frame) or ok
+            if port.link is None or port is out_hint:
+                continue
+            if self.stp is not None and not self.stp.forwarding(port):
+                continue
+            ok = port.transmit(frame) or ok
         return ok
 
     def fdb_entries(self) -> List[Tuple[MacAddress, int, float]]:

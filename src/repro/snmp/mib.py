@@ -82,6 +82,12 @@ DOT1D_TP_FDB_ADDRESS = DOT1D_TP_FDB_ENTRY + "1"
 DOT1D_TP_FDB_PORT = DOT1D_TP_FDB_ENTRY + "2"
 DOT1D_TP_FDB_STATUS = DOT1D_TP_FDB_ENTRY + "3"
 
+# Bridge MIB (RFC 1493) spanning-tree port table, used by the monitor's
+# topology-sync loop to learn which redundant uplinks are blocked.
+DOT1D_STP_PORT_ENTRY = Oid("1.3.6.1.2.1.17.2.15.1")
+DOT1D_STP_PORT = DOT1D_STP_PORT_ENTRY + "1"
+DOT1D_STP_PORT_STATE = DOT1D_STP_PORT_ENTRY + "3"
+
 IFTYPE_ETHERNET = 6
 IF_STATUS_UP = 1
 IF_STATUS_DOWN = 2
@@ -272,6 +278,8 @@ def build_mib2(
 
     if kind == "switch":
         tree.register_provider(BridgeFdbProvider(device))
+        if getattr(device, "stp", None) is not None:
+            tree.register_provider(BridgeStpProvider(device))
     return tree
 
 
@@ -412,3 +420,45 @@ class BridgeFdbProvider:
             if row_oid > oid:
                 return (row_oid, value)
         return None
+
+
+class BridgeStpProvider:
+    """RFC 1493 ``dot1dStpPortTable`` rows backed by a live spanning tree.
+
+    Serves ``dot1dStpPort`` (the port index) and ``dot1dStpPortState``
+    (disabled(1) / blocking(2) / forwarding(5)) per switch port.  The
+    monitor's topology-sync loop walks this column to map the switch's
+    active tree onto the topology graph's blocked-connection view.
+    """
+
+    prefix = DOT1D_STP_PORT_ENTRY
+
+    def __init__(self, switch) -> None:
+        self.switch = switch
+
+    def _rows(self) -> List[Tuple[Oid, SnmpValue]]:
+        stp = self.switch.stp
+        rows: List[Tuple[Oid, SnmpValue]] = []
+        for iface in self.switch.interfaces:
+            i = iface.if_index
+            rows.append((Oid(DOT1D_STP_PORT.arcs + (i,)), Integer(i)))
+        for iface in self.switch.interfaces:
+            i = iface.if_index
+            rows.append(
+                (Oid(DOT1D_STP_PORT_STATE.arcs + (i,)),
+                 Integer(stp.port_state_value(i)))
+            )
+        return rows
+
+    def get(self, oid: Oid) -> Optional[SnmpValue]:
+        for row_oid, value in self._rows():
+            if row_oid == oid:
+                return value
+        return None
+
+    def next(self, oid: Oid) -> Optional[Tuple[Oid, SnmpValue]]:
+        best: Optional[Tuple[Oid, SnmpValue]] = None
+        for row_oid, value in self._rows():
+            if row_oid > oid and (best is None or row_oid < best[0]):
+                best = (row_oid, value)
+        return best

@@ -75,6 +75,8 @@ def build_network(
                 n_ports=len(node.interfaces),
                 port_speed_bps=port_speed,
                 managed=node.snmp_enabled,
+                stp=node.stp_enabled,
+                stp_priority=int(node.attributes.get("stp_priority", 0x8000)),
             )
         elif node.kind is DeviceKind.HUB:
             speed = node.interfaces[0].speed_bps if node.interfaces else 10e6

@@ -13,7 +13,8 @@ errors (the topology is unusable):
   - QoS paths referencing unknown or non-host endpoints
 
 warnings (usable but suspicious):
-  - layer-2 loops (no spanning tree in testbed or simulator)
+  - layer-2 loops where some switch does not run spanning tree (a loop
+    whose switches all declare ``stp "on"`` is a legal redundant mesh)
   - disconnected nodes
   - connections where *neither* end is SNMP-observable (the monitor
     cannot measure them; in Fig. 3 every segment is observable from at
@@ -152,11 +153,15 @@ def _check_qos_paths(spec: TopologySpec, issues: List[ValidationIssue]) -> None:
 def _check_graph_shape(spec: TopologySpec, issues: List[ValidationIssue]) -> None:
     graph = TopologyGraph(spec)
     if graph.has_cycle():
-        _warning(
-            issues,
-            "topology contains a layer-2 loop; neither the testbed nor the "
-            "simulator runs spanning-tree, so frames may circulate",
-        )
+        switches = [n for n in spec.nodes if n.kind is DeviceKind.SWITCH]
+        non_stp = sorted(n.name for n in switches if not n.stp_enabled)
+        if non_stp:
+            _warning(
+                issues,
+                "topology contains a layer-2 loop and switch(es) "
+                f"{', '.join(non_stp)} do not run spanning-tree "
+                '(declare ``stp "on"``), so frames may circulate',
+            )
     connected = [n.name for n in spec.nodes if graph.degree(n.name) > 0]
     for node in spec.nodes:
         if graph.degree(node.name) == 0:

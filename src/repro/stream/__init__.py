@@ -17,13 +17,16 @@ CLI demonstrates the surface end to end.
 """
 
 from repro.stream.events import (
+    TOPOLOGY_PAIR,
     PairChanged,
     PathDegraded,
+    PathRerouted,
     PathRestored,
     ProbeDisagreement,
     QueryCleared,
     QueryFired,
     StreamEvent,
+    TopologyChanged,
     pair_key,
 )
 from repro.stream.manager import (
@@ -57,6 +60,7 @@ __all__ = [
     "OverflowPolicy",
     "PairChanged",
     "PathDegraded",
+    "PathRerouted",
     "PathRestored",
     "PercentileQuery",
     "ProbeDisagreement",
@@ -69,7 +73,9 @@ __all__ = [
     "StreamEvent",
     "Subscription",
     "SubscriptionManager",
+    "TOPOLOGY_PAIR",
     "ThresholdQuery",
+    "TopologyChanged",
     "pair_key",
     "register_stream_metrics",
 ]

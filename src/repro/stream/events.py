@@ -31,6 +31,12 @@ Kinds:
     the passive report beyond the cross-validator's debounced tolerance.
     Like trust transitions, these bypass significance filtering: two
     measurement planes contradicting each other is never noise.
+:class:`TopologyChanged` / :class:`PathRerouted`
+    The self-healing plane moved the active topology.  ``TopologyChanged``
+    carries the sentinel pair ``("*", "*")`` (it concerns the whole
+    network, so it reaches wildcard subscriptions); ``PathRerouted``
+    names the watched pair whose measured path was re-resolved onto a
+    different connection series.  Both bypass significance filtering.
 """
 
 from __future__ import annotations
@@ -43,13 +49,19 @@ from repro.core.report import PathReport
 __all__ = [
     "PairChanged",
     "PathDegraded",
+    "PathRerouted",
     "PathRestored",
     "ProbeDisagreement",
     "QueryCleared",
     "QueryFired",
     "StreamEvent",
+    "TopologyChanged",
     "pair_key",
 ]
+
+# TopologyChanged concerns the network as a whole, not one pair; the
+# sentinel matches no real host so only wildcard subscriptions see it.
+TOPOLOGY_PAIR: Tuple[str, str] = ("*", "*")
 
 
 def pair_key(a: str, b: str) -> Tuple[str, str]:
@@ -151,6 +163,50 @@ class ProbeDisagreement(StreamEvent):
             f"[{self.time:9.3f}s e{self.epoch}] {a}<->{b}: PROBE DISAGREES "
             f"active {self.probe_bps / 1000:.1f} vs passive "
             f"{self.passive_bps / 1000:.1f} KB/s ({self.cause}: {self.blamed})"
+        )
+
+
+@dataclass(frozen=True)
+class TopologyChanged(StreamEvent):
+    """The active topology moved (uplink blocked/unblocked, host moved).
+
+    ``reason`` is ``"stp"`` (spanning-tree port states changed which
+    connections carry traffic) or ``"attachment"`` (discovery saw a host
+    behind a different switch port).  ``topology_epoch`` is the graph
+    epoch after the change, so consumers can correlate subsequent
+    ``PathRerouted`` events (same epoch) with their cause.
+    """
+
+    reason: str
+    detail: str
+    topology_epoch: int
+    blocked: int  # connections excluded from the active view, after
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.time:9.3f}s e{self.epoch}] TOPOLOGY CHANGED ({self.reason}) "
+            f"{self.detail} [graph epoch {self.topology_epoch}, "
+            f"{self.blocked} blocked]"
+        )
+
+
+@dataclass(frozen=True)
+class PathRerouted(StreamEvent):
+    """A watched pair's measured path was re-resolved onto new links."""
+
+    watch: str
+    # Connection series (one string per connection), not node names: a
+    # failover between parallel uplinks visits the same nodes over
+    # different links, and the event must show which.
+    old_path: Tuple[str, ...]
+    new_path: Tuple[str, ...]
+    topology_epoch: int
+
+    def __str__(self) -> str:
+        a, b = self.pair
+        return (
+            f"[{self.time:9.3f}s e{self.epoch}] {a}<->{b}: REROUTED "
+            f"{' | '.join(self.old_path)} ==> {' | '.join(self.new_path)}"
         )
 
 

@@ -38,6 +38,8 @@ SAMPLE_GAP = "sample_gap"
 PROBE_TRAIN_COMPLETED = "probe_train_completed"
 PROBE_DISAGREEMENT = "probe_disagreement"
 PROBE_RECOVERED = "probe_recovered"
+TOPOLOGY_CHANGED = "topology_changed"
+PATH_REROUTED = "path_rerouted"
 
 KNOWN_KINDS = (
     HEALTH_TRANSITION,
@@ -59,6 +61,8 @@ KNOWN_KINDS = (
     PROBE_TRAIN_COMPLETED,
     PROBE_DISAGREEMENT,
     PROBE_RECOVERED,
+    TOPOLOGY_CHANGED,
+    PATH_REROUTED,
 )
 
 

@@ -11,11 +11,22 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import networkx as nx
 
-from repro.topology.model import ConnectionSpec, TopologyError, TopologySpec
+from repro.topology.model import ConnectionSpec, InterfaceRef, TopologyError, TopologySpec
+
+# A connection's hashable identity: its endpoint pair (the 1-to-1 rule
+# guarantees an interface appears in at most one connection).
+ConnKey = Tuple[InterfaceRef, InterfaceRef]
 
 
 class TopologyGraph:
-    """Adjacency over nodes, with connections as edges."""
+    """Adjacency over nodes, with connections as edges.
+
+    The *physical* adjacency is immutable for the graph's lifetime.  On
+    top of it sits a mutable **active view**: the set of connections
+    currently blocked by spanning tree (see :meth:`set_blocked`).  Path
+    traversal walks the active view; redundancy queries walk the
+    physical one.
+    """
 
     def __init__(self, spec: TopologySpec) -> None:
         self.spec = spec
@@ -28,11 +39,49 @@ class TopologyGraph:
                     raise TopologyError(f"connection {conn} references unknown node {end.node!r}")
                 self._adjacency[end.node].append((conn, other.node))
         # Memoized traversal results (see repro.core.traversal.find_path).
-        # The adjacency above is immutable, so paths stay valid until a
-        # caller declares the topology changed via invalidate_paths().
+        # The adjacency above is immutable, so paths stay valid until the
+        # active view changes (set_blocked) or a caller declares the
+        # topology changed via invalidate_paths().
         # None records a proven miss (disconnected pair).
         self._path_cache: Dict[Tuple[str, str], Optional[Tuple[ConnectionSpec, ...]]] = {}
+        # Physical-redundancy memo (see repro.core.traversal.pair_redundant);
+        # physical adjacency never changes, so this never invalidates.
+        self._redundancy_cache: Dict[Tuple[str, str], bool] = {}
+        self._blocked: set[ConnKey] = set()
         self.topology_epoch = 0
+
+    # ------------------------------------------------------------------
+    # Active view (spanning-tree blocked connections)
+    # ------------------------------------------------------------------
+    def set_blocked(self, conns) -> bool:
+        """Replace the blocked-connection set with ``conns``.
+
+        Returns True -- and flushes the path memos, bumping the topology
+        epoch -- only when the set actually changed, so an unchanged
+        spanning tree re-synced every round costs nothing downstream.
+        """
+        new = {conn.endpoints() for conn in conns}
+        if new == self._blocked:
+            return False
+        self._blocked = new
+        self.invalidate_paths()
+        return True
+
+    def is_blocked(self, conn: ConnectionSpec) -> bool:
+        return conn.endpoints() in self._blocked
+
+    def blocked_connections(self) -> List[ConnectionSpec]:
+        return [c for c in self.spec.connections if c.endpoints() in self._blocked]
+
+    def active_neighbors(self, node_name: str) -> List[Tuple[ConnectionSpec, str]]:
+        """Like :meth:`neighbors`, minus spanning-tree blocked connections."""
+        if not self._blocked:
+            return self.neighbors(node_name)
+        return [
+            (conn, peer)
+            for conn, peer in self.neighbors(node_name)
+            if conn.endpoints() not in self._blocked
+        ]
 
     # ------------------------------------------------------------------
     # Path memoization
@@ -55,6 +104,12 @@ class TopologyGraph:
         """Topology changed: flush every memoized path, bump the epoch."""
         self._path_cache.clear()
         self.topology_epoch += 1
+
+    def cached_redundancy(self, src: str, dst: str) -> Optional[bool]:
+        return self._redundancy_cache.get((src, dst))
+
+    def store_redundancy(self, src: str, dst: str, redundant: bool) -> None:
+        self._redundancy_cache[(src, dst)] = redundant
 
     def neighbors(self, node_name: str) -> List[Tuple[ConnectionSpec, str]]:
         """Connections leaving ``node_name`` with the peer node name."""

@@ -87,6 +87,14 @@ class NodeSpec:
     def is_device(self) -> bool:
         return self.kind in (DeviceKind.SWITCH, DeviceKind.HUB)
 
+    @property
+    def stp_enabled(self) -> bool:
+        """Does this switch declare spanning tree (``stp "on"``)?"""
+        return (
+            self.kind is DeviceKind.SWITCH
+            and self.attributes.get("stp", "").lower() in ("on", "true", "yes", "1")
+        )
+
 
 @dataclass
 class ConnectionSpec:

@@ -125,6 +125,68 @@ class TestDiscover:
         assert main(["discover", bad_spec, "--host", "L"]) == 1
 
 
+REDUNDANT_SPEC = """
+network topology redundant {
+    host A { snmp community "public"; }
+    host B { snmp community "public"; }
+    switch sw1 { snmp community "public"; ports 4; stp "on"; }
+    switch sw2 { snmp community "public"; ports 4; stp "on"; }
+    connect A.eth0 <-> sw1.port1;
+    connect B.eth0 <-> sw2.port1;
+    connect sw1.port3 <-> sw2.port3;
+    connect sw1.port4 <-> sw2.port4;
+}
+"""
+
+
+@pytest.fixture
+def redundant_spec(tmp_path):
+    path = tmp_path / "redundant.net"
+    path.write_text(REDUNDANT_SPEC)
+    return str(path)
+
+
+class TestTopology:
+    def test_stp_view_and_active_paths(self, redundant_spec, capsys):
+        assert main(["topology", redundant_spec, "--host", "A"]) == 0
+        out = capsys.readouterr().out
+        assert "root bridge" in out
+        assert "blocked connections: sw1.port" in out
+        assert "A <-> B [redundant]:" in out
+        assert "1 topology change(s), 0 path reroute(s)" in out
+
+    def test_fail_uplink_shows_failover(self, redundant_spec, capsys):
+        code = main([
+            "topology", redundant_spec, "--host", "A",
+            "--until", "16", "--fail-uplink", "sw1:sw2:8",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "failing active uplink" in out
+        assert "1 path reroute(s)" in out
+        assert "==>" in out  # the reroute's old ==> new connection series
+
+    def test_fail_uplink_bad_format(self, redundant_spec, capsys):
+        code = main([
+            "topology", redundant_spec, "--host", "A", "--fail-uplink", "sw1",
+        ])
+        assert code == 2
+        assert "--fail-uplink wants" in capsys.readouterr().err
+
+    def test_fail_uplink_unknown_switch(self, redundant_spec, capsys):
+        code = main([
+            "topology", redundant_spec, "--host", "A",
+            "--fail-uplink", "sw1:ghost",
+        ])
+        assert code == 1
+
+    def test_loop_free_spec_has_no_stp(self, good_spec, capsys):
+        assert main(["topology", good_spec, "--host", "L", "--until", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "(no STP-enabled switches)" in out
+        assert "single-path" in out
+
+
 class TestMatrix:
     def test_matrix_renders(self, good_spec, capsys):
         code = main([

@@ -100,3 +100,90 @@ class TestVerification:
         discoverer.discover(lambda r: None)
         with pytest.raises(RuntimeError):
             discoverer.discover(lambda r: None)
+
+
+class TestPartialOutage:
+    """Discovery under agent outage: "no data" is not "not there"."""
+
+    def _discover_with_outage(self, down):
+        from repro.simnet.faults import AgentOutage
+
+        build = build_testbed()
+        net = build.network
+        net.run(1.0)
+        for host in net.hosts.values():
+            host.create_socket().sendto(10, (BROADCAST_IP, 520))
+        net.run(2.0)
+        for name in down:
+            AgentOutage(net.sim, build.agents[name], at=2.0, until=90.0)
+        net.run(2.5)  # outage active before the first walk request
+        manager = SnmpManager(net.host("L"))
+        candidates = [
+            (n, net.ip_of(n)) for n in ("L", "S1", "S2", "N1", "N2", "switch")
+        ]
+        discoverer = TopologyDiscoverer(manager, candidates)
+        box = {}
+        discoverer.discover(lambda r: box.update(result=r))
+        net.run(80.0)
+        return build, box["result"]
+
+    def test_dead_agent_reported_unreachable_not_detached(self):
+        build, result = self._discover_with_outage(["S1"])
+        assert result.unreachable == {"S1"}
+        # S1's MAC is still learned behind the switch port -- it shows
+        # as an anonymous station, never as a confirmed attachment.
+        assert result.attachment_of("S1") is None
+        # The reachable agents are unaffected.
+        assert result.attachment_of("S2") is not None
+        assert result.attachment_of("L") is not None
+
+    def test_dead_switch_leaves_hosts_unattached_but_reachable(self):
+        build, result = self._discover_with_outage(["switch"])
+        assert result.unreachable == {"switch"}
+        # No FDB: nothing can be attached, but every host still answered.
+        assert result.attachments == []
+        assert "S1" in result.nodes and result.nodes["S1"].macs
+
+    def test_all_walks_failing_flags_every_candidate(self):
+        build, result = self._discover_with_outage(
+            ["L", "S1", "S2", "N1", "N2", "switch"]
+        )
+        # L's own agent is down but the manager runs on L; candidates
+        # other than the manager's host are all unreachable.
+        assert {"S1", "S2", "N1", "N2", "switch"} <= result.unreachable
+
+    def test_stp_walk_rides_along(self):
+        """include_stp adds port-state rows for STP switches only."""
+        from repro.spec.builder import build_network
+        from repro.spec.parser import parse_spec
+
+        spec = parse_spec(
+            """
+            network topology stp_disc {
+                host A { snmp community "public"; }
+                host B { snmp community "public"; }
+                switch sw1 { snmp community "public"; ports 4; stp "on"; }
+                switch sw2 { snmp community "public"; ports 4; stp "on"; }
+                connect A.eth0 <-> sw1.port1;
+                connect B.eth0 <-> sw2.port1;
+                connect sw1.port3 <-> sw2.port3;
+                connect sw1.port4 <-> sw2.port4;
+            }
+            """
+        )
+        build = build_network(spec)
+        net = build.network
+        net.announce_hosts(at=0.5)
+        net.run(4.0)  # STP converged: one uplink forwarding, one blocked
+        manager = SnmpManager(net.host("A"))
+        candidates = [(n, net.ip_of(n)) for n in ("A", "B", "sw1", "sw2")]
+        discoverer = TopologyDiscoverer(manager, candidates, include_stp=True)
+        box = {}
+        discoverer.discover(lambda r: box.update(result=r))
+        net.run(30.0)
+        result = box["result"]
+        states = result.nodes["sw2"].stp_states
+        assert states  # port -> dot1dStpPortState rows came back
+        assert 2 in states.values()  # exactly one blocking uplink end
+        assert list(states.values()).count(2) == 1
+        assert result.nodes["A"].stp_states == {}  # hosts have none

@@ -297,7 +297,10 @@ class TestIncrementalMatrix:
 # ----------------------------------------------------------------------
 # Small-but-complete topology: two switches, a hub pocket, switch and hub
 # rules, shared inter-switch uplink on most paths.
-_SPEC = scale_spec(switches=2, hosts_per_switch=2, arity=1, hub_pockets=1, hub_hosts=2)
+_SPEC = scale_spec(
+    switches=2, hosts_per_switch=2, arity=1, hub_pockets=1, hub_hosts=2,
+    redundant_uplinks=1,  # a parallel uplink so topology churn can reroute
+)
 _SOURCES = []
 for _conn in _SPEC.connections:
     from repro.core.counters import resolve_counter_source as _rcs
@@ -320,6 +323,13 @@ _OPS = st.one_of(
     st.tuples(st.just("ok"), st.integers(0, len(_NODES) - 1), st.just(0.0)),
     st.tuples(st.just("violate"), st.integers(0, len(_SOURCES) - 1), st.just(0.0)),
     st.tuples(st.just("clean"), st.integers(0, len(_SOURCES) - 1), st.just(0.0)),
+    # Topology churn: spanning-tree blocking/unblocking connections in
+    # the shared graph's active view, plus a bare epoch bump.  Paths
+    # re-resolve (possibly to "disconnected"); the incremental matrix
+    # must still match the naive one bit for bit.
+    st.tuples(st.just("block"), st.integers(0, len(_SPEC.connections) - 1), st.just(0.0)),
+    st.tuples(st.just("unblock"), st.integers(0, len(_SPEC.connections) - 1), st.just(0.0)),
+    st.tuples(st.just("rewire"), st.just(0), st.just(0.0)),
 )
 
 
@@ -342,6 +352,8 @@ def test_incremental_equals_full_recompute(ops):
     )
     incremental = BandwidthMatrix(_SPEC, calc, incremental=True)
     naive = BandwidthMatrix(_SPEC, calc, incremental=False, graph=incremental.graph)
+    graph = incremental.graph  # shared: both matrices see one active view
+    blocked_idx = set()
     t = 0.0
     for op, index, arg in ops:
         if op == "sample":
@@ -373,6 +385,14 @@ def test_incremental_equals_full_recompute(ops):
         elif op == "clean":
             source = _SOURCES[index]
             qm.record_clean(source.node, source.if_index, t)
+        elif op == "block":
+            blocked_idx.add(index)
+            graph.set_blocked([_SPEC.connections[i] for i in sorted(blocked_idx)])
+        elif op == "unblock":
+            blocked_idx.discard(index)
+            graph.set_blocked([_SPEC.connections[i] for i in sorted(blocked_idx)])
+        elif op == "rewire":
+            graph.invalidate_paths()
         got = incremental.snapshot(t)
         want = naive.snapshot(t)
         # Exact equality, field by field: confidence, trusted/degraded

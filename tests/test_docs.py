@@ -145,6 +145,45 @@ class TestProbingSnippets:
         assert prober.findings() == []
         assert "probe achievable" in capsys.readouterr().out
 
+class TestSelfHealingTopologyDocs:
+    """The failover quick-start and example must stay runnable."""
+
+    def test_readme_failover_snippet_runs(self, capsys):
+        blocks = extract_python_blocks(
+            README.read_text(), "enable_topology_sync"
+        )
+        assert blocks, "README must embed the self-healing quick-start"
+        namespace: dict = {}
+        exec(compile(blocks[0], "<doc-snippet>", "exec"), namespace)
+        monitor = namespace["monitor"]
+        assert monitor.stats()["path_reroutes"] == 1
+        assert namespace["report"].status == "fresh"
+        assert "1 reroute(s)" in capsys.readouterr().out
+
+    def test_uplink_failover_example_runs(self, capsys):
+        import runpy
+
+        path = README.parent / "examples" / "uplink_failover.py"
+        runpy.run_path(str(path), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "REROUTED" in out  # the typed stream event printed itself
+        assert "status=fresh" in out
+        assert "1 reroute(s)" in out
+
+    def test_architecture_documents_topology_stats_keys(self):
+        text = (DOCS / "architecture.md").read_text()
+        assert "## Self-healing topology" in text
+        for key in (
+            "topology_rounds",
+            "topology_full_rounds",
+            "topology_changes",
+            "path_reroutes",
+            "blocked_connections",
+        ):
+            assert key in text
+
+
+class TestProbeDocsContract:
     def test_architecture_documents_probe_stats_keys(self):
         text = (DOCS / "architecture.md").read_text()
         assert "## Active probing & cross-validation" in text

@@ -75,7 +75,9 @@ class TestMonitorTelemetry:
             "stream_events_suppressed", "stream_events_dropped",
             "probe_trains", "probe_packets_sent", "probe_packets_lost",
             "probe_bytes_sent", "probe_disagreements", "probe_recoveries",
-            "probe_active_disagreements",
+            "probe_active_disagreements", "topology_rounds",
+            "topology_full_rounds", "topology_changes", "path_reroutes",
+            "blocked_connections",
         }
         registry = monitor.telemetry.registry
         assert stats["poll_cycles"] == registry.value("poll_cycles_total")
