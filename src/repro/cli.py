@@ -216,6 +216,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--crash", action="append", default=[], metavar="WORKER:T0[:T1]",
         help="crash a worker at T0, restarting at T1 (repeatable)",
     )
+    p_dist.add_argument(
+        "--hierarchy", type=int, default=0, metavar="PODS",
+        help="run the two-level coordinator tree over a generated "
+             "PODS-pod campus topology instead of a flat plane "
+             "(ignores specfile/--coordinator/--worker)",
+    )
+    p_dist.add_argument(
+        "--pod-switches", type=int, default=2, metavar="N",
+        help="switches per pod with --hierarchy (default 2)",
+    )
+    p_dist.add_argument(
+        "--pod-hosts", type=int, default=4, metavar="N",
+        help="hosts per switch with --hierarchy (default 4)",
+    )
+    p_dist.add_argument(
+        "--mode", choices=("get", "bulk", "per-varbind"), default=None,
+        help="SNMP poll mode (default: bulk with --hierarchy, get otherwise)",
+    )
+    p_dist.add_argument(
+        "--window", type=int, default=None, metavar="N",
+        help="max in-flight poll units per worker, 0 = unbounded "
+             "(default: 8 with --hierarchy, 0 otherwise)",
+    )
+    p_dist.add_argument(
+        "--delta", choices=("on", "off"), default=None,
+        help="delta-encode shipped sample batches "
+             "(default: on with --hierarchy, off otherwise)",
+    )
     p_dist.add_argument("--until", type=float, default=40.0, help="simulated seconds")
     p_dist.add_argument("--interval", type=float, default=2.0, help="poll interval")
 
@@ -1130,8 +1158,33 @@ def cmd_distributed(args) -> int:
     from repro.experiments.testbed import MONITOR_HOST, build_testbed
     from repro.simnet.faults import WorkerCrash
 
+    hierarchy = args.hierarchy
+    mode = args.mode or ("bulk" if hierarchy else "get")
+    window = args.window if args.window is not None else (8 if hierarchy else 0)
+    delta = (args.delta == "on") if args.delta else bool(hierarchy)
     try:
-        if args.specfile is None:
+        if hierarchy:
+            from repro.core.hierarchy import HierarchicalMonitor
+            from repro.experiments.scale import hierarchy_plan, scale_spec
+
+            spec = scale_spec(
+                hierarchical=hierarchy,
+                switches=args.pod_switches,
+                hosts_per_switch=args.pod_hosts,
+                host_agents=False,
+            )
+            plan = hierarchy_plan(
+                hierarchy,
+                switches=args.pod_switches,
+                hosts_per_switch=args.pod_hosts,
+            )
+            build = build_network(spec)
+            coordinator = plan["root"]
+            watches = args.watch or [
+                f"p0h0_0:p{hierarchy - 1}"
+                f"h{args.pod_switches - 1}_{args.pod_hosts - 1}"
+            ]
+        elif args.specfile is None:
             build = build_testbed()
             coordinator = args.coordinator or MONITOR_HOST
             workers = args.worker or ["L", "S1", "S2"]
@@ -1157,9 +1210,25 @@ def cmd_distributed(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     try:
-        dm = DistributedMonitor(
-            build, coordinator, workers, poll_interval=args.interval
-        )
+        if hierarchy:
+            dm = HierarchicalMonitor(
+                build,
+                plan,
+                poll_interval=args.interval,
+                poll_mode=mode,
+                pipeline_window=window,
+                delta_shipping=delta,
+            )
+        else:
+            dm = DistributedMonitor(
+                build,
+                coordinator,
+                workers,
+                poll_interval=args.interval,
+                poll_mode=mode,
+                pipeline_window=window,
+                delta_shipping=delta,
+            )
         labels = [dm.watch_path(*_parse_watch(w)) for w in watches]
         for load_text in args.load:
             src, dst, rate, t0, t1 = _parse_load(load_text)
@@ -1191,6 +1260,26 @@ def cmd_distributed(args) -> int:
         print("\nlease transitions:")
         for transition in dm.leases.transitions:
             print(f"  {transition}")
+    if hierarchy:
+        print("\nshard economics:")
+        for name in sorted(dm.leaves):
+            leaf = dm.leaves[name]
+            shipper = leaf.shipper
+            ratio = (
+                f"{shipper.keyframes_shipped}/{shipper.batches_shipped}"
+                if shipper.batches_shipped else "0/0"
+            )
+            print(f"  {name:>8}: {leaf.requests_sent} SNMP exchanges, "
+                  f"uplink keyframes/batches {ratio}, "
+                  f"delta reduction {shipper.traffic_reduction:.1%}, "
+                  f"pipeline window peak {leaf.window_peak}")
+    elif window:
+        print("\npipeline windows:")
+        for name in sorted(dm.workers):
+            poller = dm.workers[name].poller
+            print(f"  {name:>8}: peak {poller.window_peak}, "
+                  f"deferred {poller.window_deferred}, "
+                  f"overruns {poller.window_overruns}")
     print("\nwatched paths:")
     for label in labels:
         series = dm.history.series(label)

@@ -1,0 +1,388 @@
+"""Wire-level delta shipping for rate samples (the dataflow layer).
+
+Workers (and leaf coordinators) ship rate samples upstream every poll
+cycle.  At 10k-host scale the legacy JSON batches are dominated by bytes
+that never change: node names, interface indexes, and -- on a quiescent
+network -- the rates themselves, which sit at exactly ``0.0`` cycle after
+cycle.  This module defines a compact binary batch format in which a
+sender tracks the last value it shipped per (node, ifIndex) key and
+encodes only what changed:
+
+``full``
+    First appearance of a key: numeric id assignment, node name,
+    ifIndex, and all six float fields.  Ids are monotonic and never
+    reused within an incarnation.
+``changed``
+    Known key whose rates moved: id plus the six float fields.
+``advance``
+    Known key whose four rates are bit-identical to the last shipped
+    sample: id, new sample time, new interval.  ~18 bytes instead of a
+    ~90-byte JSON document.
+``advance (same interval)``
+    As above with the interval also unchanged: id and time only.
+``refresh``
+    Keyframe filler: re-states a key's mapping and last value for
+    resynchronising receivers, but is *not* delivered as a sample (a
+    receiver that was never desynchronised must not see duplicate
+    samples, or the delta path would stop being bit-identical to the
+    legacy path).
+
+Floats travel as IEEE-754 doubles (``struct '<d'``), so a decoded sample
+is **bit-identical** to the sample the sender measured -- the delta path
+changes the wire cost, never the data.
+
+Every batch carries the same (worker, incarnation, seq) envelope as the
+legacy JSON batches, so the sequencing/ARQ machinery in
+:mod:`repro.core.distributed` applies unchanged.  Decoding is split into
+a stateless :func:`parse_delta` (safe on out-of-order arrivals, feeds the
+reorder buffer) and a stateful :meth:`DeltaDecoder.apply` that must run
+in sequence order at delivery time.
+
+Loss recovery: after an abandoned sequence gap the receiver's last-value
+table is stale, so ``advance`` records can no longer be trusted --
+:meth:`DeltaDecoder.mark_desync` drops them (``full``/``changed`` carry
+complete values and stay safe) until a keyframe re-states every key.
+``DeltaDecoder.needs_keyframe`` tells the receiver to ask the sender for
+one (the ``kfreq`` control message); senders also emit a keyframe every
+``keyframe_every`` batches as a backstop.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.poller import InterfaceRates
+
+DELTA_MAGIC = 0xD7
+
+_FLAG_KEYFRAME = 0x01
+
+REC_FULL = 0
+REC_CHANGED = 1
+REC_ADVANCE = 2
+REC_ADVANCE_SAME_D = 3
+REC_REFRESH = 4
+
+_F64 = struct.Struct("<d")
+_F64X6 = struct.Struct("<6d")
+
+
+class DeltaError(ValueError):
+    """Raised on malformed delta payloads."""
+
+
+# ----------------------------------------------------------------------
+# Varints (LEB128, unsigned)
+# ----------------------------------------------------------------------
+def _put_varint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise DeltaError(f"negative varint {value!r}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _get_varint(data: bytes, pos: int) -> Tuple[int, int]:
+    value = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise DeltaError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+        if shift > 63:
+            raise DeltaError("varint too long")
+
+
+def _put_str(out: bytearray, text: str) -> None:
+    raw = text.encode()
+    _put_varint(out, len(raw))
+    out.extend(raw)
+
+
+def _get_str(data: bytes, pos: int) -> Tuple[str, int]:
+    length, pos = _get_varint(data, pos)
+    if pos + length > len(data):
+        raise DeltaError("truncated string")
+    return data[pos : pos + length].decode(), pos + length
+
+
+# Six float fields of a sample, in wire order.
+def _fields(sample: InterfaceRates) -> Tuple[float, float, float, float, float, float]:
+    return (
+        sample.time,
+        sample.interval,
+        sample.in_bytes_per_s,
+        sample.out_bytes_per_s,
+        sample.in_pkts_per_s,
+        sample.out_pkts_per_s,
+    )
+
+
+def _sample(node: str, if_index: int, fields: Sequence[float]) -> InterfaceRates:
+    return InterfaceRates(
+        node=node,
+        if_index=if_index,
+        time=fields[0],
+        interval=fields[1],
+        in_bytes_per_s=fields[2],
+        out_bytes_per_s=fields[3],
+        in_pkts_per_s=fields[4],
+        out_pkts_per_s=fields[5],
+    )
+
+
+def is_delta(payload: bytes) -> bool:
+    """Whether a datagram is a binary delta batch (vs legacy JSON)."""
+    return len(payload) > 0 and payload[0] == DELTA_MAGIC
+
+
+class DeltaBatch:
+    """A parsed (but not yet applied) delta batch."""
+
+    __slots__ = ("worker", "incarnation", "seq", "keyframe", "records")
+
+    def __init__(self, worker, incarnation, seq, keyframe, records) -> None:
+        self.worker = worker
+        self.incarnation = incarnation
+        self.seq = seq
+        self.keyframe = keyframe
+        # (rec_type, id, node|None, if_index|None, fields-tuple|None)
+        self.records: List[tuple] = records
+
+
+def parse_delta(payload: bytes) -> DeltaBatch:
+    """Stateless wire parse; raises :class:`DeltaError` when malformed.
+
+    Safe to call on out-of-order arrivals -- applying the records to the
+    receiver's last-value state (:meth:`DeltaDecoder.apply`) is the part
+    that must wait for sequence order.
+    """
+    if not is_delta(payload):
+        raise DeltaError("not a delta batch")
+    pos = 1
+    if pos >= len(payload):
+        raise DeltaError("truncated flags")
+    flags = payload[pos]
+    pos += 1
+    worker, pos = _get_str(payload, pos)
+    incarnation, pos = _get_varint(payload, pos)
+    seq, pos = _get_varint(payload, pos)
+    count, pos = _get_varint(payload, pos)
+    records: List[tuple] = []
+    for _ in range(count):
+        if pos >= len(payload):
+            raise DeltaError("truncated record")
+        rec_type = payload[pos]
+        pos += 1
+        rec_id, pos = _get_varint(payload, pos)
+        if rec_type in (REC_FULL, REC_REFRESH):
+            node, pos = _get_str(payload, pos)
+            if_index, pos = _get_varint(payload, pos)
+            if pos + _F64X6.size > len(payload):
+                raise DeltaError("truncated full record")
+            fields = _F64X6.unpack_from(payload, pos)
+            pos += _F64X6.size
+            records.append((rec_type, rec_id, node, if_index, fields))
+        elif rec_type == REC_CHANGED:
+            if pos + _F64X6.size > len(payload):
+                raise DeltaError("truncated changed record")
+            fields = _F64X6.unpack_from(payload, pos)
+            pos += _F64X6.size
+            records.append((rec_type, rec_id, None, None, fields))
+        elif rec_type == REC_ADVANCE:
+            if pos + 2 * _F64.size > len(payload):
+                raise DeltaError("truncated advance record")
+            t = _F64.unpack_from(payload, pos)[0]
+            d = _F64.unpack_from(payload, pos + _F64.size)[0]
+            pos += 2 * _F64.size
+            records.append((rec_type, rec_id, None, None, (t, d)))
+        elif rec_type == REC_ADVANCE_SAME_D:
+            if pos + _F64.size > len(payload):
+                raise DeltaError("truncated advance record")
+            t = _F64.unpack_from(payload, pos)[0]
+            pos += _F64.size
+            records.append((rec_type, rec_id, None, None, (t,)))
+        else:
+            raise DeltaError(f"unknown record type {rec_type!r}")
+    if pos != len(payload):
+        raise DeltaError("trailing bytes in delta batch")
+    return DeltaBatch(worker, incarnation, seq, bool(flags & _FLAG_KEYFRAME), records)
+
+
+class DeltaEncoder:
+    """Sender-side last-shipped tracking and batch encoding."""
+
+    def __init__(self, worker: str) -> None:
+        self.worker = worker
+        self._ids: Dict[Tuple[str, int], int] = {}
+        self._last: Dict[int, Tuple[float, ...]] = {}
+        self._next_id = 1
+        self._kf_pending = True  # the first batch always maps every id
+        self.records_full = 0
+        self.records_changed = 0
+        self.records_advance = 0
+        self.records_refresh = 0
+        self.keyframes = 0
+
+    def force_keyframe(self) -> None:
+        """Make the next batch a keyframe (receiver asked via ``kfreq``)."""
+        self._kf_pending = True
+
+    def keyframe_due(self) -> bool:
+        return self._kf_pending
+
+    def encode(
+        self, incarnation: int, seq: int, samples: Sequence[InterfaceRates],
+        keyframe: bool = False,
+    ) -> bytes:
+        """Encode one batch; consumes any pending keyframe request."""
+        kf = keyframe or self._kf_pending
+        self._kf_pending = False
+        body = bytearray()
+        records = 0
+        touched: set = set()
+        for sample in samples:
+            key = (sample.node, sample.if_index)
+            fields = _fields(sample)
+            rec_id = self._ids.get(key)
+            if rec_id is None:
+                rec_id = self._ids[key] = self._next_id
+                self._next_id += 1
+                self._encode_keyed(body, REC_FULL, rec_id, sample.node,
+                                   sample.if_index, fields)
+                self.records_full += 1
+            else:
+                last = self._last[rec_id]
+                if kf:
+                    # Inside a keyframe every delivered sample travels
+                    # full, so a reset receiver can rebuild its maps.
+                    self._encode_keyed(body, REC_FULL, rec_id, sample.node,
+                                       sample.if_index, fields)
+                    self.records_full += 1
+                elif fields[2:] != last[2:]:
+                    body.append(REC_CHANGED)
+                    _put_varint(body, rec_id)
+                    body.extend(_F64X6.pack(*fields))
+                    self.records_changed += 1
+                elif fields[1] != last[1]:
+                    body.append(REC_ADVANCE)
+                    _put_varint(body, rec_id)
+                    body.extend(_F64.pack(fields[0]))
+                    body.extend(_F64.pack(fields[1]))
+                    self.records_advance += 1
+                else:
+                    body.append(REC_ADVANCE_SAME_D)
+                    _put_varint(body, rec_id)
+                    body.extend(_F64.pack(fields[0]))
+                    self.records_advance += 1
+            self._last[rec_id] = fields
+            touched.add(rec_id)
+            records += 1
+        if kf:
+            # Re-state every key the batch did not touch, as map-only
+            # refresh records (not delivered as samples downstream).
+            for key, rec_id in sorted(self._ids.items(), key=lambda kv: kv[1]):
+                if rec_id in touched:
+                    continue
+                self._encode_keyed(body, REC_REFRESH, rec_id, key[0], key[1],
+                                   self._last[rec_id])
+                self.records_refresh += 1
+                records += 1
+            self.keyframes += 1
+        out = bytearray([DELTA_MAGIC, _FLAG_KEYFRAME if kf else 0])
+        _put_str(out, self.worker)
+        _put_varint(out, incarnation)
+        _put_varint(out, seq)
+        _put_varint(out, records)
+        out.extend(body)
+        return bytes(out)
+
+    @staticmethod
+    def _encode_keyed(body, rec_type, rec_id, node, if_index, fields) -> None:
+        body.append(rec_type)
+        _put_varint(body, rec_id)
+        _put_str(body, node)
+        _put_varint(body, if_index)
+        body.extend(_F64X6.pack(*fields))
+
+    def reset(self) -> None:
+        """Forget everything (sender restarted: new incarnation)."""
+        self._ids.clear()
+        self._last.clear()
+        self._next_id = 1
+        self._kf_pending = True
+
+
+class DeltaDecoder:
+    """Receiver-side last-value state; apply batches in sequence order."""
+
+    def __init__(self) -> None:
+        self._keys: Dict[int, Tuple[str, int]] = {}
+        self._last: Dict[int, Tuple[float, ...]] = {}
+        self.desync = False
+        self.needs_keyframe = False
+        self.samples_skipped = 0
+
+    def mark_desync(self) -> None:
+        """An upstream batch was lost for good: advance records are now
+        built on values this decoder never saw."""
+        self.desync = True
+        self.needs_keyframe = True
+
+    def apply(self, batch: DeltaBatch) -> List[InterfaceRates]:
+        """Fold one in-order batch in; returns the delivered samples."""
+        out: List[InterfaceRates] = []
+        for rec_type, rec_id, node, if_index, fields in batch.records:
+            if rec_type in (REC_FULL, REC_REFRESH):
+                self._keys[rec_id] = (node, if_index)
+                self._last[rec_id] = fields
+                if rec_type == REC_FULL:
+                    out.append(_sample(node, if_index, fields))
+                continue
+            key = self._keys.get(rec_id)
+            if key is None:
+                # Reset receiver (restart / adopted stream): the mapping
+                # rode a batch we never saw.  Only a keyframe helps.
+                self.samples_skipped += 1
+                self.needs_keyframe = True
+                continue
+            if rec_type == REC_CHANGED:
+                self._last[rec_id] = fields
+                out.append(_sample(key[0], key[1], fields))
+            elif rec_type == REC_ADVANCE or rec_type == REC_ADVANCE_SAME_D:
+                if self.desync:
+                    # The base values are stale; delivering would present
+                    # pre-loss rates as current measurements.
+                    self.samples_skipped += 1
+                    self.needs_keyframe = True
+                    continue
+                last = self._last[rec_id]
+                if rec_type == REC_ADVANCE:
+                    new = (fields[0], fields[1]) + last[2:]
+                else:
+                    new = (fields[0],) + last[1:]
+                self._last[rec_id] = new
+                out.append(_sample(key[0], key[1], new))
+        if batch.keyframe:
+            # Every key was just re-stated: advance records are safe again.
+            self.desync = False
+            self.needs_keyframe = False
+        return out
+
+    def reset(self) -> None:
+        """Forget everything (sender restarted: new incarnation)."""
+        self._keys.clear()
+        self._last.clear()
+        self.desync = False
+        self.needs_keyframe = False

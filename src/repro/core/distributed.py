@@ -63,6 +63,13 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 from repro.core.bandwidth import BandwidthCalculator
 from repro.core.counters import required_poll_targets
 from repro.core.dataflow import DegradedSourceSet
+from repro.core.deltas import (
+    DeltaDecoder,
+    DeltaEncoder,
+    DeltaError,
+    is_delta,
+    parse_delta,
+)
 from repro.core.health import LeaseTransition, WorkerLeaseTracker, WorkerState
 from repro.core.history import MeasurementHistory
 from repro.core.poller import InterfaceRates, PollTarget, RateTable, SnmpPoller
@@ -176,6 +183,165 @@ def _targets_doc(targets: Sequence[PollTarget]) -> List[Dict[str, object]]:
     ]
 
 
+def partition_targets(
+    pool: Sequence[PollTarget], worker_hosts: Sequence[str]
+) -> Dict[str, List[PollTarget]]:
+    """Deterministic affinity-first assignment of ``pool`` over workers.
+
+    A target whose node *is* a listed worker goes to that worker (polling
+    thyself costs loopback only); the rest round-robin over the workers
+    in the given order.  Same inputs, same map -- this one function is
+    initial assignment, failover and failback alike, at both tiers of
+    the coordinator tree (workers under a coordinator, shards under the
+    hierarchy root).
+    """
+    assignments: Dict[str, List[PollTarget]] = {w: [] for w in worker_hosts}
+    leftovers: List[PollTarget] = []
+    for target in sorted(pool, key=lambda t: t.node):
+        if target.node in assignments:
+            assignments[target.node].append(target)
+        else:
+            leftovers.append(target)
+    for i, target in enumerate(leftovers):
+        assignments[worker_hosts[i % len(worker_hosts)]].append(target)
+    return assignments
+
+
+# ----------------------------------------------------------------------
+# Send-side shipping (shared by workers and leaf coordinators)
+# ----------------------------------------------------------------------
+class SampleShipper:
+    """Sequenced, batched, optionally delta-encoded sample shipping.
+
+    Owns the per-incarnation monotonic sequence number, the bounded
+    drop-oldest resend buffer, and (when ``delta=True``) the
+    :class:`~repro.core.deltas.DeltaEncoder` whose last-shipped tracking
+    turns quiescent batches into a few bytes per interface.  ``send`` is
+    the owner's transmit function, so the same shipper serves a worker
+    shipping to its coordinator and a leaf coordinator shipping to the
+    hierarchy root.
+
+    Byte accounting: ``bytes_shipped`` is what actually left;
+    ``bytes_baseline`` is what the legacy JSON encoding of the same
+    samples would have cost -- their ratio is the delta path's measured
+    traffic reduction, not an estimate.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        send: Callable[[bytes], None],
+        max_batch: int = 8,
+        resend_buffer: int = 32,
+        delta: bool = False,
+        keyframe_every: int = 16,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch!r}")
+        if resend_buffer < 1:
+            raise ValueError(f"resend_buffer must be >= 1, got {resend_buffer!r}")
+        self.name = name
+        self.send = send
+        self.max_batch = max_batch
+        self.resend_buffer = resend_buffer
+        self.incarnation = 1
+        self._next_seq = 1
+        self._pending: List[InterfaceRates] = []
+        self._resend: "OrderedDict[int, bytes]" = OrderedDict()
+        self.delta: Optional[DeltaEncoder] = DeltaEncoder(name) if delta else None
+        self.keyframe_every = keyframe_every
+        self._since_keyframe = 0
+        self.samples_shipped = 0
+        self.batches_shipped = 0
+        self.bytes_shipped = 0
+        self.bytes_baseline = 0
+        self.keyframes_shipped = 0
+        self.retransmits_served = 0
+        self.retransmits_missed = 0
+
+    @property
+    def next_seq(self) -> int:
+        return self._next_seq
+
+    def force_keyframe(self) -> None:
+        if self.delta is not None:
+            self.delta.force_keyframe()
+
+    def enqueue(self, sample: InterfaceRates) -> bool:
+        """Queue one sample; True when the batch is full (caller flushes)."""
+        self._pending.append(sample)
+        return len(self._pending) >= self.max_batch
+
+    def flush(self) -> None:
+        if not self._pending:
+            return
+        seq = self._next_seq
+        self._next_seq += 1
+        samples = self._pending
+        self._pending = []
+        baseline = encode_batch(self.name, self.incarnation, seq, samples)
+        if self.delta is not None:
+            due = (
+                self.keyframe_every > 0
+                and self._since_keyframe + 1 >= self.keyframe_every
+            )
+            payload = self.delta.encode(
+                self.incarnation, seq, samples, keyframe=due
+            )
+            if payload[1] & 0x01:  # the encoder may also have had one pending
+                self._since_keyframe = 0
+                self.keyframes_shipped += 1
+            else:
+                self._since_keyframe += 1
+        else:
+            payload = baseline
+        self.samples_shipped += len(samples)
+        self.batches_shipped += 1
+        self.bytes_shipped += len(payload)
+        self.bytes_baseline += len(baseline)
+        self._resend[seq] = payload
+        while len(self._resend) > self.resend_buffer:
+            self._resend.popitem(last=False)  # drop-oldest: bounded memory
+        self.send(payload)
+
+    def serve_retransmit(self, doc: Dict[str, object]) -> None:
+        if int(doc["inc"]) != self.incarnation:
+            return  # request addresses a previous life of this sender
+        gone: List[int] = []
+        for seq in [int(s) for s in doc["seqs"]]:
+            payload = self._resend.get(seq)
+            if payload is None:
+                gone.append(seq)  # evicted from the bounded buffer
+                self.retransmits_missed += 1
+            else:
+                self.retransmits_served += 1
+                self.send(payload)
+        if gone:
+            self.send(
+                json.dumps(
+                    {"k": "gone", "w": self.name, "inc": self.incarnation,
+                     "seqs": gone}
+                ).encode()
+            )
+
+    @property
+    def traffic_reduction(self) -> float:
+        """Fraction of baseline bytes the delta encoding saved."""
+        if self.bytes_baseline <= 0:
+            return 0.0
+        return 1.0 - self.bytes_shipped / self.bytes_baseline
+
+    def reset(self, incarnation: int) -> None:
+        """The owning process restarted: new incarnation, fresh state."""
+        self.incarnation = incarnation
+        self._next_seq = 1
+        self._pending.clear()
+        self._resend.clear()
+        self._since_keyframe = 0
+        if self.delta is not None:
+            self.delta.reset()
+
+
 # ----------------------------------------------------------------------
 # Worker
 # ----------------------------------------------------------------------
@@ -207,11 +373,12 @@ class MonitorWorker:
         batch_linger: Optional[float] = None,
         max_batch: int = 8,
         resend_buffer: int = 32,
+        poll_mode: str = "get",
+        pipeline_window: int = 0,
+        delta_shipping: bool = False,
+        keyframe_every: int = 16,
+        control_port: int = CONTROL_PORT,
     ) -> None:
-        if max_batch < 1:
-            raise ValueError(f"max_batch must be >= 1, got {max_batch!r}")
-        if resend_buffer < 1:
-            raise ValueError(f"resend_buffer must be >= 1, got {resend_buffer!r}")
         self.build = build
         self.name = host_name
         self.host = build.network.host(host_name)
@@ -220,6 +387,9 @@ class MonitorWorker:
         self.poll_interval = poll_interval
         self.jitter = jitter
         self.seed = seed
+        self.poll_mode = poll_mode
+        self.pipeline_window = pipeline_window
+        self.control_port = control_port
         self.heartbeat_interval = (
             heartbeat_interval if heartbeat_interval is not None else poll_interval * 0.4
         )
@@ -228,26 +398,51 @@ class MonitorWorker:
         )
         self.max_batch = max_batch
         self.resend_buffer = resend_buffer
-        # Shipping state: per-incarnation monotonic sequence plus the
-        # bounded drop-oldest resend buffer (the only send-side state, so
-        # a dead coordinator can never wedge this worker).
-        self.incarnation = 1
-        self._next_seq = 1
-        self._pending: List[InterfaceRates] = []
-        self._resend: "OrderedDict[int, bytes]" = OrderedDict()
+        # Shipping (sequencing, resend buffer, optional delta encoding)
+        # lives in the shipper: the only send-side state, bounded, so a
+        # dead coordinator can never wedge this worker.
+        self.shipper = SampleShipper(
+            host_name,
+            self._send_report,
+            max_batch=max_batch,
+            resend_buffer=resend_buffer,
+            delta=delta_shipping,
+            keyframe_every=keyframe_every,
+        )
         self.assign_version = 0
         self.crashed = False
         self._started = False
         self._hb_task = None
         self._flush_task = None
-        # Statistics.
-        self.samples_shipped = 0
-        self.batches_shipped = 0
+        # Statistics (shipping counters live on the shipper).
         self.heartbeats_sent = 0
-        self.retransmits_served = 0
-        self.retransmits_missed = 0
         self.assignments_applied = 0
         self._build_stack(list(targets))
+
+    # -- shipping statistics (the attribute names are the old API) -----
+    @property
+    def incarnation(self) -> int:
+        return self.shipper.incarnation
+
+    @property
+    def samples_shipped(self) -> int:
+        return self.shipper.samples_shipped
+
+    @property
+    def batches_shipped(self) -> int:
+        return self.shipper.batches_shipped
+
+    @property
+    def retransmits_served(self) -> int:
+        return self.shipper.retransmits_served
+
+    @property
+    def retransmits_missed(self) -> int:
+        return self.shipper.retransmits_missed
+
+    @property
+    def requests_sent(self) -> int:
+        return self.manager.requests_sent
 
     # -- construction / teardown ---------------------------------------
     def _build_stack(self, targets: List[PollTarget]) -> None:
@@ -260,11 +455,16 @@ class MonitorWorker:
             jitter=self.jitter,
             seed=self.seed,
             rate_table=RateTable(keep_history=False),
+            poll_mode=self.poll_mode,
+            pipeline_window=self.pipeline_window,
         )
         self.poller.on_sample = self._enqueue
         self._report_socket = self.host.create_socket()
-        self._control_socket = self.host.create_socket(CONTROL_PORT)
+        self._control_socket = self.host.create_socket(self.control_port)
         self._control_socket.on_receive = self._on_control
+
+    def _send_report(self, payload: bytes) -> None:
+        self._report_socket.sendto(payload, (self.coordinator_ip, REPORT_PORT))
 
     def _begin_tasks(self) -> None:
         if self.crashed:
@@ -320,10 +520,7 @@ class MonitorWorker:
         if not self.crashed:
             return
         self.crashed = False
-        self.incarnation += 1
-        self._next_seq = 1
-        self._pending.clear()
-        self._resend.clear()
+        self.shipper.reset(self.shipper.incarnation + 1)
         self.assign_version = 0
         self._build_stack([])
         if self._started:
@@ -331,33 +528,23 @@ class MonitorWorker:
 
     # -- shipping --------------------------------------------------------
     def _enqueue(self, sample: InterfaceRates) -> None:
-        self._pending.append(sample)
-        if len(self._pending) >= self.max_batch:
+        if self.shipper.enqueue(sample):
             self._flush()
 
     def _flush(self) -> None:
-        if not self._pending or self.crashed:
+        if self.crashed:
             return
-        seq = self._next_seq
-        self._next_seq += 1
-        payload = encode_batch(self.name, self.incarnation, seq, self._pending)
-        self.samples_shipped += len(self._pending)
-        self.batches_shipped += 1
-        self._pending.clear()
-        self._resend[seq] = payload
-        while len(self._resend) > self.resend_buffer:
-            self._resend.popitem(last=False)  # drop-oldest: bounded memory
-        self._report_socket.sendto(payload, (self.coordinator_ip, REPORT_PORT))
+        self.shipper.flush()
 
     def _heartbeat(self) -> None:
         if self.crashed:
             return
         self.heartbeats_sent += 1
-        self._report_socket.sendto(
+        self._send_report(
             encode_heartbeat(
-                self.name, self.incarnation, self._next_seq, self.assign_version
-            ),
-            (self.coordinator_ip, REPORT_PORT),
+                self.name, self.incarnation, self.shipper.next_seq,
+                self.assign_version,
+            )
         )
 
     # -- control ---------------------------------------------------------
@@ -368,31 +555,15 @@ class MonitorWorker:
             doc = decode_message(payload)
             kind = doc["k"]
             if kind == "retx":
-                self._serve_retransmit(doc)
+                self.shipper.serve_retransmit(doc)
             elif kind == "assign":
                 self._apply_assignment(doc)
+            elif kind == "kfreq":
+                # The receiver lost delta context: re-state everything
+                # with the next flush.
+                self.shipper.force_keyframe()
         except (ValueError, KeyError, TypeError):
             return  # malformed control traffic: ignore
-
-    def _serve_retransmit(self, doc: Dict[str, object]) -> None:
-        if int(doc["inc"]) != self.incarnation:
-            return  # request addresses a previous life of this worker
-        gone: List[int] = []
-        for seq in [int(s) for s in doc["seqs"]]:
-            payload = self._resend.get(seq)
-            if payload is None:
-                gone.append(seq)  # evicted from the bounded buffer
-                self.retransmits_missed += 1
-            else:
-                self.retransmits_served += 1
-                self._report_socket.sendto(payload, (self.coordinator_ip, REPORT_PORT))
-        if gone:
-            self._report_socket.sendto(
-                json.dumps(
-                    {"k": "gone", "w": self.name, "inc": self.incarnation, "seqs": gone}
-                ).encode(),
-                (self.coordinator_ip, REPORT_PORT),
-            )
 
     def _apply_assignment(self, doc: Dict[str, object]) -> None:
         version = int(doc["v"])
@@ -444,25 +615,40 @@ class _Gap:
 
 
 class _WorkerIngest:
-    """Per-worker sequencing state on the coordinator."""
+    """Per-stream sequencing state on the receiving coordinator.
+
+    Buffer entries are tagged: ``("s", [InterfaceRates, ...])`` for JSON
+    batches (parsed eagerly, so malformed documents surface as decode
+    errors at arrival) and ``("d", DeltaBatch)`` for binary delta batches
+    (parsed statelessly at arrival; the stateful
+    :class:`~repro.core.deltas.DeltaDecoder` applies them only at
+    in-order delivery, because applying out of order would corrupt the
+    decoder's last-sample context).
+    """
 
     __slots__ = (
         "name",
         "incarnation",
         "expected",
+        "anchored",
         "buffer",
         "gaps",
+        "delta",
+        "kfreq_after",
         "delivered",
         "duplicates",
         "stale_incarnation",
     )
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, anchored: bool = True) -> None:
         self.name = name
         self.incarnation = 0  # adopts the worker's on first contact
         self.expected = 1  # next in-order batch seq
-        self.buffer: Dict[int, List[InterfaceRates]] = {}  # out-of-order batches
+        self.anchored = anchored  # False: adopt the first observed seq
+        self.buffer: Dict[int, tuple] = {}  # seq -> out-of-order entry
         self.gaps: Dict[int, _Gap] = {}
+        self.delta = DeltaDecoder()
+        self.kfreq_after = 0.0  # earliest next keyframe request
         self.delivered = 0
         self.duplicates = 0
         self.stale_incarnation = 0
@@ -470,8 +656,10 @@ class _WorkerIngest:
     def reset_for(self, incarnation: int) -> None:
         self.incarnation = incarnation
         self.expected = 1
+        self.anchored = True  # a fresh incarnation numbers from 1
         self.buffer.clear()
         self.gaps.clear()
+        self.delta.reset()
 
 
 class DistributedMonitor:
@@ -506,6 +694,13 @@ class DistributedMonitor:
         retx_backoff: Optional[float] = None,
         max_batch: int = 8,
         resend_buffer: int = 32,
+        poll_mode: str = "get",
+        pipeline_window: int = 0,
+        delta_shipping: bool = False,
+        keyframe_every: int = 16,
+        targets: Optional[Sequence[PollTarget]] = None,
+        emit_reports: bool = True,
+        adopt_streams: bool = False,
     ) -> None:
         if not worker_hosts:
             raise ValueError("need at least one worker host")
@@ -515,6 +710,20 @@ class DistributedMonitor:
         self.sim = self.network.sim
         self.poll_interval = poll_interval
         self.report_offset = report_offset
+        self.poll_jitter = poll_jitter
+        self.seed = seed
+        self.poll_mode = poll_mode
+        self.pipeline_window = pipeline_window
+        self.delta_shipping = delta_shipping
+        self.keyframe_every = keyframe_every
+        self.max_batch = max_batch
+        self.resend_buffer = resend_buffer
+        self.emit_reports = emit_reports
+        self.adopt_streams = adopt_streams
+        # Forwarding hook: called with every sample accepted into the
+        # rate table (a leaf coordinator chains its uplink shipper here).
+        self.on_sample: Optional[Callable[[InterfaceRates], None]] = None
+        self._suspended = False
         self.coordinator = self.network.host(coordinator_host)
         if isinstance(telemetry, Telemetry):
             self.telemetry = telemetry
@@ -584,21 +793,12 @@ class DistributedMonitor:
         self._control = self.coordinator.create_socket()  # retx/assign sender
 
         self._worker_order = list(worker_hosts)
+        self._target_pool: List[PollTarget] = (
+            list(targets) if targets is not None else self._derive_pool()
+        )
         assignments = self._partition(self._worker_order)
-        coordinator_ip = self.coordinator.primary_ip
         self.workers: Dict[str, MonitorWorker] = {
-            name: MonitorWorker(
-                build,
-                name,
-                assignments.get(name, []),
-                coordinator_ip,
-                poll_interval,
-                poll_jitter,
-                seed=seed + i,
-                heartbeat_interval=self.heartbeat_interval,
-                max_batch=max_batch,
-                resend_buffer=resend_buffer,
-            )
+            name: self._make_worker(name, assignments.get(name, []), i)
             for i, name in enumerate(self._worker_order)
         }
         # Assignment bookkeeping: desired targets and version per worker.
@@ -613,7 +813,8 @@ class DistributedMonitor:
             worker.assign_version = 1
             self._assign_version[name] = 1
         self._ingest: Dict[str, _WorkerIngest] = {
-            name: _WorkerIngest(name) for name in self._worker_order
+            name: _WorkerIngest(name, anchored=not self.adopt_streams)
+            for name in self._worker_order
         }
         for name in self._worker_order:
             self.leases.register(name, self.sim.now)
@@ -633,6 +834,7 @@ class DistributedMonitor:
         self._m_gaps_filled = c("dist_gaps_filled_total", "gaps closed by retransmission")
         self._m_gaps_abandoned = c("dist_gaps_abandoned_total", "gaps given up after ARQ caps")
         self._m_retx = c("dist_retx_requests_total", "selective retransmit requests sent")
+        self._m_kfreq = c("dist_keyframe_requests_total", "delta keyframe requests sent")
         self._m_failovers = c("dist_failovers_total", "lease expiries that moved poll targets")
         self._m_rebalances = c("dist_rebalances_total", "recoveries that moved poll targets back")
         for state in WorkerState:
@@ -658,31 +860,71 @@ class DistributedMonitor:
     # ------------------------------------------------------------------
     # Partitioning
     # ------------------------------------------------------------------
-    def _partition(self, worker_hosts: List[str]) -> Dict[str, List[PollTarget]]:
-        """Deterministic affinity-first assignment over ``worker_hosts``.
+    def _make_worker(
+        self, name: str, targets: List[PollTarget], index: int
+    ) -> MonitorWorker:
+        """Construct one polling worker (the hierarchy root overrides
+        this to construct leaf coordinators instead)."""
+        return MonitorWorker(
+            self.build,
+            name,
+            targets,
+            self.coordinator.primary_ip,
+            self.poll_interval,
+            self.poll_jitter,
+            seed=self.seed + index,
+            heartbeat_interval=self.heartbeat_interval,
+            max_batch=self.max_batch,
+            resend_buffer=self.resend_buffer,
+            poll_mode=self.poll_mode,
+            pipeline_window=self.pipeline_window,
+            delta_shipping=self.delta_shipping,
+            keyframe_every=self.keyframe_every,
+        )
 
-        A target whose node *is* a listed worker goes to that worker
-        (polling thyself costs loopback only); the rest round-robin over
-        the workers in the given order.  Same inputs, same map -- this is
-        also the failover/failback function, re-run over the survivors.
-        """
+    def _derive_pool(self) -> List[PollTarget]:
+        """Every poll target the topology needs (the default pool)."""
         needed = required_poll_targets(self.spec, list(self.spec.connections))
-        assignments: Dict[str, List[PollTarget]] = {w: [] for w in worker_hosts}
-        leftovers = []
-        for node_name, if_indexes in sorted(needed.items()):
-            target = PollTarget(
+        return [
+            PollTarget(
                 node=node_name,
                 address=self.network.ip_of(node_name),
                 if_indexes=if_indexes,
                 community=self.spec.node(node_name).snmp_community,
             )
-            if node_name in assignments:
-                assignments[node_name].append(target)  # affinity: poll thyself
+            for node_name, if_indexes in sorted(needed.items())
+        ]
+
+    def _affinity(self, target: PollTarget) -> Optional[str]:
+        """Preferred owner of ``target`` (polling thyself costs loopback
+        only); the hierarchy root overrides this with its shard plan."""
+        return target.node
+
+    def _partition(self, worker_hosts: List[str]) -> Dict[str, List[PollTarget]]:
+        """Deterministic affinity-first assignment over ``worker_hosts``.
+
+        A target whose affinity names a listed worker goes to that
+        worker; the rest round-robin over the workers in the given
+        order.  Same inputs, same map -- this is also the
+        failover/failback function, re-run over the survivors.
+        """
+        assignments: Dict[str, List[PollTarget]] = {w: [] for w in worker_hosts}
+        leftovers: List[PollTarget] = []
+        for target in sorted(self._target_pool, key=lambda t: t.node):
+            preferred = self._affinity(target)
+            if preferred in assignments:
+                assignments[preferred].append(target)
             else:
                 leftovers.append(target)
         for i, target in enumerate(leftovers):
             assignments[worker_hosts[i % len(worker_hosts)]].append(target)
         return assignments
+
+    def set_target_pool(self, targets: Sequence[PollTarget]) -> None:
+        """Replace the poll-target pool and repartition over the live
+        workers (the hierarchy root resizes a leaf's shard this way)."""
+        self._target_pool = list(targets)
+        self._rebalance(reason="rebalance", about="pool")
 
     def targets_of(self, worker: str) -> List[str]:
         return [t.node for t in self.workers[worker].poller.targets]
@@ -768,6 +1010,9 @@ class DistributedMonitor:
         if payload is None:
             self._m_decode_errors.inc()
             return
+        if is_delta(payload):
+            self._on_delta(payload)
+            return
         try:
             doc = decode_message(payload)
             kind = doc["k"]
@@ -799,10 +1044,31 @@ class DistributedMonitor:
     def _on_batch(self, doc: Dict[str, object]) -> None:
         worker = doc["w"]
         samples = [_sample_from_doc(d) for d in doc["s"]]
-        seq = int(doc["q"])
         state = self._ingest_state(worker, int(doc["inc"]))
         if state is None:
             return
+        self._on_sequenced(state, int(doc["q"]), ("s", samples))
+
+    def _on_delta(self, payload: bytes) -> None:
+        """Binary delta batch: parse statelessly now, apply the stateful
+        decoder only at in-order delivery."""
+        try:
+            batch = parse_delta(payload)
+        except DeltaError:
+            self._m_decode_errors.inc()
+            return
+        state = self._ingest_state(batch.worker, batch.incarnation)
+        if state is None:
+            return
+        self._on_sequenced(state, batch.seq, ("d", batch))
+
+    def _on_sequenced(self, state: _WorkerIngest, seq: int, entry: tuple) -> None:
+        if not state.anchored:
+            # Adopting a mid-flight stream (coordinator resume): accept
+            # from here instead of demanding retransmits back to seq 1;
+            # a delta stream heals its decoder via keyframe request.
+            state.anchored = True
+            state.expected = seq
         if seq < state.expected or seq in state.buffer:
             state.duplicates += 1
             self._m_duplicates.inc()
@@ -811,11 +1077,11 @@ class DistributedMonitor:
             gap = state.gaps.pop(seq, None)
             if gap is not None and gap.attempts > 0:
                 self._m_gaps_filled.inc()
-            self._deliver(state, samples)
+            self._deliver_entry(state, entry)
             state.expected += 1
             self._drain(state)
         else:
-            state.buffer[seq] = samples
+            state.buffer[seq] = entry
             self._note_gaps(state, upto=seq)
 
     def _on_heartbeat(self, doc: Dict[str, object]) -> None:
@@ -823,6 +1089,9 @@ class DistributedMonitor:
         state = self._ingest_state(worker, int(doc["inc"]))
         if state is None:
             return
+        if not state.anchored:
+            state.anchored = True
+            state.expected = int(doc["q"])
         # ``q`` is the seq the *next* batch will carry: anything below it
         # that we have not seen was shipped and lost with nothing after
         # it to reveal the gap -- a trailing gap only liveness traffic
@@ -892,11 +1161,11 @@ class DistributedMonitor:
 
     def _drain(self, state: _WorkerIngest) -> None:
         while state.expected in state.buffer:
-            samples = state.buffer.pop(state.expected)
+            entry = state.buffer.pop(state.expected)
             gap = state.gaps.pop(state.expected, None)
             if gap is not None and gap.attempts > 0:
                 self._m_gaps_filled.inc()
-            self._deliver(state, samples)
+            self._deliver_entry(state, entry)
             state.expected += 1
 
     def _abandon_front_gaps(self, state: _WorkerIngest) -> None:
@@ -922,6 +1191,11 @@ class DistributedMonitor:
         for target in self._assignments.get(state.name, []):
             for if_index in target.if_indexes:
                 self.degraded.mark(target.node, if_index)
+        # A delta stream cannot advance over a hole: its per-interface
+        # context is now stale, so drop rate-only records until the
+        # sender re-states everything with a keyframe.
+        state.delta.mark_desync()
+        self._request_keyframe(state)
         self.telemetry.events.publish(
             SAMPLE_GAP,
             self.sim.now,
@@ -929,6 +1203,34 @@ class DistributedMonitor:
             action="abandoned",
             seqs=abandoned,
         )
+
+    def _request_keyframe(self, state: _WorkerIngest) -> None:
+        """Ask a delta sender to re-state its full universe; rate-limited
+        so a desynced stream sends one request per backoff window, not
+        one per arriving batch."""
+        now = self.sim.now
+        if now < state.kfreq_after:
+            return
+        state.kfreq_after = now + self.retx_backoff
+        self._m_kfreq.inc()
+        self._control.sendto(
+            json.dumps({"k": "kfreq", "inc": state.incarnation}).encode(),
+            (self.network.ip_of(state.name), CONTROL_PORT),
+        )
+
+    def _deliver_entry(self, state: _WorkerIngest, entry: tuple) -> None:
+        kind, payload = entry
+        if kind == "d":
+            try:
+                samples = state.delta.apply(payload)
+            except DeltaError:
+                self._m_decode_errors.inc()
+                samples = []
+            if state.delta.needs_keyframe:
+                self._request_keyframe(state)
+        else:
+            samples = payload
+        self._deliver(state, samples)
 
     def _deliver(self, state: _WorkerIngest, samples: List[InterfaceRates]) -> None:
         self._m_batches.inc()
@@ -940,6 +1242,8 @@ class DistributedMonitor:
             self._m_samples.inc()
             # Fresh in-order data for this source: no longer known-lossy.
             self.degraded.clear(sample.node, sample.if_index)
+            if self.on_sample is not None:
+                self.on_sample(sample)
 
     # ------------------------------------------------------------------
     # Periodic sweep: lease expiry + ARQ retries/abandonment
@@ -969,11 +1273,12 @@ class DistributedMonitor:
         start = self.sim.now if at is None else at
         for worker in self.workers.values():
             worker.start(at=start)
-        self._report_task = self.sim.call_every(
-            self.poll_interval,
-            self._emit_reports,
-            start=start + self.poll_interval + self.report_offset,
-        )
+        if self.emit_reports:
+            self._report_task = self.sim.call_every(
+                self.poll_interval,
+                self._emit_reports,
+                start=start + self.poll_interval + self.report_offset,
+            )
         self._sweep_task = self.sim.call_every(
             self.heartbeat_interval * 0.5,
             self._sweep,
@@ -990,8 +1295,57 @@ class DistributedMonitor:
             if task is not None:
                 task.cancel()
                 setattr(self, task_attr, None)
+        if not self._suspended:
+            self._sink.close()
+            self._control.close()
+
+    def suspend(self) -> None:
+        """The coordinator *process* stops (crash simulation): its
+        sockets close and its periodic tasks stop, but the workers --
+        separate processes on separate hosts -- keep polling and
+        shipping into the void.  Assignment state survives as the
+        recovering process's warm state; per-stream ingest state does
+        not, and is rebuilt on :meth:`resume`."""
+        if self._suspended:
+            return
+        self._suspended = True
+        for task_attr in ("_report_task", "_sweep_task"):
+            task = getattr(self, task_attr)
+            if task is not None:
+                task.cancel()
+                setattr(self, task_attr, None)
         self._sink.close()
         self._control.close()
+
+    def resume(self) -> None:
+        """The coordinator comes back: fresh sockets, fresh per-stream
+        ingest state (with ``adopt_streams`` it anchors mid-flight
+        streams instead of demanding retransmits back to seq 1), and one
+        lease renewal per worker so nobody is declared dead for
+        heartbeats lost while the coordinator was down."""
+        if not self._suspended:
+            return
+        self._suspended = False
+        self._sink = self.coordinator.create_socket(REPORT_PORT)
+        self._sink.on_receive = self._on_datagram
+        self._control = self.coordinator.create_socket()
+        now = self.sim.now
+        for name in self._worker_order:
+            self._ingest[name] = _WorkerIngest(
+                name, anchored=not self.adopt_streams
+            )
+            self.leases.beat(name, now)
+        if self.emit_reports:
+            self._report_task = self.sim.call_every(
+                self.poll_interval,
+                self._emit_reports,
+                start=now + self.report_offset,
+            )
+        self._sweep_task = self.sim.call_every(
+            self.heartbeat_interval * 0.5,
+            self._sweep,
+            start=now + self.heartbeat_interval,
+        )
 
     def _emit_reports(self) -> None:
         for label, (src, dst, path) in self._watches.items():
@@ -1031,6 +1385,7 @@ class DistributedMonitor:
             "gaps_filled": value("dist_gaps_filled_total"),
             "gaps_abandoned": value("dist_gaps_abandoned_total"),
             "retx_requests": value("dist_retx_requests_total"),
+            "keyframe_requests": value("dist_keyframe_requests_total"),
             "failovers": value("dist_failovers_total"),
             "rebalances": value("dist_rebalances_total"),
             "degraded_sources": float(len(self.degraded)),
@@ -1038,5 +1393,5 @@ class DistributedMonitor:
         for state in WorkerState:
             out[f"workers_{state.value}"] = float(self.leases.count(state))
         for name, worker in self.workers.items():
-            out[f"per_worker_requests.{name}"] = float(worker.manager.requests_sent)
+            out[f"per_worker_requests.{name}"] = float(worker.requests_sent)
         return out

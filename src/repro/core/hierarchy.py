@@ -1,0 +1,405 @@
+"""Two-level coordinator tree for 10k-host-scale monitoring.
+
+One coordinator ingesting every worker's batches scales linearly in one
+host's receive path and one process's ARQ bookkeeping.  The hierarchical
+plane splits the poll-target pool into *shards*: each shard is owned by
+a :class:`LeafCoordinator` -- a full fault-tolerant
+:class:`~repro.core.distributed.DistributedMonitor` over the shard's
+worker hosts, minus the report surface -- which aggregates its workers'
+samples locally and ships them up one delta-encoded, sequenced stream.
+The :class:`HierarchicalMonitor` root therefore sees *one stream per
+shard* (plus heartbeats), not one per worker, and its rate table and
+path reports are computed exactly like the flat plane's.
+
+The tree reuses the flat plane's machinery at both levels, by
+construction rather than duplication:
+
+* **Root ingest** -- ``HierarchicalMonitor`` *is* a
+  ``DistributedMonitor`` whose "workers" are leaf coordinators: leases,
+  selective-retransmit ARQ, degraded-source marking, versioned
+  assignments and the watch/report surface are inherited unchanged.
+  Shard assignment rides the same ``assign`` control message workers
+  use, so a lost shard datagram heals through the same stale-echo
+  resend.
+* **Leaf uplink** -- the leaf ships with the same
+  :class:`~repro.core.distributed.SampleShipper` a worker uses
+  (sequencing, bounded resend buffer, retransmit service), with delta
+  encoding on by default: quiescent shards cost a few bytes per
+  interface per batch, and periodic keyframes bound the cost of any
+  lost context.
+* **Failover, twice** -- a dead *worker* is handled inside its leaf
+  (the shard repartitions over the surviving workers); a dead *leaf*
+  is handled by the root (its shard's targets repartition over the
+  surviving leaves, which forward them to their own workers).  Both are
+  the same ``_rebalance`` code path.
+
+A leaf coordinator crash kills only the coordinator *process*: its
+workers -- separate hosts -- keep polling and shipping into the void.
+On restart the leaf resumes with fresh ingest state, *adopts* its
+workers' mid-flight sequence streams instead of demanding retransmits
+back to seq 1, and heals its delta decoders with keyframe requests.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.distributed import (
+    CONTROL_PORT,
+    REPORT_PORT,
+    DistributedMonitor,
+    SampleShipper,
+    decode_message,
+    encode_heartbeat,
+)
+from repro.core.poller import InterfaceRates, PollTarget
+from repro.simnet.address import IPv4Address
+from repro.spec.builder import BuildResult
+
+logger = logging.getLogger("repro.hierarchy")
+
+
+class _PoolView:
+    """Adapter giving a leaf the worker's ``poller.targets`` surface
+    (what :meth:`DistributedMonitor.targets_of` reads)."""
+
+    __slots__ = ("_dm",)
+
+    def __init__(self, dm: DistributedMonitor) -> None:
+        self._dm = dm
+
+    @property
+    def targets(self) -> List[PollTarget]:
+        return list(self._dm._target_pool)
+
+
+class LeafCoordinator:
+    """One shard: a local coordinator over its worker hosts, plus an
+    uplink to the hierarchy root.
+
+    Presents the same surface to the root that a
+    :class:`~repro.core.distributed.MonitorWorker` presents to a flat
+    coordinator -- ``start``/``stop``/``crash``/``restart``, an
+    ``assign_version`` echo, a control listener serving ``retx`` /
+    ``assign`` / ``kfreq``, and sequenced (delta-encoded) sample
+    batches -- so the root can drive leaves with the unmodified flat
+    machinery.
+    """
+
+    def __init__(
+        self,
+        build: BuildResult,
+        host_name: str,
+        worker_hosts: Sequence[str],
+        targets: Sequence[PollTarget],
+        root_ip: IPv4Address,
+        poll_interval: float,
+        poll_jitter: float,
+        seed: int,
+        heartbeat_interval: Optional[float] = None,
+        batch_linger: Optional[float] = None,
+        max_batch: int = 32,
+        resend_buffer: int = 32,
+        poll_mode: str = "bulk",
+        pipeline_window: int = 8,
+        delta_shipping: bool = True,
+        keyframe_every: int = 16,
+    ) -> None:
+        self.build = build
+        self.name = host_name
+        self.host = build.network.host(host_name)
+        self.sim = self.host.sim
+        self.root_ip = root_ip
+        self.poll_interval = poll_interval
+        self.heartbeat_interval = (
+            heartbeat_interval if heartbeat_interval is not None else poll_interval * 0.4
+        )
+        self.batch_linger = (
+            batch_linger if batch_linger is not None else poll_interval * 0.25
+        )
+        # The shard: a full fault-tolerant plane over this leaf's
+        # workers, aggregating into its own rate table; samples accepted
+        # there chain straight into the uplink shipper.  No report task
+        # (the root reports), no integrity (the root inspects once, so
+        # shipped samples face exactly the same gauntlet as in the flat
+        # plane), no telemetry registry of its own.
+        self.dm = DistributedMonitor(
+            build,
+            coordinator_host=host_name,
+            worker_hosts=list(worker_hosts),
+            poll_interval=poll_interval,
+            poll_jitter=poll_jitter,
+            seed=seed,
+            telemetry=False,
+            integrity=False,
+            max_batch=max_batch,
+            resend_buffer=resend_buffer,
+            poll_mode=poll_mode,
+            pipeline_window=pipeline_window,
+            delta_shipping=delta_shipping,
+            keyframe_every=keyframe_every,
+            targets=list(targets),
+            emit_reports=False,
+            adopt_streams=True,
+        )
+        self.dm.on_sample = self._enqueue
+        self.poller = _PoolView(self.dm)  # root reads poller.targets
+        self.shipper = SampleShipper(
+            host_name,
+            self._send_up,
+            max_batch=max_batch,
+            resend_buffer=resend_buffer,
+            delta=delta_shipping,
+            keyframe_every=keyframe_every,
+        )
+        self.assign_version = 0
+        self.crashed = False
+        self._started = False
+        self._hb_task = None
+        self._flush_task = None
+        self.heartbeats_sent = 0
+        self.assignments_applied = 0
+        self._open_sockets()
+
+    # -- root-facing worker surface --------------------------------------
+    @property
+    def incarnation(self) -> int:
+        return self.shipper.incarnation
+
+    @property
+    def requests_sent(self) -> int:
+        """Total SNMP requests issued by this shard's workers."""
+        return sum(w.requests_sent for w in self.dm.workers.values())
+
+    @property
+    def window_peak(self) -> int:
+        """Deepest pipeline occupancy any of this shard's workers hit."""
+        return max(
+            (w.poller.window_peak for w in self.dm.workers.values()), default=0
+        )
+
+    # -- construction / teardown -----------------------------------------
+    def _open_sockets(self) -> None:
+        self._uplink = self.host.create_socket()
+        self._listener = self.host.create_socket(CONTROL_PORT)
+        self._listener.on_receive = self._on_control
+
+    def _send_up(self, payload: bytes) -> None:
+        self._uplink.sendto(payload, (self.root_ip, REPORT_PORT))
+
+    # -- lifecycle --------------------------------------------------------
+    def start(self, at: Optional[float] = None) -> None:
+        self._started = True
+        self.dm.start(at=at)
+        if at is None or at <= self.sim.now:
+            self._begin_tasks()
+        else:
+            self.sim.schedule_at(at, self._begin_tasks)
+
+    def _begin_tasks(self) -> None:
+        if self.crashed:
+            return
+        start = self.sim.now
+        self._hb_task = self.sim.call_every(
+            self.heartbeat_interval, self._heartbeat, start=start
+        )
+        self._flush_task = self.sim.call_every(
+            self.batch_linger, self._flush, start=start + self.batch_linger
+        )
+
+    def _cancel_tasks(self) -> None:
+        for attr in ("_hb_task", "_flush_task"):
+            task = getattr(self, attr)
+            if task is not None:
+                task.cancel()
+                setattr(self, attr, None)
+
+    def stop(self) -> None:
+        self._started = False
+        if not self.crashed:
+            self._cancel_tasks()
+            self._uplink.close()
+            self._listener.close()
+        self.dm.stop()
+
+    def crash(self) -> None:
+        """The leaf coordinator *process* dies.  Its workers -- separate
+        hosts -- keep polling and shipping into the void; only the
+        shard-local ingest, the uplink and the control listener go."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self._cancel_tasks()
+        self._uplink.close()
+        self._listener.close()
+        self.dm.suspend()
+
+    def restart(self) -> None:
+        """The process comes back: fresh uplink incarnation, fresh
+        shard ingest that *adopts* the workers' mid-flight streams, and
+        assignment version 0 so the root re-ships the shard."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.shipper.reset(self.shipper.incarnation + 1)
+        self.assign_version = 0
+        self._open_sockets()
+        self.dm.resume()
+        if self._started:
+            self._begin_tasks()
+
+    # -- uplink shipping ---------------------------------------------------
+    def _enqueue(self, sample: InterfaceRates) -> None:
+        if self.shipper.enqueue(sample):
+            self._flush()
+
+    def _flush(self) -> None:
+        if self.crashed:
+            return
+        self.shipper.flush()
+
+    def _heartbeat(self) -> None:
+        if self.crashed:
+            return
+        self.heartbeats_sent += 1
+        self._send_up(
+            encode_heartbeat(
+                self.name, self.incarnation, self.shipper.next_seq,
+                self.assign_version,
+            )
+        )
+
+    # -- control (root -> leaf) -------------------------------------------
+    def _on_control(self, payload, size, src_ip, src_port) -> None:
+        if payload is None or self.crashed:
+            return
+        try:
+            doc = decode_message(payload)
+            kind = doc["k"]
+            if kind == "retx":
+                self.shipper.serve_retransmit(doc)
+            elif kind == "assign":
+                self._apply_assignment(doc)
+            elif kind == "kfreq":
+                self.shipper.force_keyframe()
+        except (ValueError, KeyError, TypeError):
+            return  # malformed control traffic: ignore
+
+    def _apply_assignment(self, doc: Dict[str, object]) -> None:
+        version = int(doc["v"])
+        if version <= self.assign_version:
+            return  # duplicate or out-of-date: idempotent drop
+        network = self.build.network
+        targets = [
+            PollTarget(
+                node=t["n"],
+                address=network.ip_of(t["n"]),
+                if_indexes=[int(i) for i in t["ifs"]],
+                community=t["c"],
+            )
+            for t in doc["t"]
+        ]
+        self.assign_version = version
+        self.assignments_applied += 1
+        logger.info(
+            "leaf %s applied shard v%d: %d targets",
+            self.name, version, len(targets),
+        )
+        self.dm.set_target_pool(targets)
+
+
+class HierarchicalMonitor(DistributedMonitor):
+    """The root of the coordinator tree.
+
+    ``plan`` is :func:`repro.experiments.scale.hierarchy_plan` output:
+    it names the root host, each shard's leaf coordinator host, the
+    worker hosts inside each shard, and each shard's *member* nodes
+    (the affinity map: a target's home shard is the pod it lives in, so
+    monitoring traffic stays inside the pod until aggregation).  Leaves
+    are driven through the inherited flat-plane machinery -- leases,
+    ARQ, versioned ``assign`` messages -- and ship delta-encoded sample
+    streams; the root's report surface is the flat coordinator's.
+    """
+
+    def __init__(
+        self,
+        build: BuildResult,
+        plan: Dict[str, object],
+        poll_interval: float = 2.0,
+        poll_mode: str = "bulk",
+        pipeline_window: int = 8,
+        delta_shipping: bool = True,
+        keyframe_every: int = 16,
+        max_batch: int = 32,
+        **kwargs,
+    ) -> None:
+        shards = plan["shards"]
+        if not shards:
+            raise ValueError("plan has no shards")
+        self.plan = plan
+        self._shard_workers: Dict[str, List[str]] = {
+            leaf: list(shard["workers"]) for leaf, shard in shards.items()
+        }
+        self._shard_of: Dict[str, str] = {
+            member: leaf
+            for leaf, shard in shards.items()
+            for member in shard["members"]
+        }
+        super().__init__(
+            build,
+            coordinator_host=plan["root"],
+            worker_hosts=list(shards),
+            poll_interval=poll_interval,
+            poll_mode=poll_mode,
+            pipeline_window=pipeline_window,
+            delta_shipping=delta_shipping,
+            keyframe_every=keyframe_every,
+            max_batch=max_batch,
+            **kwargs,
+        )
+
+    # -- hooks into the flat machinery ------------------------------------
+    def _affinity(self, target: PollTarget) -> Optional[str]:
+        return self._shard_of.get(target.node)
+
+    def _make_worker(
+        self, name: str, targets: List[PollTarget], index: int
+    ) -> LeafCoordinator:
+        return LeafCoordinator(
+            self.build,
+            name,
+            self._shard_workers[name],
+            targets,
+            self.coordinator.primary_ip,
+            self.poll_interval,
+            self.poll_jitter,
+            seed=self.seed + 1000 * (index + 1),
+            heartbeat_interval=self.heartbeat_interval,
+            max_batch=self.max_batch,
+            resend_buffer=self.resend_buffer,
+            poll_mode=self.poll_mode,
+            pipeline_window=self.pipeline_window,
+            delta_shipping=self.delta_shipping,
+            keyframe_every=self.keyframe_every,
+        )
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def leaves(self) -> Dict[str, LeafCoordinator]:
+        return self.workers
+
+    def stats(self) -> Dict[str, float]:
+        """Flat counters plus per-shard poll/uplink economics."""
+        out = super().stats()
+        out["shards"] = float(len(self.workers))
+        for name, leaf in self.workers.items():
+            out[f"per_shard_exchanges.{name}"] = float(leaf.requests_sent)
+            out[f"per_shard_delta_reduction.{name}"] = (
+                leaf.shipper.traffic_reduction
+            )
+            out[f"per_shard_keyframes.{name}"] = float(
+                leaf.shipper.keyframes_shipped
+            )
+            out[f"per_shard_window_peak.{name}"] = float(leaf.window_peak)
+        return out

@@ -101,6 +101,8 @@ class NetworkMonitor:
         history_downsample_s: Optional[float] = None,
         integrity: Union[bool, IntegrityConfig] = True,
         cross_check: bool = False,
+        poll_mode: str = "get",
+        pipeline_window: int = 0,
     ) -> None:
         """``integrity``: run every sample through the measurement-
         integrity pipeline (True: default knobs; an
@@ -109,7 +111,10 @@ class NetworkMonitor:
         poll the *secondary* end of every two-ended connection (plus
         ifSpeed) and compare both ends' octet rates each report cycle.
         Off by default because the extra polling itself adds SNMP
-        traffic to the measured links."""
+        traffic to the measured links.  ``poll_mode`` / ``pipeline_window``
+        pass straight to :class:`~repro.core.poller.SnmpPoller` (GetBulk
+        batching and bounded-in-flight scheduling for large target
+        counts)."""
         if not 0 < report_offset < poll_interval:
             raise MonitorError(
                 f"report_offset must lie inside the poll interval, got "
@@ -178,6 +183,8 @@ class NetworkMonitor:
             seed=seed,
             rate_table=self.rates,
             telemetry=self.telemetry,
+            poll_mode=poll_mode,
+            pipeline_window=pipeline_window,
         )
         # Let the manager label RTT samples by agent name, not IP.
         for target in self._poller.targets:

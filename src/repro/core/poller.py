@@ -175,6 +175,74 @@ class PollTarget:
                 out.append(IF_SPEED + str(index))
         return out
 
+    def columns(self) -> List[Oid]:
+        """The table columns a bulk walk of this target must cover."""
+        cols = list(_COLUMNS)
+        if self.include_oper_status:
+            cols.append(IF_OPER_STATUS)
+        if self.include_speed:
+            cols.append(IF_SPEED)
+        return cols
+
+
+class _PollUnit:
+    """One target's worth of work inside a poll cycle."""
+
+    __slots__ = ("target", "span")
+
+    def __init__(self, target: PollTarget, span) -> None:
+        self.target = target
+        self.span = span
+
+
+class _Assembly:
+    """Reassemble a per-varbind poll: one GET per OID, merged on completion.
+
+    This is the degenerate baseline the paper's scale problem implies --
+    every counter instance its own request/response exchange -- kept as a
+    measurable mode so the GetBulk path's exchange-count win is a number,
+    not a claim.
+    """
+
+    __slots__ = ("poller", "target", "span", "on_done", "remaining", "varbinds", "error")
+
+    def __init__(self, poller: "SnmpPoller", target: PollTarget, span, on_done) -> None:
+        self.poller = poller
+        self.target = target
+        self.span = span
+        self.on_done = on_done
+        self.varbinds: List[VarBind] = []
+        self.error: Optional[Exception] = None
+        oids = target.oids()
+        self.remaining = len(oids)
+        for oid in oids:
+            poller.manager.get(
+                target.address, [oid], callback=self._one_ok,
+                errback=self._one_err, community=target.community,
+            )
+
+    def _one_ok(self, varbinds: List[VarBind]) -> None:
+        self.varbinds.extend(varbinds)
+        self._settle()
+
+    def _one_err(self, exc: Exception) -> None:
+        if self.error is None:
+            self.error = exc
+        self._settle()
+
+    def _settle(self) -> None:
+        self.remaining -= 1
+        if self.remaining > 0:
+            return
+        if self.error is not None:
+            self.poller._on_error(self.target, self.error, self.span)
+        else:
+            self.poller._on_response(self.target, self.varbinds, self.span)
+        self.on_done()
+
+
+POLL_MODES = ("get", "bulk", "per-varbind")
+
 
 class SnmpPoller:
     """Polls a set of targets every ``interval`` seconds.
@@ -183,6 +251,21 @@ class SnmpPoller:
     been *issued*; fresh samples appear in the :class:`RateTable` as the
     responses arrive.  The monitor attaches its report generation slightly
     after each cycle instead, leaving the poller reusable on its own.
+
+    ``poll_mode`` selects the wire strategy per target: ``"get"`` (one
+    GET naming every instance -- the paper's layout), ``"bulk"`` (a
+    GetBulk column walk via :meth:`SnmpManager.poll_interfaces`, 1-2
+    exchanges per agent regardless of interface count), or
+    ``"per-varbind"`` (one GET per instance -- the measurable worst-case
+    baseline).  All three feed the same parse/ingest path, so the rate
+    table contents are mode-independent on a fault-free network.
+
+    ``pipeline_window`` > 0 bounds how many targets may be in flight at
+    once: a cycle enqueues every due target but launches at most
+    ``pipeline_window``; each completion launches the next.  Backlog
+    still queued when the next cycle begins is dropped and counted as an
+    overrun (the new cycle's fresher poll of the same target supersedes
+    it).  0 keeps the legacy launch-everything behaviour.
     """
 
     def __init__(
@@ -195,9 +278,17 @@ class SnmpPoller:
         rate_table: Optional[RateTable] = None,
         health: Optional[AgentHealthTracker] = None,
         telemetry: Optional[Telemetry] = None,
+        poll_mode: str = "get",
+        pipeline_window: int = 0,
     ) -> None:
         if interval <= 0:
             raise ValueError(f"non-positive poll interval {interval!r}")
+        if poll_mode not in POLL_MODES:
+            raise ValueError(f"poll_mode must be one of {POLL_MODES}, got {poll_mode!r}")
+        if pipeline_window < 0:
+            raise ValueError(f"negative pipeline_window {pipeline_window!r}")
+        self.poll_mode = poll_mode
+        self.pipeline_window = pipeline_window
         self.manager = manager
         self.sim = manager.sim
         self.targets = list(targets)
@@ -243,10 +334,23 @@ class SnmpPoller:
         self._m_restarts = registry.counter(
             "agent_restarts_total", "sysUpTime resets read as agent restarts"
         )
+        self._m_window_deferred = registry.counter(
+            "poll_window_deferred_total",
+            "poll units queued behind the pipeline window before launching",
+        )
+        self._m_window_overruns = registry.counter(
+            "poll_window_overruns_total",
+            "queued poll units dropped because the next cycle began first",
+        )
         self._h_cycle = registry.histogram(
             "poll_cycle_seconds",
             "poll cycle duration: requests issued to last outcome landed",
         )
+        # Pipeline scheduler state: queued units awaiting a window slot,
+        # the current in-flight count, and the high-water mark.
+        self._backlog: Deque[_PollUnit] = deque()
+        self._in_flight = 0
+        self.window_peak = 0
         # The open span of the in-flight cycle, plus outstanding-exchange
         # counts per cycle span id (late responses from a forced-closed
         # cycle must not leak into the next cycle's accounting).
@@ -304,6 +408,19 @@ class SnmpPoller:
     def agent_restarts(self) -> int:
         return self._m_restarts.value
 
+    @property
+    def window_deferred(self) -> int:
+        return self._m_window_deferred.value
+
+    @property
+    def window_overruns(self) -> int:
+        return self._m_window_overruns.value
+
+    @property
+    def in_flight(self) -> int:
+        """Poll units currently awaiting their responses."""
+        return self._in_flight
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -330,12 +447,20 @@ class SnmpPoller:
     # ------------------------------------------------------------------
     def _poll_cycle(self) -> None:
         self._m_cycles.inc()
+        # Backlog still queued from the previous cycle is superseded by
+        # this cycle's fresher poll of the same targets: drop it (counted)
+        # rather than let a slow network build an ever-deeper queue.
+        while self._backlog:
+            unit = self._backlog.popleft()
+            self._m_window_overruns.inc()
+            self._exchange_done(unit.span, "overrun")
         tel = self.telemetry
         tracing = tel.enabled
         if tracing:
             self._force_close_cycle()
             self._cycle_span = tel.tracer.begin("poll_cycle", cycle=self.cycles)
             self._exchanges_pending[self._cycle_span.span_id] = 0
+        units: List[_PollUnit] = []
         for target in self.targets:
             if not self.health.should_poll(target.node, self.sim.now):
                 continue  # circuit open: this DEAD agent's probe is not due
@@ -345,17 +470,61 @@ class SnmpPoller:
                     "snmp_exchange", parent=self._cycle_span, agent=target.node
                 )
                 self._exchanges_pending[self._cycle_span.span_id] += 1
-            self.manager.get(
-                target.address,
-                target.oids(),
-                callback=lambda vbs, t=target, s=span: self._on_response(t, vbs, s),
-                errback=lambda exc, t=target, s=span: self._on_error(t, exc, s),
-                community=target.community,
-            )
+            units.append(_PollUnit(target, span))
         if tracing and self._exchanges_pending.get(self._cycle_span.span_id) == 0:
             # Every target suppressed: the cycle is over as it begins.
             self._exchanges_pending.pop(self._cycle_span.span_id, None)
             self._finish_cycle(self._cycle_span)
+        window = self.pipeline_window
+        if window and len(units) > window:
+            launch_now, deferred = units[:window], units[window:]
+            for unit in deferred:
+                self._m_window_deferred.inc()
+            self._backlog.extend(deferred)
+        else:
+            launch_now = units
+        for unit in launch_now:
+            self._launch(unit)
+
+    # -- pipelined launch ----------------------------------------------
+    def _launch(self, unit: _PollUnit) -> None:
+        self._in_flight += 1
+        if self._in_flight > self.window_peak:
+            self.window_peak = self._in_flight
+        target, span = unit.target, unit.span
+
+        def on_ok(varbinds: List[VarBind], t=target, s=span) -> None:
+            self._on_response(t, varbinds, s)
+            self._unit_done()
+
+        def on_err(exc: Exception, t=target, s=span) -> None:
+            self._on_error(t, exc, s)
+            self._unit_done()
+
+        if self.poll_mode == "bulk" and target.if_indexes:
+            self.manager.poll_interfaces(
+                target.address,
+                target.if_indexes,
+                target.columns(),
+                callback=on_ok,
+                errback=on_err,
+                community=target.community,
+            )
+        elif self.poll_mode == "per-varbind":
+            _Assembly(self, target, span, self._unit_done)
+        else:
+            self.manager.get(
+                target.address,
+                target.oids(),
+                callback=on_ok,
+                errback=on_err,
+                community=target.community,
+            )
+
+    def _unit_done(self) -> None:
+        self._in_flight = max(0, self._in_flight - 1)
+        if self._backlog:
+            self._launch(self._backlog.popleft())
 
     # -- cycle span management -----------------------------------------
     def _finish_cycle(self, span) -> None:

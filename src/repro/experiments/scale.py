@@ -42,6 +42,8 @@ def scale_spec(
     hub_hosts: int = 3,
     redundant_uplinks: int = 0,
     name: Optional[str] = None,
+    hierarchical: int = 0,
+    host_agents: bool = True,
 ) -> TopologySpec:
     """A k-switch tree with ``m`` hosts per switch and hub pockets.
 
@@ -58,6 +60,20 @@ def scale_spec(
     Any value > 0 also turns spanning tree on (``stp "on"``) on every
     switch, so the loops are survivable: one uplink per pair forwards,
     the spares block until a failover (see :mod:`repro.simnet.stp`).
+
+    ``hierarchical`` > 0 switches to the two-tier campus shape the
+    hierarchical monitor (:mod:`repro.core.hierarchy`) is built for:
+    that many *pods*, each an independent ``switches``-deep tree of
+    ``hosts_per_switch``-host switches, joined by a core switch.  Each
+    pod also carries a dedicated (SNMP-silent) coordinator host
+    ``mon<p>`` on its root switch, and the core carries ``monroot`` --
+    :func:`hierarchy_plan` names them.  Incompatible with hub pockets
+    and redundant uplinks.
+
+    ``host_agents=False`` disables SNMP on every end host, so counter
+    sources resolve to the switch ports instead: the realistic 10k-host
+    posture where the monitor polls a few hundred many-interface switch
+    agents rather than every workstation.
     """
     if switches < 1:
         raise ValueError(f"need at least one switch, got {switches!r}")
@@ -72,6 +88,22 @@ def scale_spec(
     if redundant_uplinks < 0:
         raise ValueError(
             f"redundant_uplinks must be >= 0, got {redundant_uplinks!r}"
+        )
+    if hierarchical:
+        if hierarchical < 1:
+            raise ValueError(f"hierarchical must be >= 0, got {hierarchical!r}")
+        if hub_pockets or redundant_uplinks:
+            raise ValueError(
+                "hierarchical pods cannot combine with hub_pockets or "
+                "redundant_uplinks"
+            )
+        return _hierarchical_spec(
+            pods=hierarchical,
+            switches=switches,
+            hosts_per_switch=hosts_per_switch,
+            arity=arity,
+            host_agents=host_agents,
+            name=name,
         )
     nodes = []
     connections = []
@@ -115,7 +147,7 @@ def scale_spec(
                 NodeSpec(
                     host,
                     interfaces=[InterfaceSpec("eth0", speed_bps=SWITCH_SPEED_BPS)],
-                    snmp_enabled=True,
+                    snmp_enabled=host_agents,
                 )
             )
             connections.append(
@@ -172,6 +204,157 @@ def scale_spec(
         + (f"-{redundant_uplinks}r" if redundant_uplinks else "")
     )
     return TopologySpec(label, nodes, connections)
+
+
+def _hierarchical_spec(
+    pods: int,
+    switches: int,
+    hosts_per_switch: int,
+    arity: int,
+    host_agents: bool,
+    name: Optional[str],
+) -> TopologySpec:
+    """Two-tier pod topology; see :func:`scale_spec` (``hierarchical=``)."""
+    nodes = []
+    connections = []
+    # Core: one uplink per pod plus the root monitor host.
+    nodes.append(
+        NodeSpec(
+            "core",
+            kind=DeviceKind.SWITCH,
+            interfaces=[
+                InterfaceSpec(f"port{p + 1}", speed_bps=SWITCH_SPEED_BPS)
+                for p in range(pods + 1)
+            ],
+            snmp_enabled=True,
+        )
+    )
+    nodes.append(
+        NodeSpec(
+            "monroot",
+            interfaces=[InterfaceSpec("eth0", speed_bps=SWITCH_SPEED_BPS)],
+            snmp_enabled=False,
+        )
+    )
+    connections.append(
+        ConnectionSpec(InterfaceRef("monroot", "eth0"), InterfaceRef("core", "port1"))
+    )
+    children = [0] * switches
+    for s in range(1, switches):
+        children[(s - 1) // arity] += 1
+    for p in range(pods):
+        prefix = f"p{p}"
+        next_port: Dict[str, int] = {}
+
+        def take_port(switch: str) -> str:
+            port = next_port.get(switch, 0)
+            next_port[switch] = port + 1
+            return f"port{port + 1}"
+
+        for s in range(switches):
+            ports = (
+                hosts_per_switch
+                + (1 if s > 0 else 0)  # uplink to parent within the pod
+                + children[s]
+                # The pod root additionally carries the core uplink and
+                # the pod's coordinator host.
+                + (2 if s == 0 else 0)
+            )
+            nodes.append(
+                NodeSpec(
+                    f"{prefix}sw{s}",
+                    kind=DeviceKind.SWITCH,
+                    interfaces=[
+                        InterfaceSpec(f"port{q + 1}", speed_bps=SWITCH_SPEED_BPS)
+                        for q in range(ports)
+                    ],
+                    snmp_enabled=True,
+                )
+            )
+        for s in range(switches):
+            for h in range(hosts_per_switch):
+                host = f"{prefix}h{s}_{h}"
+                nodes.append(
+                    NodeSpec(
+                        host,
+                        interfaces=[InterfaceSpec("eth0", speed_bps=SWITCH_SPEED_BPS)],
+                        snmp_enabled=host_agents,
+                    )
+                )
+                connections.append(
+                    ConnectionSpec(
+                        InterfaceRef(host, "eth0"),
+                        InterfaceRef(f"{prefix}sw{s}", take_port(f"{prefix}sw{s}")),
+                    )
+                )
+        for s in range(1, switches):
+            parent = f"{prefix}sw{(s - 1) // arity}"
+            connections.append(
+                ConnectionSpec(
+                    InterfaceRef(f"{prefix}sw{s}", take_port(f"{prefix}sw{s}")),
+                    InterfaceRef(parent, take_port(parent)),
+                )
+            )
+        # Pod coordinator host and the uplink into the core.
+        mon = f"mon{p}"
+        nodes.append(
+            NodeSpec(
+                mon,
+                interfaces=[InterfaceSpec("eth0", speed_bps=SWITCH_SPEED_BPS)],
+                snmp_enabled=False,
+            )
+        )
+        connections.append(
+            ConnectionSpec(
+                InterfaceRef(mon, "eth0"),
+                InterfaceRef(f"{prefix}sw0", take_port(f"{prefix}sw0")),
+            )
+        )
+        connections.append(
+            ConnectionSpec(
+                InterfaceRef(f"{prefix}sw0", take_port(f"{prefix}sw0")),
+                InterfaceRef("core", f"port{p + 2}"),
+            )
+        )
+    label = name or f"hier-{pods}pod-{switches}sw-{hosts_per_switch}h"
+    return TopologySpec(label, nodes, connections)
+
+
+def hierarchy_plan(
+    pods: int,
+    switches: int = 4,
+    hosts_per_switch: int = 12,
+    workers_per_shard: int = 2,
+) -> Dict[str, object]:
+    """The monitoring-plane layout for a ``scale_spec(hierarchical=pods)``
+    topology: who is root, who coordinates each shard, which hosts work
+    for it, and which nodes belong to it (the root's affinity map).
+
+    Returns ``{"root": name, "shards": {leaf: {"workers": [...],
+    "members": [...]}}}``.  Workers are ordinary pod hosts; members list
+    every node of the pod (used by the hierarchical monitor to give each
+    shard its home targets).
+    """
+    if workers_per_shard < 1:
+        raise ValueError(f"workers_per_shard must be >= 1, got {workers_per_shard!r}")
+    if workers_per_shard > switches * hosts_per_switch:
+        raise ValueError(
+            f"{workers_per_shard} workers need at least that many pod hosts"
+        )
+    shards: Dict[str, Dict[str, list]] = {}
+    for p in range(pods):
+        prefix = f"p{p}"
+        hosts = [
+            f"{prefix}h{s}_{h}"
+            for s in range(switches)
+            for h in range(hosts_per_switch)
+        ]
+        members = [f"{prefix}sw{s}" for s in range(switches)] + hosts + [f"mon{p}"]
+        shards[f"mon{p}"] = {
+            "workers": hosts[:workers_per_shard],
+            "members": members,
+        }
+    return {"root": "monroot", "shards": shards}
 
 
 def populate_rates(

@@ -25,14 +25,14 @@ from repro.snmp.errors import ErrorStatus
 from repro.snmp.message import VERSION_1, VERSION_2C, Message
 from repro.snmp.mib import MibError, MibTree, register_snmp_group
 from repro.snmp.oid import Oid
-from repro.snmp.pdu import Pdu, VarBind
+from repro.snmp.pdu import MAX_BULK_REPETITIONS, Pdu, VarBind
 from repro.simnet.address import IPv4Address
 from repro.simnet.sockets import SNMP_PORT
 
 DEFAULT_RESPONSE_DELAY = 0.5e-3  # seconds of agent processing
 DEFAULT_RESPONSE_JITTER = 1.5e-3  # uniform extra, seeded
 
-MAX_BULK_REPETITIONS = 64
+__all__ = ["SnmpAgent", "MAX_BULK_REPETITIONS"]
 
 
 class SnmpAgent:
@@ -230,8 +230,10 @@ class SnmpAgent:
         return pdu.response(out)
 
     def _handle_get_bulk(self, pdu: Pdu) -> Pdu:
-        non_repeaters = max(0, pdu.non_repeaters)
-        max_repetitions = min(max(0, pdu.max_repetitions), MAX_BULK_REPETITIONS)
+        # Decode already validated both fields as non-negative; the agent
+        # additionally clamps the repetition count to its own bound.
+        non_repeaters = pdu.non_repeaters
+        max_repetitions = min(pdu.max_repetitions, MAX_BULK_REPETITIONS)
         out: List[VarBind] = []
         for vb in pdu.varbinds[:non_repeaters]:
             hit = self.mib.get_next(vb.oid)

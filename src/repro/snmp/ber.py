@@ -14,6 +14,7 @@ zero octet where the high bit would otherwise read as a sign.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Tuple
 
 from repro.snmp.oid import Oid, OidError
@@ -184,6 +185,10 @@ def _encode_base128(value: int) -> bytes:
 
 
 def decode_oid_content(content: bytes) -> Oid:
+    return decode_oid_interned(content)
+
+
+def _decode_oid_content_uncached(content: bytes) -> Oid:
     if not content:
         raise BerError("empty OID content")
     subids = []
@@ -209,8 +214,38 @@ def decode_oid_content(content: bytes) -> Oid:
         raise BerError(str(exc)) from exc
 
 
-def encode_oid(oid: Oid) -> bytes:
+@lru_cache(maxsize=16384)
+def _encode_oid_cached(oid: Oid) -> bytes:
     return encode_tlv(TAG_OID, encode_oid_content(oid))
+
+
+def encode_oid(oid: Oid) -> bytes:
+    """TLV-encode an OID, memoized.
+
+    The poll path encodes the same few thousand OIDs (six counter columns
+    x every interface on every agent) every cycle; ``Oid`` is immutable
+    and hashable, so the encoded TLV is a pure function of it.  The cache
+    turns the per-varbind base-128 arithmetic into a dict hit -- the
+    "batched BER encode" half of the GetBulk poll path.
+    """
+    return _encode_oid_cached(oid)
+
+
+@lru_cache(maxsize=16384)
+def _decode_oid_cached(content: bytes) -> Oid:
+    return _decode_oid_content_uncached(content)
+
+
+def decode_oid_interned(content: bytes) -> Oid:
+    """Decode OID content bytes, memoized (and thus interned).
+
+    Decoding is the receive-side twin of :func:`encode_oid`'s cache: a
+    bulk response carries hundreds of row OIDs drawn from the same small
+    column set, and the manager decodes the identical byte strings every
+    cycle.  Interning also makes the returned ``Oid`` objects shared, so
+    downstream dict lookups hash already-seen instances.
+    """
+    return _decode_oid_cached(bytes(content))
 
 
 # ----------------------------------------------------------------------

@@ -32,8 +32,9 @@ from repro.snmp import ber
 from repro.snmp.datatypes import EndOfMibView, NoSuchInstance, NoSuchObject
 from repro.snmp.errors import ErrorStatus, SnmpError, SnmpErrorResponse, SnmpTimeout
 from repro.snmp.message import VERSION_2C, Message
+from repro.snmp.mib import SYS_UPTIME
 from repro.snmp.oid import Oid
-from repro.snmp.pdu import Pdu, VarBind
+from repro.snmp.pdu import MAX_BULK_REPETITIONS, Pdu, VarBind
 from repro.simnet.address import IPv4Address
 from repro.simnet.sockets import SNMP_PORT
 from repro.telemetry import Telemetry
@@ -312,6 +313,56 @@ class SnmpManager:
         else:
             self.get_next(dst_ip, [cursor], step, errback)
 
+    def poll_interfaces(
+        self,
+        dst_ip: IPv4Address,
+        if_indexes: Sequence[int],
+        columns: Sequence[Oid],
+        callback: SuccessCallback,
+        errback: Optional[ErrorCallback] = None,
+        *,
+        include_uptime: bool = True,
+        community: Optional[str] = None,
+        max_exchanges: int = 8,
+    ) -> None:
+        """Fetch every ``columns`` counter for rows ``if_indexes`` via GetBulk.
+
+        This is the poll path's bulk primitive: instead of one GET naming
+        sysUpTime plus ``len(columns) * len(if_indexes)`` exact instances,
+        it walks all the columns *in parallel inside one PDU* -- the first
+        exchange carries sysUpTime as a non-repeater plus one cursor per
+        column, with max-repetitions sized to the row span, so an agent
+        whose table fits under :data:`MAX_BULK_REPETITIONS` rows answers
+        the entire poll in a single exchange.  Larger tables continue from
+        per-column cursors until every requested row (or endOfMibView) is
+        reached, chaining at most ``max_exchanges`` requests.
+
+        ``callback`` receives the accumulated varbinds -- the sysUpTime
+        instance first, then every in-column row seen -- which is a
+        superset of what the equivalent GET would return, so existing
+        response parsers work unchanged.  Each exchange is an ordinary
+        request underneath: the per-destination adaptive RTO, retry and
+        RTT accounting all apply per exchange.  Any exchange that times
+        out or errors fails the whole walk through ``errback``.
+
+        Note the uptime skew: sysUpTime rides only the *first* exchange,
+        so on a multi-exchange walk later rows are read slightly after
+        the uptime they are paired with -- the same error class as the
+        paper's "abnormally small value followed by an abnormally large
+        one", and bounded by a couple of round trips.
+        """
+        if self.version != VERSION_2C:
+            raise SnmpError("poll_interfaces requires SNMPv2c (GetBulk)")
+        if not if_indexes or not columns:
+            self.sim.schedule(0.0, callback, [])
+            return
+        walk = _BulkWalk(
+            self, dst_ip, [int(i) for i in if_indexes], [Oid(c) for c in columns],
+            callback, errback, include_uptime=include_uptime,
+            community=community, max_exchanges=max_exchanges,
+        )
+        walk.issue()
+
     @property
     def outstanding(self) -> int:
         return len(self._pending)
@@ -455,3 +506,140 @@ class SnmpManager:
                 pending.errback(exc)
             return
         pending.callback(pdu.varbinds)
+
+
+class _BulkWalk:
+    """State machine behind :meth:`SnmpManager.poll_interfaces`.
+
+    Walks every counter column in parallel with chained GetBulk requests,
+    keeping a per-column cursor and done flag.  Classification of response
+    varbinds is by column-prefix match, not position, so it tolerates both
+    this model's column-major response layout and the row-interleaved
+    layout RFC 1905 describes.
+    """
+
+    __slots__ = (
+        "manager", "dst_ip", "columns", "callback", "errback", "community",
+        "max_exchanges", "min_idx", "max_idx", "cursors", "cursor_rows",
+        "done", "collected", "extra", "exchanges", "include_uptime",
+        "finished",
+    )
+
+    def __init__(
+        self,
+        manager: SnmpManager,
+        dst_ip: IPv4Address,
+        if_indexes: List[int],
+        columns: List[Oid],
+        callback: SuccessCallback,
+        errback: Optional[ErrorCallback],
+        *,
+        include_uptime: bool,
+        community: Optional[str],
+        max_exchanges: int,
+    ) -> None:
+        self.manager = manager
+        self.dst_ip = dst_ip
+        self.columns = columns
+        self.callback = callback
+        self.errback = errback
+        self.community = community
+        self.max_exchanges = max(1, max_exchanges)
+        self.min_idx = min(if_indexes)
+        self.max_idx = max(if_indexes)
+        # A cursor is the last OID seen in a column (exclusive): GetBulk
+        # resumes at get_next(cursor).  Seeding at row min-1 makes the
+        # first returned row the first one we actually want.
+        self.cursors: Dict[Oid, Oid] = {
+            col: col + str(self.min_idx - 1) for col in columns
+        }
+        self.cursor_rows: Dict[Oid, int] = {col: self.min_idx - 1 for col in columns}
+        self.done: Dict[Oid, bool] = {col: False for col in columns}
+        self.collected: List[VarBind] = []
+        self.extra: List[VarBind] = []  # the sysUpTime non-repeater result
+        self.exchanges = 0
+        self.include_uptime = include_uptime
+        self.finished = False
+
+    def issue(self) -> None:
+        """Send the next exchange of the walk."""
+        live = [col for col in self.columns if not self.done[col]]
+        if not live:
+            self._finish()
+            return
+        reps = max(self.max_idx - self.cursor_rows[col] for col in live)
+        reps = max(1, min(reps, MAX_BULK_REPETITIONS))
+        oids: List[Oid] = []
+        non_repeaters = 0
+        if self.include_uptime and self.exchanges == 0:
+            # get_next(sysUpTime-object) yields the .0 instance; naming
+            # the instance itself would return its successor instead.
+            oids.append(SYS_UPTIME[: len(SYS_UPTIME) - 1])
+            non_repeaters = 1
+        oids.extend(self.cursors[col] for col in live)
+        self.exchanges += 1
+        self.manager.get_bulk(
+            self.dst_ip, oids, self._on_response, self._on_error,
+            non_repeaters=non_repeaters, max_repetitions=reps,
+            community=self.community,
+        )
+
+    def _on_response(self, varbinds: List[VarBind]) -> None:
+        if self.finished:
+            return
+        progressed: set = set()
+        for vb in varbinds:
+            col = self._classify(vb.oid)
+            if col is None:
+                # Non-repeater result (sysUpTime) -- or an out-of-table
+                # OID an exhausted column walked into; the former only
+                # arrives on the first exchange before any column rows.
+                if not self.collected and len(self.extra) < 1:
+                    self.extra.append(vb)
+                continue
+            if self.done[col]:
+                continue
+            if isinstance(vb.value, (EndOfMibView, NoSuchObject, NoSuchInstance)):
+                self.done[col] = True
+                continue
+            row = vb.oid.arcs[len(col.arcs)] if len(vb.oid.arcs) > len(col.arcs) else -1
+            if row <= self.cursor_rows[col]:
+                continue  # duplicate/stale; progress judged per column below
+            if row > self.max_idx:
+                self.done[col] = True
+                continue
+            self.collected.append(vb)
+            self.cursors[col] = vb.oid
+            self.cursor_rows[col] = row
+            progressed.add(col)
+            if row == self.max_idx:
+                self.done[col] = True
+        # A column that neither advanced nor terminated would loop the
+        # same cursor forever (e.g. the whole column is absent and the
+        # agent's walk left the table immediately): declare it done.
+        for col in self.columns:
+            if not self.done[col] and col not in progressed:
+                self.done[col] = True
+        if all(self.done.values()) or self.exchanges >= self.max_exchanges:
+            self._finish()
+        else:
+            self.issue()
+
+    def _classify(self, oid: Oid) -> Optional[Oid]:
+        for col in self.columns:
+            if oid.startswith(col):
+                return col
+        return None
+
+    def _on_error(self, exc: Exception) -> None:
+        if self.finished:
+            return
+        self.finished = True
+        if self.errback is not None:
+            self.errback(exc)
+
+    def _finish(self) -> None:
+        if self.finished:
+            return
+        self.finished = True
+        self.callback(self.extra + self.collected)

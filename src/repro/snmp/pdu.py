@@ -2,7 +2,10 @@
 
 A PDU is ``(request-id, error-status, error-index, varbind-list)`` inside
 a context-constructed TLV whose tag selects the operation.  GetBulk reuses
-the two error fields as ``non-repeaters`` / ``max-repetitions`` (RFC 1905).
+the two error fields as ``non-repeaters`` / ``max-repetitions`` (RFC 1905);
+on the wire they stay in the error-field slots, but in this model they are
+first-class named accessors valid *only* on GetBulk PDUs and validated
+(non-negative) both when building a request and when decoding one.
 """
 
 from __future__ import annotations
@@ -24,6 +27,11 @@ PDU_TAGS = {
     ber.TAG_INFORM_REQUEST: "inform",
     ber.TAG_SNMPV2_TRAP: "trap",
 }
+
+# Agents cap the repetition count a GetBulk may request (RFC 1905 lets an
+# agent return fewer rows than asked; this model clamps at a fixed bound
+# so one request can never balloon into an unbounded response).
+MAX_BULK_REPETITIONS = 64
 
 
 @dataclass(frozen=True)
@@ -54,22 +62,39 @@ class Pdu:
 
     pdu_type: int
     request_id: int
-    error_status: int = 0  # doubles as non-repeaters for GetBulk
-    error_index: int = 0  # doubles as max-repetitions for GetBulk
+    error_status: int = 0  # carries non-repeaters on the wire for GetBulk
+    error_index: int = 0  # carries max-repetitions on the wire for GetBulk
     varbinds: List[VarBind] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.pdu_type not in PDU_TAGS:
             raise ber.BerError(f"unknown PDU tag 0x{self.pdu_type:02x}")
+        if self.pdu_type == ber.TAG_GET_BULK_REQUEST:
+            if self.error_status < 0 or self.error_index < 0:
+                raise ber.BerError(
+                    f"GetBulk fields must be non-negative, got non-repeaters="
+                    f"{self.error_status!r} max-repetitions={self.error_index!r}"
+                )
 
-    # Convenience aliases for GetBulk semantics.
+    # First-class GetBulk accessors.  RFC 1905 overloads the error-field
+    # wire slots, but reading "non-repeaters" off a Get or a Response is
+    # a bug -- those PDUs carry an error status there.
     @property
     def non_repeaters(self) -> int:
+        self._require_bulk("non_repeaters")
         return self.error_status
 
     @property
     def max_repetitions(self) -> int:
+        self._require_bulk("max_repetitions")
         return self.error_index
+
+    def _require_bulk(self, what: str) -> None:
+        if self.pdu_type != ber.TAG_GET_BULK_REQUEST:
+            raise AttributeError(
+                f"{what} is only defined for get-bulk PDUs; this is a "
+                f"{self.kind} PDU carrying error fields"
+            )
 
     @property
     def kind(self) -> str:
